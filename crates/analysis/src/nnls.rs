@@ -1,0 +1,339 @@
+//! Lawson–Hanson nonnegative least squares.
+//!
+//! Solves `min ‖V·d − t‖₂ s.t. d ≥ 0` — the regression the paper uses
+//! to rank metric importance ("we want to find a dependency vector d
+//! which minimizes ‖Vd − t‖ s.t. d ≥ 0", Section IV-E). The classic
+//! active-set method: grow a passive set by the most positively
+//! correlated column, solve the unconstrained least squares on it, and
+//! clip back any coefficient that went negative.
+
+/// A dense column-major matrix.
+#[derive(Clone, Debug)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    /// Column-major storage: entry `(r, c)` at `data[c * rows + r]`.
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from a row-major nested slice.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut m = Self::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged rows");
+            for (j, &v) in row.iter().enumerate() {
+                *m.at_mut(i, j) = v;
+            }
+        }
+        m
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[c * self.rows + r]
+    }
+
+    /// Mutable entry accessor.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.data[c * self.rows + r]
+    }
+
+    /// A column as a slice.
+    pub fn col(&self, c: usize) -> &[f64] {
+        &self.data[c * self.rows..(c + 1) * self.rows]
+    }
+
+    /// `y = A·x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        let mut y = vec![0.0; self.rows];
+        for c in 0..self.cols {
+            let xc = x[c];
+            if xc != 0.0 {
+                for (r, yv) in y.iter_mut().enumerate() {
+                    *yv += self.at(r, c) * xc;
+                }
+            }
+        }
+        y
+    }
+
+    /// `y = Aᵀ·x`.
+    pub fn mul_transpose_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows);
+        (0..self.cols)
+            .map(|c| self.col(c).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+}
+
+/// Unconstrained least squares on a column subset via normal equations
+/// (`AᵀA z = Aᵀ b`) with Gaussian elimination and partial pivoting.
+/// Fine for the ≤14-column systems of the paper's analysis.
+fn ls_on_subset(a: &Matrix, b: &[f64], subset: &[usize]) -> Vec<f64> {
+    let k = subset.len();
+    let mut ata = vec![0.0f64; k * k];
+    let mut atb = vec![0.0f64; k];
+    for (i, &ci) in subset.iter().enumerate() {
+        for (j, &cj) in subset.iter().enumerate() {
+            ata[i * k + j] = a
+                .col(ci)
+                .iter()
+                .zip(a.col(cj))
+                .map(|(x, y)| x * y)
+                .sum();
+        }
+        atb[i] = a.col(ci).iter().zip(b).map(|(x, y)| x * y).sum();
+    }
+    // Tikhonov whisper to survive collinear metric columns.
+    for i in 0..k {
+        ata[i * k + i] += 1e-12;
+    }
+    // Gaussian elimination with partial pivoting.
+    let mut aug = ata;
+    let mut rhs = atb;
+    for col in 0..k {
+        let pivot = (col..k)
+            .max_by(|&i, &j| {
+                aug[i * k + col]
+                    .abs()
+                    .partial_cmp(&aug[j * k + col].abs())
+                    .unwrap()
+            })
+            .unwrap();
+        if pivot != col {
+            for j in 0..k {
+                aug.swap(col * k + j, pivot * k + j);
+            }
+            rhs.swap(col, pivot);
+        }
+        let p = aug[col * k + col];
+        if p.abs() < 1e-300 {
+            continue;
+        }
+        for row in (col + 1)..k {
+            let f = aug[row * k + col] / p;
+            if f == 0.0 {
+                continue;
+            }
+            for j in col..k {
+                aug[row * k + j] -= f * aug[col * k + j];
+            }
+            rhs[row] -= f * rhs[col];
+        }
+    }
+    let mut z = vec![0.0f64; k];
+    for col in (0..k).rev() {
+        let mut s = rhs[col];
+        for j in (col + 1)..k {
+            s -= aug[col * k + j] * z[j];
+        }
+        let p = aug[col * k + col];
+        z[col] = if p.abs() < 1e-300 { 0.0 } else { s / p };
+    }
+    z
+}
+
+/// Solves `min ‖A·d − b‖ s.t. d ≥ 0`; returns the coefficient vector.
+///
+/// # Examples
+///
+/// ```
+/// use umpa_analysis::{nnls, Matrix};
+///
+/// // b is exactly 2·col0; the negative-looking col1 gets weight 0.
+/// let a = Matrix::from_rows(&[vec![1.0, -1.0], vec![2.0, -2.0]]);
+/// let d = nnls(&a, &[2.0, 4.0]);
+/// assert!((d[0] - 2.0).abs() < 1e-6);
+/// assert_eq!(d[1], 0.0);
+/// ```
+pub fn nnls(a: &Matrix, b: &[f64]) -> Vec<f64> {
+    assert_eq!(b.len(), a.rows());
+    let n = a.cols();
+    let mut x = vec![0.0f64; n];
+    let mut passive: Vec<usize> = Vec::new();
+    let mut in_passive = vec![false; n];
+    let tol = 1e-10
+        * a.col(0)
+            .iter()
+            .map(|v| v.abs())
+            .fold(1.0f64, f64::max)
+            .max(1.0);
+    for _ in 0..(3 * n.max(10)) {
+        // Gradient w = Aᵀ(b − Ax).
+        let ax = a.mul_vec(&x);
+        let resid: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+        let w = a.mul_transpose_vec(&resid);
+        // Most promising inactive column.
+        let candidate = (0..n)
+            .filter(|&j| !in_passive[j])
+            .max_by(|&i, &j| w[i].partial_cmp(&w[j]).unwrap());
+        match candidate {
+            Some(j) if w[j] > tol => {
+                passive.push(j);
+                in_passive[j] = true;
+            }
+            _ => break,
+        }
+        // Inner loop: make the passive solution nonnegative.
+        loop {
+            let z = ls_on_subset(a, b, &passive);
+            if z.iter().all(|&v| v > tol) {
+                for (i, &j) in passive.iter().enumerate() {
+                    x[j] = z[i];
+                }
+                break;
+            }
+            // Step toward z, stopping at the first variable to hit 0.
+            let mut alpha = f64::INFINITY;
+            for (i, &j) in passive.iter().enumerate() {
+                if z[i] <= tol {
+                    let d = x[j] - z[i];
+                    if d > 0.0 {
+                        alpha = alpha.min(x[j] / d);
+                    }
+                }
+            }
+            if !alpha.is_finite() {
+                alpha = 0.0;
+            }
+            for (i, &j) in passive.iter().enumerate() {
+                x[j] += alpha * (z[i] - x[j]);
+            }
+            // Remove zeroed variables from the passive set.
+            let mut i = 0;
+            while i < passive.len() {
+                let j = passive[i];
+                if x[j] <= tol {
+                    x[j] = 0.0;
+                    in_passive[j] = false;
+                    passive.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+            if passive.is_empty() {
+                break;
+            }
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_a_nonnegative_model_exactly() {
+        // b = 2*c0 + 0.5*c2
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0, 1.0],
+            vec![0.0, 1.0, 2.0],
+            vec![1.0, 1.0, 0.0],
+            vec![2.0, 0.0, 1.0],
+        ]);
+        let x_true = [2.0, 0.0, 0.5];
+        let b = a.mul_vec(&x_true);
+        let x = nnls(&a, &b);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-6, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn clips_negative_coefficients_to_zero() {
+        // b = c0 − c1 : best nonnegative fit puts weight on c0 only.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ]);
+        let b = vec![1.0, -1.0, 0.0];
+        let x = nnls(&a, &b);
+        assert!(x[1].abs() < 1e-9, "{x:?}");
+        assert!(x[0] > 0.0);
+    }
+
+    #[test]
+    fn zero_rhs_gives_zero_solution() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let x = nnls(&a, &[0.0, 0.0]);
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn residual_not_worse_than_any_single_column_fit() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0, 0.5],
+            vec![2.0, 1.0, 1.5],
+            vec![0.5, 0.5, 2.0],
+            vec![1.5, 2.5, 1.0],
+        ]);
+        let b = vec![3.0, 4.0, 2.0, 4.5];
+        let x = nnls(&a, &b);
+        let resid = |x: &[f64]| -> f64 {
+            let ax = a.mul_vec(x);
+            b.iter().zip(&ax).map(|(bi, ai)| (bi - ai).powi(2)).sum()
+        };
+        let r = resid(&x);
+        for j in 0..3 {
+            // Best single-column nonnegative scale.
+            let num: f64 = a.col(j).iter().zip(&b).map(|(c, bi)| c * bi).sum();
+            let den: f64 = a.col(j).iter().map(|c| c * c).sum();
+            let mut single = vec![0.0; 3];
+            single[j] = (num / den).max(0.0);
+            assert!(r <= resid(&single) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn handles_collinear_columns() {
+        // Duplicate columns must not blow up the solve.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![3.0, 3.0],
+        ]);
+        let b = vec![1.0, 2.0, 3.0];
+        let x = nnls(&a, &b);
+        let ax = a.mul_vec(&x);
+        let resid: f64 = b.iter().zip(&ax).map(|(bi, ai)| (bi - ai).powi(2)).sum();
+        assert!(resid < 1e-9, "x={x:?} resid={resid}");
+        assert!(x.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn matrix_accessors_roundtrip() {
+        let mut m = Matrix::zeros(2, 3);
+        *m.at_mut(1, 2) = 7.0;
+        assert_eq!(m.at(1, 2), 7.0);
+        assert_eq!(m.col(2), &[0.0, 7.0]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+    }
+}

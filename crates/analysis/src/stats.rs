@@ -1,0 +1,113 @@
+//! Standardization, correlation and aggregation helpers.
+
+use crate::nnls::Matrix;
+
+/// Standardizes every column in place: subtract the column mean, divide
+/// by the column standard deviation ("to standardize each entry of V
+/// and make them equally important", Section IV-E). Constant columns
+/// become all-zero.
+pub fn standardize_columns(m: &mut Matrix) {
+    let rows = m.rows();
+    if rows == 0 {
+        return;
+    }
+    for c in 0..m.cols() {
+        let mean = m.col(c).iter().sum::<f64>() / rows as f64;
+        let var = m
+            .col(c)
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / rows as f64;
+        let sd = var.sqrt();
+        for r in 0..rows {
+            let v = m.at(r, c);
+            *m.at_mut(r, c) = if sd > 1e-300 { (v - mean) / sd } else { 0.0 };
+        }
+    }
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+/// Returns 0 when either sample is constant.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let n = x.len() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx) * (a - mx);
+        vy += (b - my) * (b - my);
+    }
+    if vx <= 1e-300 || vy <= 1e-300 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+/// Geometric mean of positive samples (the aggregation of Figures 1–3
+/// and Table I). Non-positive entries are clamped to a tiny positive
+/// value so a single zero doesn't wipe the mean.
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = xs.iter().map(|&x| x.max(1e-300).ln()).sum();
+    (s / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardize_produces_zero_mean_unit_sd() {
+        let mut m = Matrix::from_rows(&[
+            vec![1.0, 10.0],
+            vec![2.0, 10.0],
+            vec![3.0, 10.0],
+            vec![4.0, 10.0],
+        ]);
+        standardize_columns(&mut m);
+        let mean: f64 = m.col(0).iter().sum::<f64>() / 4.0;
+        let var: f64 = m.col(0).iter().map(|v| v * v).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+        // Constant column became zeros, not NaN.
+        assert!(m.col(1).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn pearson_detects_perfect_and_anti_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 1.0).collect();
+        let z: Vec<f64> = x.iter().map(|v| -2.0 * v).collect();
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &z) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_constant_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn gmean_matches_hand_computed() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn gmean_survives_zeros() {
+        let g = geometric_mean(&[0.0, 1.0]);
+        assert!(g >= 0.0 && g.is_finite());
+    }
+}

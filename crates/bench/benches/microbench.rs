@@ -1,0 +1,145 @@
+//! Criterion microbenchmarks: the building blocks whose complexity the
+//! paper analyzes (routing, BFS, heap ops, metric evaluation) and the
+//! end-to-end mappers of Figure 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use umpa_core::prelude::*;
+use umpa_graph::{Bfs, TaskGraph};
+use umpa_matgen::spmv::spmv_task_graph;
+use umpa_partition::PartitionerKind;
+use umpa_topology::prelude::*;
+
+fn machine() -> Machine {
+    MachineConfig::hopper().build()
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let m = machine();
+    let pairs: Vec<(u32, u32)> = (0..256u32)
+        .map(|i| (i * 13 % m.num_nodes() as u32, i * 97 % m.num_nodes() as u32))
+        .collect();
+    c.bench_function("torus_route_256_pairs", |b| {
+        let mut scratch = Vec::new();
+        let mut links = Vec::new();
+        b.iter(|| {
+            let mut total = 0usize;
+            for &(x, y) in &pairs {
+                links.clear();
+                m.route_links(x, y, &mut scratch, &mut links);
+                total += links.len();
+            }
+            std::hint::black_box(total)
+        })
+    });
+    c.bench_function("torus_distance_256_pairs", |b| {
+        b.iter(|| {
+            let mut total = 0u32;
+            for &(x, y) in &pairs {
+                total += m.hops(x, y);
+            }
+            std::hint::black_box(total)
+        })
+    });
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    let m = machine();
+    let g = m.router_graph();
+    c.bench_function("router_graph_full_bfs", |b| {
+        let mut bfs = Bfs::new(g.num_vertices());
+        b.iter(|| {
+            bfs.start([0u32]);
+            let mut count = 0usize;
+            while bfs.next(g).is_some() {
+                count += 1;
+            }
+            std::hint::black_box(count)
+        })
+    });
+}
+
+fn bench_heap(c: &mut Criterion) {
+    use umpa_ds::IndexedMaxHeap;
+    c.bench_function("indexed_heap_10k_mixed_ops", |b| {
+        b.iter(|| {
+            let mut h = IndexedMaxHeap::new(10_000);
+            for i in 0..10_000u32 {
+                h.push(i, f64::from(i * 2654435761 % 10_000));
+            }
+            for i in 0..5_000u32 {
+                h.change_key(i, f64::from(i % 97));
+            }
+            let mut sum = 0.0;
+            while let Some((_, k)) = h.pop() {
+                sum += k;
+            }
+            std::hint::black_box(sum)
+        })
+    });
+}
+
+/// Shared fixture: a PATOH-partitioned stencil task graph.
+fn fixture(parts: usize) -> (Machine, Allocation, TaskGraph) {
+    let m = machine();
+    let a = umpa_matgen::gen::stencil2d(64, 64, umpa_matgen::gen::Stencil2D::FivePoint);
+    let part = PartitionerKind::Patoh.partition_matrix(&a, parts, 42);
+    let tg = spmv_task_graph(&a, &part, parts);
+    let alloc = Allocation::generate(&m, &AllocSpec::sparse(parts / 16, 11));
+    (m, alloc, tg)
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let (m, alloc, tg) = fixture(256);
+    let cfg = PipelineConfig::default();
+    let out = map_tasks(&tg, &m, &alloc, MapperKind::Greedy, &cfg);
+    c.bench_function("evaluate_metrics_256_tasks", |b| {
+        b.iter(|| std::hint::black_box(evaluate(&tg, &m, &out.fine_mapping).wh))
+    });
+}
+
+fn bench_mappers(c: &mut Criterion) {
+    // Figure 3's measurement: wall time per mapping algorithm.
+    let mut group = c.benchmark_group("mappers_fig3");
+    group.sample_size(10);
+    for parts in [128usize, 256] {
+        let (m, alloc, tg) = fixture(parts);
+        let cfg = PipelineConfig::default();
+        for kind in MapperKind::all() {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), parts),
+                &parts,
+                |b, _| {
+                    b.iter(|| {
+                        std::hint::black_box(
+                            map_tasks(&tg, &m, &alloc, kind, &cfg).fine_mapping.len(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let a = umpa_matgen::gen::stencil2d(64, 64, umpa_matgen::gen::Stencil2D::FivePoint);
+    let mut group = c.benchmark_group("partitioner");
+    group.sample_size(10);
+    for kind in [PartitionerKind::Scotch, PartitionerKind::Patoh] {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| std::hint::black_box(kind.partition_matrix(&a, 64, 7).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_routing,
+    bench_bfs,
+    bench_heap,
+    bench_metrics,
+    bench_mappers,
+    bench_partitioner
+);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Ablation sweeps over the paper's fixed design choices:
+//!
+//! * `Δ` (swap-candidate budget of Algorithms 2–3; paper fixes 8),
+//! * `NBFS` (far seeds of Algorithm 1; paper tries {0, 1}),
+//! * the 0.5 % pass-improvement threshold of Algorithm 2.
+//!
+//! Reports WH/MC quality and wall time per setting so the trade-offs
+//! behind the paper's constants are visible.
+
+use rayon::prelude::*;
+use umpa_bench::{fmt2, fmt3, ExpScale, Table};
+use umpa_core::prelude::*;
+use umpa_matgen::spmv::spmv_task_graph;
+use umpa_partition::PartitionerKind;
+
+fn main() {
+    let scale = ExpScale::from_args();
+    eprintln!("ablation [{}]", scale.label);
+    let machine = scale.machine();
+    let parts = scale.timing_parts;
+    let a = umpa_matgen::dataset::cage15_like(scale.matrix_scale);
+    let part = PartitionerKind::Patoh.partition_matrix(&a, parts, 42);
+    let fine = spmv_task_graph(&a, &part, parts);
+    let alloc = scale.allocation(&machine, parts, scale.alloc_seeds[0]);
+    let base_cfg = PipelineConfig::default();
+
+    // Baseline WH from DEF for normalization.
+    let def = map_tasks(&fine, &machine, &alloc, MapperKind::Def, &base_cfg);
+    let def_m = evaluate(&fine, &machine, &def.fine_mapping);
+
+    // -- Δ sweep (Algorithm 2).
+    let mut t_delta = Table::new(&["delta", "WH_vs_DEF", "MC_vs_DEF", "time_s"]);
+    let deltas = [1usize, 2, 4, 8, 16, 32];
+    let rows: Vec<(usize, f64, f64, f64)> = deltas
+        .par_iter()
+        .map(|&delta| {
+            let cfg = PipelineConfig {
+                wh: WhRefineConfig {
+                    delta,
+                    ..Default::default()
+                },
+                ..base_cfg.clone()
+            };
+            let out = map_tasks(&fine, &machine, &alloc, MapperKind::GreedyWh, &cfg);
+            let m = evaluate(&fine, &machine, &out.fine_mapping);
+            (delta, m.wh, m.mc, out.elapsed.as_secs_f64())
+        })
+        .collect();
+    for (delta, wh, mc, t) in rows {
+        t_delta.row(vec![
+            delta.to_string(),
+            fmt2(wh / def_m.wh.max(1.0)),
+            fmt2(mc / def_m.mc.max(1e-9)),
+            fmt3(t),
+        ]);
+    }
+    println!("\nAblation — Δ (UWH swap-candidate budget; paper: 8)\n");
+    t_delta.emit("ablation_delta");
+
+    // -- NBFS sweep (Algorithm 1).
+    let mut t_nbfs = Table::new(&["nbfs", "WH_vs_DEF", "time_s"]);
+    let rows: Vec<(u32, f64, f64)> = [0u32, 1, 2, 4]
+        .par_iter()
+        .map(|&nbfs| {
+            let cfg = PipelineConfig {
+                greedy: GreedyConfig {
+                    nbfs_candidates: vec![nbfs],
+                    ..GreedyConfig::default()
+                },
+                ..base_cfg.clone()
+            };
+            let out = map_tasks(&fine, &machine, &alloc, MapperKind::Greedy, &cfg);
+            let m = evaluate(&fine, &machine, &out.fine_mapping);
+            (nbfs, m.wh, out.elapsed.as_secs_f64())
+        })
+        .collect();
+    for (nbfs, wh, t) in rows {
+        t_nbfs.row(vec![
+            nbfs.to_string(),
+            fmt2(wh / def_m.wh.max(1.0)),
+            fmt3(t),
+        ]);
+    }
+    println!("\nAblation — NBFS (UG far seeds; paper tries {{0,1}})\n");
+    t_nbfs.emit("ablation_nbfs");
+
+    // -- Pass threshold sweep (Algorithm 2).
+    let mut t_thr = Table::new(&["threshold", "WH_vs_DEF", "time_s"]);
+    let rows: Vec<(f64, f64, f64)> = [0.0f64, 0.001, 0.005, 0.02, 0.10]
+        .par_iter()
+        .map(|&thr| {
+            let cfg = PipelineConfig {
+                wh: WhRefineConfig {
+                    min_rel_improvement: thr,
+                    ..Default::default()
+                },
+                ..base_cfg.clone()
+            };
+            let out = map_tasks(&fine, &machine, &alloc, MapperKind::GreedyWh, &cfg);
+            let m = evaluate(&fine, &machine, &out.fine_mapping);
+            (thr, m.wh, out.elapsed.as_secs_f64())
+        })
+        .collect();
+    for (thr, wh, t) in rows {
+        t_thr.row(vec![
+            format!("{thr:.3}"),
+            fmt2(wh / def_m.wh.max(1.0)),
+            fmt3(t),
+        ]);
+    }
+    println!("\nAblation — UWH pass-improvement threshold (paper: 0.005)\n");
+    t_thr.emit("ablation_threshold");
+
+    // -- Coarse-only vs fine-level refinement (§III-B trade-off).
+    let mut t_fine = Table::new(&["refinement", "WH_vs_DEF", "ICV_vs_DEF", "time_s"]);
+    let def_full = umpa_bench::FullMetrics::compute(&fine, &machine, &def.fine_mapping);
+    for (label, fine_flag) in [("coarse (paper)", false), ("fine (§III-B alt)", true)] {
+        let cfg = PipelineConfig {
+            fine_wh_refine: fine_flag,
+            ..base_cfg.clone()
+        };
+        let out = map_tasks(&fine, &machine, &alloc, MapperKind::GreedyWh, &cfg);
+        let m = umpa_bench::FullMetrics::compute(&fine, &machine, &out.fine_mapping);
+        t_fine.row(vec![
+            label.to_string(),
+            fmt2(m.wh / def_full.wh.max(1.0)),
+            fmt2(m.icv / def_full.icv.max(1.0)),
+            fmt3(out.elapsed.as_secs_f64()),
+        ]);
+    }
+    println!(
+        "\nAblation — coarse vs fine WH refinement (paper keeps coarse: fine swaps\n\
+         can lower WH further but may raise the internode volume ICV)\n"
+    );
+    t_fine.emit("ablation_fine_refine");
+}

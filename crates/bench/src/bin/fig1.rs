@@ -1,0 +1,67 @@
+//! Figure 1: geometric means of the partition metrics (TV, TM, MSV,
+//! MSM) of the seven partitioner presets, normalized to PATOH, per part
+//! count.
+//!
+//! Paper shape targets: all tools land within ~±20 % of PATOH on TV;
+//! the edge-cut-only tools (SCOTCH, KAFFPA) trail slightly on volume
+//! metrics; UMPA_MV leads MSV, UMPA_MM leads MSM, UMPA_TM leads TM.
+
+use rayon::prelude::*;
+use umpa_bench::{fmt3, ExpScale, Table};
+use umpa_matgen::spmv::{partition_loads, spmv_task_graph, CommStats};
+use umpa_partition::PartitionerKind;
+
+fn main() {
+    let scale = ExpScale::from_args();
+    eprintln!("fig1 [{}]: partition quality sweep", scale.label);
+    let matrices = scale.matrices();
+    let kinds = PartitionerKind::all();
+    let mut table = Table::new(&["parts", "partitioner", "TV", "TM", "MSV", "MSM"]);
+    for &parts in &scale.parts {
+        // stats[matrix][kind]
+        let stats: Vec<Vec<CommStats>> = matrices
+            .par_iter()
+            .map(|entry| {
+                let a = entry.build(scale.matrix_scale);
+                kinds
+                    .iter()
+                    .map(|kind| {
+                        let part = kind.partition_matrix(&a, parts, 42);
+                        let tg = spmv_task_graph(&a, &part, parts);
+                        CommStats::from_task_graph(
+                            &tg,
+                            &partition_loads(&a, &part, parts),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        // Normalize each matrix's metrics to its PATOH run, then gmean.
+        let patoh_idx = kinds
+            .iter()
+            .position(|k| *k == PartitionerKind::Patoh)
+            .unwrap();
+        for (ki, kind) in kinds.iter().enumerate() {
+            let norm = |f: &dyn Fn(&CommStats) -> f64| -> f64 {
+                let ratios: Vec<f64> = stats
+                    .iter()
+                    .map(|per_kind| {
+                        let base = f(&per_kind[patoh_idx]).max(1.0);
+                        f(&per_kind[ki]).max(1.0) / base
+                    })
+                    .collect();
+                umpa_analysis::geometric_mean(&ratios)
+            };
+            table.row(vec![
+                parts.to_string(),
+                kind.name().to_string(),
+                fmt3(norm(&|s| s.tv)),
+                fmt3(norm(&|s| s.tm as f64)),
+                fmt3(norm(&|s| s.msv)),
+                fmt3(norm(&|s| f64::from(s.msm))),
+            ]);
+        }
+    }
+    println!("\nFigure 1 — partition metrics normalized to PATOH (gmean over matrices)\n");
+    table.emit("fig1_partition_metrics");
+}

@@ -1,0 +1,95 @@
+//! Figure 2: mean mapping-metric values (TH, WH, MMC, MC) of the seven
+//! mapping algorithms on PATOH task graphs, normalized to DEF, per part
+//! count. Also emits Figure 3's data (mean mapping times) since both
+//! come from the same sweep.
+//!
+//! Paper shape targets at 4096 procs: UG/UWH cut WH and TH by ~5–18 %
+//! vs DEF; UMC cuts MC by 27–37 %; UMMC cuts MMC by 24–37 %; TMAP only
+//! manages a few percent on MC (often falling back to DEF); SMAP is
+//! frequently worse than DEF.
+
+use rayon::prelude::*;
+use umpa_bench::{fmt2, fmt3, ExpScale, FullMetrics, Table};
+use umpa_core::prelude::*;
+use umpa_matgen::spmv::spmv_task_graph;
+use umpa_partition::PartitionerKind;
+
+fn main() {
+    let scale = ExpScale::from_args();
+    eprintln!("fig2/fig3 [{}]: mapping metric + timing sweep", scale.label);
+    let machine = scale.machine();
+    let matrices = scale.matrices();
+    let mappers = MapperKind::all();
+    let mut table = Table::new(&["parts", "mapper", "TH", "WH", "MMC", "MC"]);
+    let mut times = Table::new(&["parts", "mapper", "mean_time_s"]);
+    for &parts in &scale.parts {
+        // Per (matrix, alloc): metrics for all mappers, normalized to DEF.
+        type Case = (Vec<[f64; 4]>, Vec<f64>); // normalized metrics + times
+        let cases: Vec<Case> = matrices
+            .par_iter()
+            .flat_map(|entry| {
+                let a = entry.build(scale.matrix_scale);
+                let part = PartitionerKind::Patoh.partition_matrix(&a, parts, 42);
+                let fine = spmv_task_graph(&a, &part, parts);
+                scale
+                    .alloc_seeds
+                    .par_iter()
+                    .map(|&seed| {
+                        let alloc = scale.allocation(&machine, parts, seed);
+                        let cfg = PipelineConfig::default();
+                        let runs: Vec<(FullMetrics, f64)> = mappers
+                            .iter()
+                            .map(|&kind| {
+                                let (out, m) = umpa_bench::run_mapper(
+                                    &fine, &machine, &alloc, kind, &cfg,
+                                );
+                                (m, out.elapsed.as_secs_f64())
+                            })
+                            .collect();
+                        let base = &runs[0].0; // DEF
+                        let normalized: Vec<[f64; 4]> = runs
+                            .iter()
+                            .map(|(m, _)| {
+                                [
+                                    m.th / base.th.max(1.0),
+                                    m.wh / base.wh.max(1.0),
+                                    m.mmc / base.mmc.max(1.0),
+                                    m.mc / base.mc.max(1e-9),
+                                ]
+                            })
+                            .collect();
+                        let t: Vec<f64> = runs.iter().map(|(_, t)| *t).collect();
+                        (normalized, t)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for (mi, mapper) in mappers.iter().enumerate() {
+            let gmean_of = |idx: usize| -> f64 {
+                let vals: Vec<f64> = cases.iter().map(|(n, _)| n[mi][idx]).collect();
+                umpa_analysis::geometric_mean(&vals)
+            };
+            table.row(vec![
+                parts.to_string(),
+                mapper.name().to_string(),
+                fmt2(gmean_of(0)),
+                fmt2(gmean_of(1)),
+                fmt2(gmean_of(2)),
+                fmt2(gmean_of(3)),
+            ]);
+            let mean_t: Vec<f64> = cases
+                .iter()
+                .map(|(_, t)| t[mi].max(1e-6))
+                .collect();
+            times.row(vec![
+                parts.to_string(),
+                mapper.name().to_string(),
+                fmt3(umpa_analysis::geometric_mean(&mean_t)),
+            ]);
+        }
+    }
+    println!("\nFigure 2 — mapping metrics on PATOH graphs, normalized to DEF\n");
+    table.emit("fig2_mapping_metrics");
+    println!("\nFigure 3 — geometric-mean mapping times (seconds)\n");
+    times.emit("fig3_mapping_times");
+}

@@ -1,0 +1,127 @@
+//! Figure 4: communication-only application times (plus WH, MMC, MC)
+//! for the cage15-like (scale 4K) and rgg-like (scale 256K) workloads,
+//! all partitioner presets × mappers {DEF, TMAP, UG, UWH, UMC, UMMC},
+//! normalized to DEF on the PATOH graph.
+//!
+//! Paper shape targets: times correlate with WH; UG/UWH/UMC lead (up to
+//! ~40 % faster than DEF); UMMC is the weakest UMPA variant on these
+//! volume-scaled runs; TMAP hovers near DEF.
+
+use rayon::prelude::*;
+use umpa_bench::{fmt2, ExpScale, Table};
+use umpa_core::prelude::*;
+use umpa_matgen::spmv::spmv_task_graph;
+use umpa_matgen::SparsePattern;
+use umpa_netsim::prelude::*;
+use umpa_partition::PartitionerKind;
+
+fn mappers() -> [MapperKind; 6] {
+    [
+        MapperKind::Def,
+        MapperKind::Tmap,
+        MapperKind::Greedy,
+        MapperKind::GreedyWh,
+        MapperKind::GreedyMc,
+        MapperKind::GreedyMmc,
+    ]
+}
+
+fn run_workload(
+    name: &str,
+    a: &SparsePattern,
+    msg_scale: f64,
+    scale: &ExpScale,
+) -> Table {
+    let machine = scale.machine();
+    let parts = scale.timing_parts;
+    let alloc = scale.allocation(&machine, parts, scale.alloc_seeds[0]);
+    let kinds = PartitionerKind::all();
+    // (partitioner, mapper) → (time mean, std, WH, MMC, MC)
+    struct Cell {
+        time: f64,
+        std: f64,
+        wh: f64,
+        mmc: f64,
+        mc: f64,
+    }
+    let cells: Vec<Vec<Cell>> = kinds
+        .par_iter()
+        .map(|kind| {
+            let part = kind.partition_matrix(a, parts, 42);
+            let fine = spmv_task_graph(a, &part, parts);
+            let cfg = PipelineConfig::default();
+            let app = AppConfig {
+                des: DesConfig {
+                    scale: msg_scale,
+                    noise: 0.02,
+                    seed: 7,
+                    ..DesConfig::default()
+                },
+                repetitions: scale.repetitions,
+                ..AppConfig::default()
+            };
+            mappers()
+                .iter()
+                .map(|&mk| {
+                    let (out, m) =
+                        umpa_bench::run_mapper(&fine, &machine, &alloc, mk, &cfg);
+                    let t = comm_only_time(&machine, &fine, &out.fine_mapping, &app);
+                    let _ = &m;
+                    Cell {
+                        time: t.mean_us,
+                        std: t.std_us,
+                        wh: m.wh,
+                        mmc: m.mmc,
+                        mc: m.mc,
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    // Normalize against DEF on the PATOH graph (the paper's reference).
+    let patoh = kinds
+        .iter()
+        .position(|k| *k == PartitionerKind::Patoh)
+        .unwrap();
+    let base = &cells[patoh][0];
+    let mut table = Table::new(&[
+        "partitioner",
+        "mapper",
+        "time",
+        "std",
+        "WH",
+        "MMC",
+        "MC",
+    ]);
+    for (ki, kind) in kinds.iter().enumerate() {
+        for (mi, mk) in mappers().iter().enumerate() {
+            let c = &cells[ki][mi];
+            table.row(vec![
+                kind.name().to_string(),
+                mk.name().to_string(),
+                fmt2(c.time / base.time),
+                fmt2(c.std / base.time),
+                fmt2(c.wh / base.wh.max(1.0)),
+                fmt2(c.mmc / base.mmc.max(1.0)),
+                fmt2(c.mc / base.mc.max(1e-9)),
+            ]);
+        }
+    }
+    println!(
+        "\nFigure 4 ({name}) — comm-only times & metrics normalized to DEF on PATOH\n"
+    );
+    table.emit(&format!("fig4_comm_only_{name}"));
+    table
+}
+
+fn main() {
+    let scale = ExpScale::from_args();
+    eprintln!(
+        "fig4 [{}]: communication-only application, {} parts",
+        scale.label, scale.timing_parts
+    );
+    let cage = umpa_matgen::dataset::cage15_like(scale.matrix_scale);
+    let rgg = umpa_matgen::dataset::rgg_like(scale.matrix_scale);
+    run_workload("cage15", &cage, 4096.0, &scale);
+    run_workload("rgg", &rgg, 262_144.0, &scale);
+}

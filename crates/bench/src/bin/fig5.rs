@@ -1,0 +1,106 @@
+//! Figure 5: Trilinos-style SpMV times (plus TH, MMC, MC) for the
+//! cage15-like workload, all partitioner presets × all seven mappers,
+//! normalized to DEF on the PATOH graph. 500 iterations.
+//!
+//! Paper shape targets: TH correlates with time; UWH is the best mapper
+//! (up to ~23 % over DEF), UG close behind; UMC/UMMC gain less than in
+//! the comm-only case because messages are small; TMAP ≈ DEF.
+
+use rayon::prelude::*;
+use umpa_bench::{fmt2, ExpScale, Table};
+use umpa_core::prelude::*;
+use umpa_matgen::spmv::{partition_loads, spmv_task_graph};
+use umpa_netsim::prelude::*;
+use umpa_partition::PartitionerKind;
+
+fn main() {
+    let scale = ExpScale::from_args();
+    let iterations = 500;
+    eprintln!(
+        "fig5 [{}]: SpMV x{iterations}, {} parts",
+        scale.label, scale.timing_parts
+    );
+    let machine = scale.machine();
+    let parts = scale.timing_parts;
+    let alloc = scale.allocation(&machine, parts, scale.alloc_seeds[0]);
+    let a = umpa_matgen::dataset::cage15_like(scale.matrix_scale);
+    let kinds = PartitionerKind::all();
+    let mappers = MapperKind::all();
+    struct Cell {
+        time: f64,
+        std: f64,
+        th: f64,
+        mmc: f64,
+        mc: f64,
+    }
+    let cells: Vec<Vec<Cell>> = kinds
+        .par_iter()
+        .map(|kind| {
+            let part = kind.partition_matrix(&a, parts, 42);
+            let fine = spmv_task_graph(&a, &part, parts);
+            let loads = partition_loads(&a, &part, parts);
+            let cfg = PipelineConfig::default();
+            let app = AppConfig {
+                des: DesConfig {
+                    noise: 0.02,
+                    seed: 13,
+                    ..DesConfig::default()
+                },
+                repetitions: scale.repetitions,
+                ..AppConfig::default()
+            };
+            mappers
+                .iter()
+                .map(|&mk| {
+                    let (out, m) =
+                        umpa_bench::run_mapper(&fine, &machine, &alloc, mk, &cfg);
+                    let t = spmv_time(
+                        &machine,
+                        &fine,
+                        &out.fine_mapping,
+                        &loads,
+                        iterations,
+                        &app,
+                    );
+                    Cell {
+                        time: t.mean_us,
+                        std: t.std_us,
+                        th: m.th,
+                        mmc: m.mmc,
+                        mc: m.mc,
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let patoh = kinds
+        .iter()
+        .position(|k| *k == PartitionerKind::Patoh)
+        .unwrap();
+    let base = &cells[patoh][0];
+    let mut table = Table::new(&[
+        "partitioner",
+        "mapper",
+        "time",
+        "std",
+        "TH",
+        "MMC",
+        "MC",
+    ]);
+    for (ki, kind) in kinds.iter().enumerate() {
+        for (mi, mk) in mappers.iter().enumerate() {
+            let c = &cells[ki][mi];
+            table.row(vec![
+                kind.name().to_string(),
+                mk.name().to_string(),
+                fmt2(c.time / base.time),
+                fmt2(c.std / base.time),
+                fmt2(c.th / base.th.max(1.0)),
+                fmt2(c.mmc / base.mmc.max(1.0)),
+                fmt2(c.mc / base.mc.max(1e-9)),
+            ]);
+        }
+    }
+    println!("\nFigure 5 — SpMV (cage15-like) normalized to DEF on PATOH\n");
+    table.emit("fig5_spmv");
+}

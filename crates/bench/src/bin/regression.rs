@@ -1,0 +1,112 @@
+//! Section IV-E: nonnegative least-squares regression of simulated
+//! execution times on the 14 partitioning/mapping metrics, plus the
+//! Pearson cross-check.
+//!
+//! Paper shape targets: for the volume-scaled communication-only runs
+//! the dominant nonzero coefficients are WH, MSV and MC; for SpMV they
+//! are AMC, ICV, MMC, TH and MNRV, with the message metrics (MNRM, ICM,
+//! TM) hidden by their ≥0.92 Pearson correlation with AMC.
+
+use rayon::prelude::*;
+use umpa_analysis::{nnls, pearson, standardize_columns, Matrix};
+use umpa_bench::{ExpScale, FullMetrics, Table};
+use umpa_core::prelude::*;
+use umpa_matgen::spmv::{partition_loads, spmv_task_graph};
+use umpa_netsim::prelude::*;
+use umpa_partition::PartitionerKind;
+
+/// Gathers (metrics row, time) samples across partitioners × mappers ×
+/// allocations for one application kind.
+fn gather(scale: &ExpScale, spmv: bool) -> (Vec<[f64; 14]>, Vec<f64>) {
+    let machine = scale.machine();
+    let parts = scale.timing_parts;
+    let a = umpa_matgen::dataset::cage15_like(scale.matrix_scale);
+    let seeds = &scale.alloc_seeds[..2.min(scale.alloc_seeds.len())];
+    let kinds = PartitionerKind::all();
+    let samples: Vec<(([f64; 14], f64), ())> = kinds
+        .par_iter()
+        .flat_map(|kind| {
+            let part = kind.partition_matrix(&a, parts, 42);
+            let fine = spmv_task_graph(&a, &part, parts);
+            let loads = partition_loads(&a, &part, parts);
+            seeds
+                .par_iter()
+                .flat_map(|&seed| {
+                    let alloc = scale.allocation(&machine, parts, seed);
+                    let cfg = PipelineConfig::default();
+                    MapperKind::all()
+                        .into_iter()
+                        .map(|mk| {
+                            let (out, metrics) = umpa_bench::run_mapper(
+                                &fine, &machine, &alloc, mk, &cfg,
+                            );
+                            let app = AppConfig {
+                                des: DesConfig {
+                                    scale: if spmv { 1.0 } else { 4096.0 },
+                                    noise: 0.02,
+                                    seed: 3,
+                                    ..DesConfig::default()
+                                },
+                                repetitions: scale.repetitions,
+                                ..AppConfig::default()
+                            };
+                            let t = if spmv {
+                                spmv_time(
+                                    &machine,
+                                    &fine,
+                                    &out.fine_mapping,
+                                    &loads,
+                                    500,
+                                    &app,
+                                )
+                                .mean_us
+                            } else {
+                                comm_only_time(&machine, &fine, &out.fine_mapping, &app)
+                                    .mean_us
+                            };
+                            ((metrics.row(), t), ())
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let rows: Vec<[f64; 14]> = samples.iter().map(|((r, _), ())| *r).collect();
+    let times: Vec<f64> = samples.iter().map(|((_, t), ())| *t).collect();
+    (rows, times)
+}
+
+fn analyze(name: &str, rows: &[[f64; 14]], times: &[f64]) {
+    let mut v = Matrix::from_rows(&rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>());
+    standardize_columns(&mut v);
+    // Standardize t as well so coefficients are comparable.
+    let mean_t = times.iter().sum::<f64>() / times.len() as f64;
+    let sd_t = (times.iter().map(|t| (t - mean_t).powi(2)).sum::<f64>()
+        / times.len() as f64)
+        .sqrt()
+        .max(1e-12);
+    let t_std: Vec<f64> = times.iter().map(|t| (t - mean_t) / sd_t).collect();
+    let d = nnls(&v, &t_std);
+    let mut table = Table::new(&["metric", "nnls_coeff", "pearson_vs_time"]);
+    let mut ranked: Vec<(usize, f64)> = d.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (i, coeff) in ranked {
+        let col: Vec<f64> = rows.iter().map(|r| r[i]).collect();
+        table.row(vec![
+            FullMetrics::LABELS[i].to_string(),
+            format!("{coeff:.4}"),
+            format!("{:.3}", pearson(&col, times)),
+        ]);
+    }
+    println!("\nRegression ({name}) — NNLS coefficients (paper §IV-E)\n");
+    table.emit(&format!("regression_{name}"));
+}
+
+fn main() {
+    let scale = ExpScale::from_args();
+    eprintln!("regression [{}]: gathering samples", scale.label);
+    let (rows, times) = gather(&scale, false);
+    analyze("comm_only", &rows, &times);
+    let (rows, times) = gather(&scale, true);
+    analyze("spmv", &rows, &times);
+}

@@ -1,0 +1,142 @@
+//! Table I: average improvements of the mapping algorithms on the
+//! communication-only applications and the SpMV kernel, across two
+//! processor counts and two allocations per count; geometric means of
+//! execution times normalized to DEF.
+//!
+//! Paper shape targets (gmean rows): UWH leads SpMV (~0.91 vs DEF's
+//! 1.0) and comm-only cage15 (~0.86); UG/UMC sit between; UMMC can
+//! exceed 1.0 on the volume-scaled comm-only runs; TMAP ≈ 1.0.
+
+use rayon::prelude::*;
+use umpa_bench::{fmt2, ExpScale, Table};
+use umpa_core::prelude::*;
+use umpa_matgen::spmv::{partition_loads, spmv_task_graph};
+use umpa_netsim::prelude::*;
+use umpa_partition::PartitionerKind;
+
+const MAPPERS: [MapperKind; 6] = [
+    MapperKind::Def,
+    MapperKind::Tmap,
+    MapperKind::Greedy,
+    MapperKind::GreedyWh,
+    MapperKind::GreedyMc,
+    MapperKind::GreedyMmc,
+];
+
+/// One experiment block: (label, per-mapper normalized gmean rows).
+fn block(
+    label: &str,
+    times: &[(usize, u64, Vec<f64>)], // (parts, alloc seed, per-mapper µs)
+    table: &mut Table,
+) {
+    let mut per_mapper_ratios: Vec<Vec<f64>> = vec![Vec::new(); MAPPERS.len()];
+    for (parts, seed, row) in times {
+        let def = row[0];
+        let mut cells = vec![
+            label.to_string(),
+            parts.to_string(),
+            seed.to_string(),
+            format!("{:.3}s", def / 1e6),
+        ];
+        for (mi, &t) in row.iter().enumerate() {
+            if mi > 0 {
+                cells.push(fmt2(t / def));
+            }
+            per_mapper_ratios[mi].push(t / def);
+        }
+        table.row(cells);
+    }
+    // Gmean summary row.
+    let mut cells = vec![label.to_string(), "gmean".into(), "-".into(), "-".into()];
+    for ratios in per_mapper_ratios.iter().skip(1) {
+        cells.push(fmt2(umpa_analysis::geometric_mean(ratios)));
+    }
+    table.row(cells);
+}
+
+fn main() {
+    let scale = ExpScale::from_args();
+    eprintln!("table1 [{}]: summary sweep", scale.label);
+    let machine = scale.machine();
+    let part_counts = [
+        scale.timing_parts,
+        (scale.timing_parts * 2).min(16384),
+    ];
+    let seeds = &scale.alloc_seeds[..2.min(scale.alloc_seeds.len())];
+    let cage = umpa_matgen::dataset::cage15_like(scale.matrix_scale);
+    let rgg = umpa_matgen::dataset::rgg_like(scale.matrix_scale);
+
+    // One closure per application kind returning per-mapper times.
+    let run_case = |a: &umpa_matgen::SparsePattern,
+                    parts: usize,
+                    seed: u64,
+                    app_kind: &str|
+     -> Vec<f64> {
+        let part = PartitionerKind::Patoh.partition_matrix(a, parts, 42);
+        let fine = spmv_task_graph(a, &part, parts);
+        let loads = partition_loads(a, &part, parts);
+        let alloc = scale.allocation(&machine, parts, seed);
+        let cfg = PipelineConfig::default();
+        MAPPERS
+            .par_iter()
+            .map(|&mk| {
+                let (out, _) = umpa_bench::run_mapper(&fine, &machine, &alloc, mk, &cfg);
+                match app_kind {
+                    "spmv" => {
+                        let app = AppConfig {
+                            des: DesConfig {
+                                noise: 0.02,
+                                seed: 3,
+                                ..DesConfig::default()
+                            },
+                            repetitions: scale.repetitions,
+                            ..AppConfig::default()
+                        };
+                        spmv_time(&machine, &fine, &out.fine_mapping, &loads, 500, &app)
+                            .mean_us
+                    }
+                    _ => {
+                        let msg_scale = if app_kind == "comm_cage" {
+                            4096.0
+                        } else {
+                            262_144.0
+                        };
+                        let app = AppConfig {
+                            des: DesConfig {
+                                scale: msg_scale,
+                                noise: 0.02,
+                                seed: 3,
+                                ..DesConfig::default()
+                            },
+                            repetitions: scale.repetitions,
+                            ..AppConfig::default()
+                        };
+                        comm_only_time(&machine, &fine, &out.fine_mapping, &app).mean_us
+                    }
+                }
+            })
+            .collect()
+    };
+
+    let mut table = Table::new(&[
+        "app", "parts", "alloc", "DEF", "TMAP", "UG", "UWH", "UMC", "UMMC",
+    ]);
+    for (label, matrix, kind) in [
+        ("cage15 SpMV", &cage, "spmv"),
+        ("cage15 Comm", &cage, "comm_cage"),
+        ("rgg Comm", &rgg, "comm_rgg"),
+    ] {
+        let mut rows = Vec::new();
+        for &parts in &part_counts {
+            for &seed in seeds {
+                rows.push((parts, seed, run_case(matrix, parts, seed, kind)));
+                if label == "rgg Comm" {
+                    break; // the paper only runs rgg at one count per alloc
+                }
+            }
+        }
+        block(label, &rows, &mut table);
+    }
+    println!("\nTable I — normalized execution times (DEF column in seconds)\n");
+    table.emit("table1_summary");
+}

@@ -1,0 +1,230 @@
+//! `umpa-map` — command-line topology-aware mapping.
+//!
+//! Reads a Matrix Market matrix (or generates a named dataset
+//! instance), partitions it row-wise, maps the resulting MPI task graph
+//! onto a torus/mesh allocation, and writes `rank → node` plus the
+//! metric report.
+//!
+//! ```text
+//! umpa_map --matrix path/to/A.mtx --parts 1024 --mapper UWH \
+//!          --torus 17x8x24 --procs-per-node 16 --alloc-seed 7
+//! umpa_map --dataset cage15 --parts 256 --mapper UMC --mesh 8x8
+//! ```
+
+use std::io::BufReader;
+
+use umpa_bench::FullMetrics;
+use umpa_core::prelude::*;
+use umpa_matgen::spmv::spmv_task_graph;
+use umpa_matgen::{mm, SparsePattern};
+use umpa_partition::PartitionerKind;
+use umpa_topology::prelude::*;
+
+struct Args {
+    matrix: Option<String>,
+    dataset: Option<String>,
+    parts: usize,
+    mapper: String,
+    partitioner: String,
+    dims: Vec<u32>,
+    mesh: bool,
+    procs_per_node: u32,
+    alloc_seed: u64,
+    occupancy: f64,
+    out: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: umpa_map (--matrix FILE.mtx | --dataset NAME) [options]\n\
+         \n\
+         options:\n\
+           --parts N             MPI task count (default 256)\n\
+           --mapper M            DEF|TMAP|SMAP|UG|UWH|UMC|UMMC (default UWH)\n\
+           --partitioner P       SCOTCH|KAFFPA|METIS|PATOH|UMPA_MV|UMPA_MM|UMPA_TM\n\
+                                 (default PATOH)\n\
+           --torus AxBxC         torus extents (default 17x8x24 = Hopper)\n\
+           --mesh AxBxC          mesh extents (no wraparound)\n\
+           --procs-per-node N    cores per node (default 16)\n\
+           --alloc-seed S        allocation seed (default 7)\n\
+           --occupancy F         background machine occupancy 0..1 (default 0.3)\n\
+           --out FILE            write 'task node' lines\n\
+         \n\
+         dataset names: cage15, rgg, or any registry entry (grid2d_5pt_sq, …)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        matrix: None,
+        dataset: None,
+        parts: 256,
+        mapper: "UWH".into(),
+        partitioner: "PATOH".into(),
+        dims: vec![17, 8, 24],
+        mesh: false,
+        procs_per_node: 16,
+        alloc_seed: 7,
+        occupancy: 0.3,
+        out: None,
+    };
+    let mut i = 0;
+    let value = |argv: &[String], i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--matrix" => args.matrix = Some(value(&argv, &mut i)),
+            "--dataset" => args.dataset = Some(value(&argv, &mut i)),
+            "--parts" => args.parts = value(&argv, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--mapper" => args.mapper = value(&argv, &mut i).to_uppercase(),
+            "--partitioner" => args.partitioner = value(&argv, &mut i).to_uppercase(),
+            "--torus" | "--mesh" => {
+                args.mesh = argv[i] == "--mesh";
+                args.dims = value(&argv, &mut i)
+                    .split('x')
+                    .map(|d| d.parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--procs-per-node" => {
+                args.procs_per_node = value(&argv, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--alloc-seed" => {
+                args.alloc_seed = value(&argv, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--occupancy" => {
+                args.occupancy = value(&argv, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--out" => args.out = Some(value(&argv, &mut i)),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    if args.matrix.is_none() && args.dataset.is_none() {
+        usage();
+    }
+    args
+}
+
+fn load_matrix(args: &Args) -> SparsePattern {
+    if let Some(path) = &args.matrix {
+        let f = std::fs::File::open(path).unwrap_or_else(|e| {
+            eprintln!("cannot open {path}: {e}");
+            std::process::exit(1);
+        });
+        return mm::read_pattern(BufReader::new(f)).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(1);
+        });
+    }
+    let name = args.dataset.as_deref().unwrap();
+    match name {
+        "cage15" => umpa_matgen::dataset::cage15_like(umpa_matgen::Scale::Small),
+        "rgg" => umpa_matgen::dataset::rgg_like(umpa_matgen::Scale::Small),
+        other => {
+            let reg = umpa_matgen::dataset::registry();
+            match reg.iter().find(|e| e.name == other) {
+                Some(e) => e.build(umpa_matgen::Scale::Small),
+                None => {
+                    eprintln!("unknown dataset '{other}'");
+                    usage();
+                }
+            }
+        }
+    }
+}
+
+fn mapper_kind(name: &str) -> MapperKind {
+    match name {
+        "DEF" => MapperKind::Def,
+        "TMAP" => MapperKind::Tmap,
+        "SMAP" => MapperKind::Smap,
+        "UG" => MapperKind::Greedy,
+        "UWH" => MapperKind::GreedyWh,
+        "UMC" => MapperKind::GreedyMc,
+        "UMMC" => MapperKind::GreedyMmc,
+        _ => usage(),
+    }
+}
+
+fn partitioner_kind(name: &str) -> PartitionerKind {
+    PartitionerKind::all()
+        .into_iter()
+        .find(|k| k.name() == name)
+        .unwrap_or_else(|| usage())
+}
+
+fn main() {
+    let args = parse_args();
+    let a = load_matrix(&args);
+    eprintln!(
+        "matrix: {} rows, {} nnz ({:.1}/row)",
+        a.nrows(),
+        a.nnz(),
+        a.avg_row_nnz()
+    );
+    let mut cfg = MachineConfig::hopper();
+    cfg.dims = args.dims.clone();
+    cfg.wraparound = !args.mesh;
+    cfg.procs_per_node = args.procs_per_node;
+    if cfg.bw_per_dim.len() != cfg.dims.len() {
+        cfg.bw_per_dim = vec![9.375; cfg.dims.len()];
+    }
+    let machine = cfg.build();
+    let nodes = args.parts.div_ceil(args.procs_per_node as usize);
+    let spec = AllocSpec {
+        num_nodes: nodes,
+        background_occupancy: args.occupancy,
+        fragment_len: 4,
+        ordering: NodeOrdering::Serpentine,
+        seed: args.alloc_seed,
+    };
+    let alloc = Allocation::generate(&machine, &spec);
+    eprintln!(
+        "machine: {:?} {}, {} nodes allocated (mean pairwise distance {:.1} hops)",
+        machine.torus().dims(),
+        if args.mesh { "mesh" } else { "torus" },
+        nodes,
+        alloc.mean_pairwise_hops(&machine)
+    );
+    let pk = partitioner_kind(&args.partitioner);
+    eprintln!("partitioning with {} into {} parts…", pk.name(), args.parts);
+    let part = pk.partition_matrix(&a, args.parts, 42);
+    let tg = spmv_task_graph(&a, &part, args.parts);
+    eprintln!(
+        "task graph: {} messages, {:.0} words total volume",
+        tg.num_messages(),
+        tg.total_volume()
+    );
+    let kind = mapper_kind(&args.mapper);
+    let pipeline = PipelineConfig::default();
+    let out = map_tasks(&tg, &machine, &alloc, kind, &pipeline);
+    let m = FullMetrics::compute(&tg, &machine, &out.fine_mapping);
+    // Compare with DEF.
+    let def = map_tasks(&tg, &machine, &alloc, MapperKind::Def, &pipeline);
+    let md = FullMetrics::compute(&tg, &machine, &def.fine_mapping);
+    println!("mapper {} (vs DEF):", kind.name());
+    println!("  TH  = {:>12.0}   ({:.2}x)", m.th, m.th / md.th.max(1.0));
+    println!("  WH  = {:>12.0}   ({:.2}x)", m.wh, m.wh / md.wh.max(1.0));
+    println!("  MMC = {:>12.0}   ({:.2}x)", m.mmc, m.mmc / md.mmc.max(1.0));
+    println!("  MC  = {:>12.2}   ({:.2}x)", m.mc, m.mc / md.mc.max(1e-9));
+    println!("  mapping time: {:.3} s", out.elapsed.as_secs_f64());
+    if let Some(path) = &args.out {
+        let mut text = String::new();
+        for (t, &node) in out.fine_mapping.iter().enumerate() {
+            text.push_str(&format!("{t} {node}\n"));
+        }
+        std::fs::write(path, text).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {} lines to {path}", out.fine_mapping.len());
+    }
+}

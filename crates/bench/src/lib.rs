@@ -1,0 +1,396 @@
+//! `umpa-bench` — shared harness code for the experiment binaries.
+//!
+//! One binary per table/figure of the paper regenerates that artifact
+//! (see DESIGN.md §6 for the index and EXPERIMENTS.md for recorded
+//! outputs):
+//!
+//! | binary       | reproduces |
+//! |--------------|------------|
+//! | `fig1`       | Figure 1 — partitioner quality (TV/TM/MSV/MSM)    |
+//! | `fig2`       | Figure 2 — mapping metrics vs DEF                 |
+//! | `fig3`       | Figure 3 — mapping algorithm wall times           |
+//! | `fig4`       | Figure 4 — communication-only app times           |
+//! | `fig5`       | Figure 5 — SpMV times                             |
+//! | `table1`     | Table I  — summary improvements                   |
+//! | `regression` | Section IV-E — NNLS + Pearson analysis            |
+//! | `ablation`   | design-choice sweeps (Δ, NBFS, pass threshold)    |
+//!
+//! Every binary accepts `--quick` (CI-sized) and `--full` (closer to
+//! paper scale); the default suits a laptop. Results go to `results/`
+//! as CSV next to the pretty table on stdout.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use umpa_core::prelude::*;
+use umpa_graph::TaskGraph;
+use umpa_matgen::prelude::*;
+use umpa_topology::prelude::*;
+
+/// Harness-wide experiment scale, selected by CLI flags.
+#[derive(Clone, Debug)]
+pub struct ExpScale {
+    /// Matrix registry scale.
+    pub matrix_scale: Scale,
+    /// Part counts (= processor counts) swept by Figures 1–3.
+    pub parts: Vec<usize>,
+    /// Part count used by the timing experiments (Figures 4–5; the
+    /// paper uses 4096 processors there).
+    pub timing_parts: usize,
+    /// Allocation seeds (the paper's "5 different allocations").
+    pub alloc_seeds: Vec<u64>,
+    /// DES repetitions per configuration (paper: 5).
+    pub repetitions: u32,
+    /// Max matrices from the registry (25 = all).
+    pub max_matrices: usize,
+    /// Human-readable label for report headers.
+    pub label: &'static str,
+}
+
+impl ExpScale {
+    /// Parses `--quick` / `--full` / `--parts=a,b,…` from the process
+    /// arguments (`--parts` overrides the sweep and the timing size).
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut scale = if args.iter().any(|a| a == "--quick") {
+            Self::quick()
+        } else if args.iter().any(|a| a == "--full") {
+            Self::full()
+        } else {
+            Self::default()
+        };
+        if let Some(spec) = args.iter().find_map(|a| a.strip_prefix("--parts=")) {
+            let parts: Vec<usize> = spec
+                .split(',')
+                .filter_map(|p| p.parse().ok())
+                .collect();
+            if !parts.is_empty() {
+                scale.timing_parts = *parts.iter().max().unwrap();
+                scale.parts = parts;
+            }
+        }
+        scale
+    }
+
+    /// CI-sized: tiny matrices, two part counts, two allocations.
+    pub fn quick() -> Self {
+        Self {
+            matrix_scale: Scale::Tiny,
+            parts: vec![64, 128],
+            timing_parts: 128,
+            alloc_seeds: vec![11, 22],
+            repetitions: 2,
+            max_matrices: 6,
+            label: "quick",
+        }
+    }
+
+    /// Laptop default.
+    pub fn default() -> Self {
+        Self {
+            matrix_scale: Scale::Small,
+            parts: vec![128, 256, 512],
+            timing_parts: 512,
+            alloc_seeds: vec![11, 22, 33],
+            repetitions: 5,
+            max_matrices: 12,
+            label: "default",
+        }
+    }
+
+    /// Closer to the paper (slow: minutes to hours).
+    pub fn full() -> Self {
+        Self {
+            matrix_scale: Scale::Medium,
+            parts: vec![1024, 2048, 4096, 8192, 16384],
+            timing_parts: 4096,
+            alloc_seeds: vec![11, 22, 33, 44, 55],
+            repetitions: 5,
+            max_matrices: 25,
+            label: "full",
+        }
+    }
+
+    /// The modelled machine (the Hopper preset; big enough for every
+    /// scale since mapping only touches the allocated nodes).
+    pub fn machine(&self) -> Machine {
+        MachineConfig::hopper().build()
+    }
+
+    /// Nodes needed for `parts` processors at 16 procs/node.
+    pub fn nodes_for(&self, parts: usize) -> usize {
+        parts.div_ceil(16)
+    }
+
+    /// A sparse allocation for `parts` processors.
+    pub fn allocation(&self, machine: &Machine, parts: usize, seed: u64) -> Allocation {
+        Allocation::generate(machine, &AllocSpec::sparse(self.nodes_for(parts), seed))
+    }
+
+    /// The selected slice of the 25-matrix registry.
+    pub fn matrices(&self) -> Vec<DatasetEntry> {
+        let mut reg = umpa_matgen::dataset::registry();
+        reg.truncate(self.max_matrices);
+        reg
+    }
+}
+
+/// Extended per-run metrics: the 14 regression columns of Section IV-E.
+#[derive(Clone, Copy, Debug)]
+pub struct FullMetrics {
+    /// Maximum send volume over tasks (partitioning metric).
+    pub msv: f64,
+    /// Total communication volume.
+    pub tv: f64,
+    /// Maximum sent-message count over tasks.
+    pub msm: f64,
+    /// Total message count.
+    pub tm: f64,
+    /// Weighted hops.
+    pub wh: f64,
+    /// Total hops.
+    pub th: f64,
+    /// Max volume congestion.
+    pub mc: f64,
+    /// Max message congestion.
+    pub mmc: f64,
+    /// Average volume congestion.
+    pub ac: f64,
+    /// Average message congestion.
+    pub amc: f64,
+    /// Inter-node communication volume.
+    pub icv: f64,
+    /// Inter-node message count.
+    pub icm: f64,
+    /// Max per-node receive volume.
+    pub mnrv: f64,
+    /// Max per-node receive messages.
+    pub mnrm: f64,
+}
+
+impl FullMetrics {
+    /// Column labels, in the paper's Section IV-E order.
+    pub const LABELS: [&'static str; 14] = [
+        "MSV", "TV", "MSM", "TM", "WH", "TH", "MC", "MMC", "AC", "AMC", "ICV", "ICM",
+        "MNRV", "MNRM",
+    ];
+
+    /// The metrics as a row in `LABELS` order.
+    pub fn row(&self) -> [f64; 14] {
+        [
+            self.msv, self.tv, self.msm, self.tm, self.wh, self.th, self.mc, self.mmc,
+            self.ac, self.amc, self.icv, self.icm, self.mnrv, self.mnrm,
+        ]
+    }
+
+    /// Computes everything for a mapped fine task graph.
+    pub fn compute(tg: &TaskGraph, machine: &Machine, mapping: &[u32]) -> Self {
+        let report = evaluate(tg, machine, mapping);
+        let mut msv = 0.0f64;
+        let mut msm = 0u32;
+        for t in 0..tg.num_tasks() as u32 {
+            msv = msv.max(tg.send_volume(t));
+            msm = msm.max(tg.send_messages(t));
+        }
+        let mut icv = 0.0;
+        let mut icm = 0.0;
+        let mut recv_vol = vec![0.0f64; machine.num_nodes()];
+        let mut recv_msg = vec![0.0f64; machine.num_nodes()];
+        for (s, t, c) in tg.messages() {
+            let (a, b) = (mapping[s as usize], mapping[t as usize]);
+            if a != b {
+                icv += c;
+                icm += 1.0;
+                recv_vol[b as usize] += c;
+                recv_msg[b as usize] += 1.0;
+            }
+        }
+        let mnrv = recv_vol.iter().cloned().fold(0.0, f64::max);
+        let mnrm = recv_msg.iter().cloned().fold(0.0, f64::max);
+        Self {
+            msv,
+            tv: tg.total_volume(),
+            msm: f64::from(msm),
+            tm: tg.num_messages() as f64,
+            wh: report.wh,
+            th: report.th,
+            mc: report.mc,
+            mmc: report.mmc,
+            ac: report.ac,
+            amc: report.amc,
+            icv,
+            icm,
+            mnrv,
+            mnrm,
+        }
+    }
+}
+
+/// Simple aligned-table printer for the report binaries.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut width: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>w$}  ", c, w = width[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &width, &mut out);
+        let total: usize = width.iter().sum::<usize>() + 2 * width.len();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &width, &mut out);
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') {
+                format!("\"{s}\"")
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|s| esc(s))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|s| esc(s)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout and writes `results/<name>.csv`.
+    pub fn emit(&self, name: &str) {
+        println!("{}", self.render());
+        let dir = results_dir();
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join(format!("{name}.csv"));
+        if let Err(e) = std::fs::write(&path, self.to_csv()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            eprintln!("[wrote {}]", path.display());
+        }
+    }
+}
+
+/// `results/` next to the workspace root (falls back to CWD).
+pub fn results_dir() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop(); // crates/
+    p.pop(); // workspace root
+    p.push("results");
+    p
+}
+
+/// Formats a normalized value with 2 decimals.
+pub fn fmt2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a normalized value with 3 decimals.
+pub fn fmt3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Runs the full pipeline and returns (outcome, metrics) for a mapper.
+pub fn run_mapper(
+    fine: &TaskGraph,
+    machine: &Machine,
+    alloc: &Allocation,
+    kind: MapperKind,
+    cfg: &PipelineConfig,
+) -> (MappingOutcome, FullMetrics) {
+    let out = map_tasks(fine, machine, alloc, kind, cfg);
+    let metrics = FullMetrics::compute(fine, machine, &out.fine_mapping);
+    (out, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        let q = ExpScale::quick();
+        let d = ExpScale::default();
+        assert!(q.parts.iter().max() <= d.parts.iter().max());
+        assert!(q.max_matrices <= d.max_matrices);
+    }
+
+    #[test]
+    fn table_renders_and_escapes_csv() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1,5".into(), "x".into()]);
+        assert!(t.render().contains('x'));
+        assert!(t.to_csv().contains("\"1,5\""));
+    }
+
+    #[test]
+    fn full_metrics_on_a_toy_case() {
+        let machine = MachineConfig::small(&[4], 1, 4).build();
+        let alloc = Allocation::generate(&machine, &AllocSpec::contiguous(2));
+        let tg = TaskGraph::from_messages(4, [(0, 2, 3.0), (1, 3, 2.0), (0, 1, 9.0)], None);
+        // Tasks 0,1 on node 0; 2,3 on node 1.
+        let mapping = vec![
+            alloc.node(0),
+            alloc.node(0),
+            alloc.node(1),
+            alloc.node(1),
+        ];
+        let fm = FullMetrics::compute(&tg, &machine, &mapping);
+        assert_eq!(fm.tv, 14.0);
+        assert_eq!(fm.icv, 5.0); // 0->1 message stays on-node
+        assert_eq!(fm.icm, 2.0);
+        assert_eq!(fm.mnrv, 5.0);
+        assert_eq!(fm.msv, 12.0);
+    }
+
+    #[test]
+    fn allocation_helper_sizes_match() {
+        let s = ExpScale::quick();
+        assert_eq!(s.nodes_for(128), 8);
+        let m = s.machine();
+        let a = s.allocation(&m, 128, 1);
+        assert_eq!(a.num_nodes(), 8);
+        assert_eq!(a.total_procs(), 128);
+    }
+}

@@ -1,0 +1,572 @@
+//! Algorithm 3: Maximum-congestion refinement (`UMC` / `UMMC`).
+//!
+//! Exact congestion refinement for statically-routed networks:
+//!
+//! * `congHeap` holds every link keyed by its congestion — volume/bw
+//!   for the `MC` variant, message count for `MMC`;
+//! * `commTasks[e]` registers the tasks whose messages traverse link
+//!   `e` (the paper stores them in a red-black `std::set`; a `BTreeSet`
+//!   here);
+//! * each round peeks the most congested link `e_mc` and, for each of
+//!   its tasks, probes swap partners in BFS order from the task's
+//!   neighbors' nodes (minimal WH damage); a **virtual swap**
+//!   temporarily re-keys the affected heap entries to read the new MC
+//!   and AC in `O(log |Em|)` per touched link, then commits or rolls
+//!   back;
+//! * a swap is accepted when it lowers MC, or keeps MC and lowers AC;
+//!   after `Δ` fruitless probes the task is abandoned, and when the
+//!   most congested link yields no accepted swap at all the algorithm
+//!   stops (the paper's termination rule).
+
+use std::collections::BTreeSet;
+
+use umpa_ds::IndexedMaxHeap;
+use umpa_graph::{Bfs, TaskGraph};
+use umpa_topology::routing::Hop;
+use umpa_topology::{Allocation, Machine};
+
+/// Which congestion is being minimized.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CongestionKind {
+    /// Volume congestion: Σ volume / bandwidth (the `MC` metric).
+    Volume,
+    /// Message congestion: message count per link (the `MMC` metric).
+    Messages,
+}
+
+/// Configuration of the congestion refinement.
+#[derive(Clone, Copy, Debug)]
+pub struct CongRefineConfig {
+    /// Max evaluated swaps per task of the congested link (`Δ`).
+    pub delta: usize,
+    /// Hard cap on accepted swaps (each strictly improves (MC, AC), so
+    /// this only guards pathological float drift).
+    pub max_moves: u32,
+    /// Which congestion to minimize.
+    pub kind: CongestionKind,
+}
+
+impl CongRefineConfig {
+    /// Paper defaults for the `MC` (volume) variant.
+    pub fn volume() -> Self {
+        Self {
+            delta: 8,
+            max_moves: 10_000,
+            kind: CongestionKind::Volume,
+        }
+    }
+
+    /// Paper defaults for the `MMC` (message) variant.
+    pub fn messages() -> Self {
+        Self {
+            delta: 8,
+            max_moves: 10_000,
+            kind: CongestionKind::Messages,
+        }
+    }
+}
+
+/// Refines `mapping` in place; returns the final `(max, avg)`
+/// congestion in the chosen kind's units.
+///
+/// For [`CongestionKind::Messages`] pass a task graph whose edge
+/// weights are message counts (see `TaskGraph::group_quotient` with
+/// `count_weighted`), so that coarse edges carry the number of fine
+/// messages they bundle.
+pub fn congestion_refine(
+    tg: &TaskGraph,
+    machine: &Machine,
+    alloc: &Allocation,
+    mapping: &mut [u32],
+    cfg: &CongRefineConfig,
+) -> (f64, f64) {
+    let mut state = CongState::new(tg, machine, alloc, mapping, cfg.kind);
+    let mut moves = 0u32;
+    'outer: while moves < cfg.max_moves {
+        let Some((emc, top_key)) = state.heap.peek() else {
+            break;
+        };
+        if top_key <= 0.0 {
+            break; // no congestion at all
+        }
+        let tasks: Vec<u32> = state.comm_tasks[emc as usize].iter().copied().collect();
+        for tmc in tasks {
+            if state.try_improve_task(tmc, cfg.delta) {
+                moves += 1;
+                continue 'outer;
+            }
+        }
+        break; // no improvement for the most congested link → stop
+    }
+    (state.current_max(), state.current_avg())
+}
+
+/// Incrementally maintained congestion state.
+struct CongState<'a> {
+    tg: &'a TaskGraph,
+    machine: &'a Machine,
+    alloc: &'a Allocation,
+    mapping: &'a mut [u32],
+    kind: CongestionKind,
+    /// Per-link congestion key (volume/bw or message count).
+    heap: IndexedMaxHeap,
+    traffic: Vec<f64>,
+    /// 1/bw (volume kind) or 1 (message kind) per link.
+    inv_cost: Vec<f64>,
+    comm_tasks: Vec<BTreeSet<u32>>,
+    sum_key: f64,
+    used_links: usize,
+    tasks_on_slot: Vec<Vec<u32>>,
+    free: Vec<f64>,
+    bfs: Bfs,
+    hop_scratch: Vec<Hop>,
+    link_scratch: Vec<u32>,
+}
+
+impl<'a> CongState<'a> {
+    fn new(
+        tg: &'a TaskGraph,
+        machine: &'a Machine,
+        alloc: &'a Allocation,
+        mapping: &'a mut [u32],
+        kind: CongestionKind,
+    ) -> Self {
+        let nl = machine.num_links();
+        let inv_cost: Vec<f64> = (0..nl as u32)
+            .map(|l| match kind {
+                CongestionKind::Volume => 1.0 / machine.link_bandwidth(l),
+                CongestionKind::Messages => 1.0,
+            })
+            .collect();
+        let mut tasks_on_slot = vec![Vec::new(); alloc.num_nodes()];
+        let mut free: Vec<f64> = (0..alloc.num_nodes())
+            .map(|s| f64::from(alloc.procs(s)))
+            .collect();
+        for (t, &node) in mapping.iter().enumerate() {
+            let slot = alloc.slot_of(node).expect("mapping must be feasible") as usize;
+            tasks_on_slot[slot].push(t as u32);
+            free[slot] -= tg.task_weight(t as u32);
+        }
+        let mut s = Self {
+            tg,
+            machine,
+            alloc,
+            mapping,
+            kind,
+            heap: IndexedMaxHeap::new(nl),
+            traffic: vec![0.0; nl],
+            inv_cost,
+            comm_tasks: vec![BTreeSet::new(); nl],
+            sum_key: 0.0,
+            used_links: 0,
+            tasks_on_slot,
+            free,
+            bfs: Bfs::new(machine.num_routers()),
+            hop_scratch: Vec::new(),
+            link_scratch: Vec::new(),
+        };
+        // Initial routing of every message (INITCONG).
+        for (src, dst, c) in s.tg.messages() {
+            let weight = s.edge_weight(c);
+            let (a, b) = (s.mapping[src as usize], s.mapping[dst as usize]);
+            s.link_scratch.clear();
+            let mut hops = std::mem::take(&mut s.hop_scratch);
+            let mut links = std::mem::take(&mut s.link_scratch);
+            s.machine.route_links(a, b, &mut hops, &mut links);
+            for &l in &links {
+                let l = l as usize;
+                if s.traffic[l] == 0.0 {
+                    s.used_links += 1;
+                }
+                s.traffic[l] += weight;
+                s.sum_key += weight * s.inv_cost[l];
+                s.comm_tasks[l].insert(src);
+                s.comm_tasks[l].insert(dst);
+            }
+            s.hop_scratch = hops;
+            s.link_scratch = links;
+        }
+        for l in 0..nl as u32 {
+            s.heap.push(l, s.traffic[l as usize] * s.inv_cost[l as usize]);
+        }
+        s
+    }
+
+    /// The per-message weight entering congestion: its volume for the
+    /// MC variant, 1 for MMC — unless the task graph was already built
+    /// count-weighted, in which case the edge weight *is* the count.
+    #[inline]
+    fn edge_weight(&self, c: f64) -> f64 {
+        match self.kind {
+            CongestionKind::Volume => c,
+            CongestionKind::Messages => c,
+        }
+    }
+
+    fn current_max(&self) -> f64 {
+        self.heap.peek().map_or(0.0, |(_, k)| k)
+    }
+
+    fn current_avg(&self) -> f64 {
+        if self.used_links == 0 {
+            0.0
+        } else {
+            self.sum_key / self.used_links as f64
+        }
+    }
+
+    /// Directed message edges incident to `t1` (and `t2` if given),
+    /// deduplicated.
+    fn affected_edges(&self, t1: u32, t2: Option<u32>) -> Vec<(u32, u32, f64)> {
+        let mut out: Vec<(u32, u32, f64)> = Vec::new();
+        let push = |s: u32, d: u32, c: f64, out: &mut Vec<(u32, u32, f64)>| {
+            if !out.iter().any(|&(a, b, _)| a == s && b == d) {
+                out.push((s, d, c));
+            }
+        };
+        for t in std::iter::once(t1).chain(t2) {
+            for (d, c) in self.tg.out_edges(t) {
+                push(t, d, c, &mut out);
+            }
+            for (sr, c) in self.tg.in_edges(t) {
+                push(sr, t, c, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Accumulates per-link traffic deltas for relocating `t1 → node2`
+    /// (and `t2 → node1` if swapping).
+    fn deltas_for(
+        &mut self,
+        t1: u32,
+        t2: Option<u32>,
+        node2: u32,
+        edges: &[(u32, u32, f64)],
+    ) -> Vec<(u32, f64)> {
+        let node1 = self.mapping[t1 as usize];
+        let mut deltas: Vec<(u32, f64)> = Vec::new();
+        let add = |link: u32, d: f64, deltas: &mut Vec<(u32, f64)>| {
+            match deltas.iter_mut().find(|e| e.0 == link) {
+                Some(e) => e.1 += d,
+                None => deltas.push((link, d)),
+            }
+        };
+        // Old routes (current mapping) …
+        for &(s, d, c) in edges {
+            let w = self.edge_weight(c);
+            let (a, b) = (self.mapping[s as usize], self.mapping[d as usize]);
+            let mut hops = std::mem::take(&mut self.hop_scratch);
+            let mut links = std::mem::take(&mut self.link_scratch);
+            links.clear();
+            self.machine.route_links(a, b, &mut hops, &mut links);
+            for &l in &links {
+                add(l, -w, &mut deltas);
+            }
+            self.hop_scratch = hops;
+            self.link_scratch = links;
+        }
+        // … and new routes under the virtual relocation.
+        let node_of = |t: u32, mapping: &[u32]| -> u32 {
+            if t == t1 {
+                node2
+            } else if Some(t) == t2 {
+                node1
+            } else {
+                mapping[t as usize]
+            }
+        };
+        for &(s, d, c) in edges {
+            let w = self.edge_weight(c);
+            let (a, b) = (node_of(s, self.mapping), node_of(d, self.mapping));
+            let mut hops = std::mem::take(&mut self.hop_scratch);
+            let mut links = std::mem::take(&mut self.link_scratch);
+            links.clear();
+            self.machine.route_links(a, b, &mut hops, &mut links);
+            for &l in &links {
+                add(l, w, &mut deltas);
+            }
+            self.hop_scratch = hops;
+            self.link_scratch = links;
+        }
+        deltas.retain(|&(_, d)| d != 0.0);
+        deltas
+    }
+
+    /// Applies traffic `deltas` to the heap/sums; returns `(mc, ac)`
+    /// after. Call with negated deltas to roll back.
+    fn apply_deltas(&mut self, deltas: &[(u32, f64)]) -> (f64, f64) {
+        for &(l, d) in deltas {
+            let li = l as usize;
+            let before = self.traffic[li];
+            let after = before + d;
+            if before == 0.0 && after > 0.0 {
+                self.used_links += 1;
+            } else if before > 0.0 && after <= 1e-12 {
+                self.used_links -= 1;
+            }
+            self.traffic[li] = if after.abs() < 1e-12 { 0.0 } else { after };
+            self.sum_key += d * self.inv_cost[li];
+            self.heap.change_key(l, self.traffic[li] * self.inv_cost[li]);
+        }
+        (self.current_max(), self.current_avg())
+    }
+
+    /// Updates `commTasks` membership for the endpoints of `edges`
+    /// before (`remove = true`) or after a committed relocation.
+    fn update_comm_tasks(&mut self, edges: &[(u32, u32, f64)], remove: bool) {
+        for &(s, d, _) in edges {
+            let (a, b) = (self.mapping[s as usize], self.mapping[d as usize]);
+            let mut hops = std::mem::take(&mut self.hop_scratch);
+            let mut links = std::mem::take(&mut self.link_scratch);
+            links.clear();
+            self.machine.route_links(a, b, &mut hops, &mut links);
+            for &l in &links {
+                if remove {
+                    self.comm_tasks[l as usize].remove(&s);
+                    self.comm_tasks[l as usize].remove(&d);
+                } else {
+                    self.comm_tasks[l as usize].insert(s);
+                    self.comm_tasks[l as usize].insert(d);
+                }
+            }
+            self.hop_scratch = hops;
+            self.link_scratch = links;
+        }
+    }
+
+    /// Probes up to `delta` BFS-ordered swap candidates for `tmc`;
+    /// commits and returns `true` on the first (MC, AC) improvement.
+    fn try_improve_task(&mut self, tmc: u32, delta: usize) -> bool {
+        let node1 = self.mapping[tmc as usize];
+        let w1 = self.tg.task_weight(tmc);
+        let sources: Vec<u32> = self
+            .tg
+            .symmetric()
+            .neighbors(tmc)
+            .iter()
+            .map(|&nb| self.machine.router_of(self.mapping[nb as usize]))
+            .collect();
+        if sources.is_empty() {
+            return false;
+        }
+        let (mc, ac) = (self.current_max(), self.current_avg());
+        self.bfs.start(sources);
+        let mut evaluated = 0usize;
+        let machine = self.machine;
+        while let Some(ev) = self.bfs.next(machine.router_graph()) {
+            for node2 in self.machine.nodes_of_router(ev.vertex) {
+                if node2 == node1 {
+                    continue;
+                }
+                let Some(slot2) = self.alloc.slot_of(node2) else {
+                    continue;
+                };
+                let slot2 = slot2 as usize;
+                let slot1 = self.alloc.slot_of(node1).unwrap() as usize;
+                // Candidates: each resident task (swap), then a pure
+                // move onto free capacity.
+                let mut candidates: Vec<Option<u32>> = self.tasks_on_slot[slot2]
+                    .iter()
+                    .copied()
+                    .map(Some)
+                    .collect();
+                if self.free[slot2] + 1e-9 >= w1 {
+                    candidates.push(None);
+                }
+                for t2 in candidates {
+                    if let Some(t) = t2 {
+                        let w2 = self.tg.task_weight(t);
+                        if self.free[slot2] + w2 + 1e-9 < w1
+                            || self.free[slot1] + w1 + 1e-9 < w2
+                        {
+                            continue;
+                        }
+                    }
+                    let edges = self.affected_edges(tmc, t2);
+                    let deltas = self.deltas_for(tmc, t2, node2, &edges);
+                    let (new_mc, new_ac) = self.apply_deltas(&deltas);
+                    let improves = new_mc < mc - 1e-12
+                        || (new_mc <= mc + 1e-12 && new_ac < ac - 1e-12);
+                    if improves {
+                        // Commit: fix commTasks (old routes removed with
+                        // the *pre-move* mapping), then move tasks.
+                        let rollback: Vec<(u32, f64)> =
+                            deltas.iter().map(|&(l, d)| (l, -d)).collect();
+                        self.apply_deltas(&rollback);
+                        self.update_comm_tasks(&edges, true);
+                        self.apply_deltas(&deltas);
+                        self.relocate(tmc, t2, node1, node2);
+                        self.update_comm_tasks(&edges, false);
+                        return true;
+                    }
+                    // Roll back the virtual swap.
+                    let rollback: Vec<(u32, f64)> =
+                        deltas.iter().map(|&(l, d)| (l, -d)).collect();
+                    self.apply_deltas(&rollback);
+                    evaluated += 1;
+                    if evaluated >= delta {
+                        return false;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    fn relocate(&mut self, t1: u32, t2: Option<u32>, node1: u32, node2: u32) {
+        let slot1 = self.alloc.slot_of(node1).unwrap() as usize;
+        let slot2 = self.alloc.slot_of(node2).unwrap() as usize;
+        let w1 = self.tg.task_weight(t1);
+        self.mapping[t1 as usize] = node2;
+        self.tasks_on_slot[slot1].retain(|&x| x != t1);
+        self.tasks_on_slot[slot2].push(t1);
+        self.free[slot1] += w1;
+        self.free[slot2] -= w1;
+        if let Some(t) = t2 {
+            let w2 = self.tg.task_weight(t);
+            self.mapping[t as usize] = node1;
+            self.tasks_on_slot[slot2].retain(|&x| x != t);
+            self.tasks_on_slot[slot1].push(t);
+            self.free[slot2] += w2;
+            self.free[slot1] -= w2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::validate_mapping;
+    use crate::metrics::evaluate;
+    use umpa_topology::{AllocSpec, Allocation, MachineConfig};
+
+    fn line_machine(n: u32) -> Machine {
+        MachineConfig::small(&[n], 1, 1).build()
+    }
+
+    #[test]
+    fn relieves_an_overloaded_link() {
+        let m = line_machine(8);
+        let alloc = Allocation::generate(&m, &AllocSpec::contiguous(6));
+        // Three messages all crossing the 2-3 boundary when placed
+        // consecutively, plus slack nodes to move to.
+        let tg = TaskGraph::from_messages(
+            6,
+            [(0, 3, 4.0), (1, 4, 4.0), (2, 5, 4.0)],
+            None,
+        );
+        let mut mapping: Vec<u32> = (0..6usize).map(|t| alloc.node(t)).collect();
+        let before = evaluate(&tg, &m, &mapping);
+        let (mc, _ac) = congestion_refine(
+            &tg,
+            &m,
+            &alloc,
+            &mut mapping,
+            &CongRefineConfig::volume(),
+        );
+        let after = evaluate(&tg, &m, &mapping);
+        assert!(mc <= before.mc + 1e-9);
+        assert!(
+            after.mc <= before.mc + 1e-9,
+            "MC worsened: {} -> {}",
+            before.mc,
+            after.mc
+        );
+        assert!((after.mc - mc).abs() < 1e-9, "state drifted from reality");
+        validate_mapping(&tg, &alloc, &mapping).unwrap();
+    }
+
+    #[test]
+    fn never_worsens_mc_and_matches_evaluator() {
+        let m = MachineConfig::small(&[4, 4], 1, 1).build();
+        for seed in 0..4u64 {
+            let alloc = Allocation::generate(&m, &AllocSpec::sparse(8, seed));
+            let tg = TaskGraph::from_messages(
+                8,
+                (0..8u32).flat_map(|i| [(i, (i + 1) % 8, 2.0), (i, (i + 4) % 8, 1.0)]),
+                None,
+            );
+            let mut mapping: Vec<u32> = (0..8usize).map(|t| alloc.node(t)).collect();
+            let before = evaluate(&tg, &m, &mapping);
+            let (mc, ac) = congestion_refine(
+                &tg,
+                &m,
+                &alloc,
+                &mut mapping,
+                &CongRefineConfig::volume(),
+            );
+            let after = evaluate(&tg, &m, &mapping);
+            assert!(after.mc <= before.mc + 1e-9, "seed {seed}");
+            assert!((after.mc - mc).abs() < 1e-9, "seed {seed}: mc mismatch");
+            assert!((after.ac - ac).abs() < 1e-9, "seed {seed}: ac mismatch");
+            validate_mapping(&tg, &alloc, &mapping).unwrap();
+        }
+    }
+
+    #[test]
+    fn message_variant_reduces_mmc() {
+        let m = line_machine(8);
+        let alloc = Allocation::generate(&m, &AllocSpec::contiguous(6));
+        let tg = TaskGraph::from_messages(
+            6,
+            [(0, 3, 1.0), (1, 4, 1.0), (2, 5, 1.0)],
+            None,
+        );
+        let mut mapping: Vec<u32> = (0..6usize).map(|t| alloc.node(t)).collect();
+        let before = evaluate(&tg, &m, &mapping);
+        congestion_refine(
+            &tg,
+            &m,
+            &alloc,
+            &mut mapping,
+            &CongRefineConfig::messages(),
+        );
+        let after = evaluate(&tg, &m, &mapping);
+        assert!(after.mmc <= before.mmc + 1e-9);
+        validate_mapping(&tg, &alloc, &mapping).unwrap();
+    }
+
+    #[test]
+    fn no_congestion_is_a_noop() {
+        let m = line_machine(4);
+        let alloc = Allocation::generate(&m, &AllocSpec::contiguous(2));
+        // Tasks co-located per pair: zero link traffic.
+        let tg = TaskGraph::from_messages(2, [(0, 1, 3.0)], None);
+        let mut cfg = MachineConfig::small(&[4], 2, 2);
+        cfg.nodes_per_router = 2;
+        let m2 = cfg.build();
+        let alloc2 = Allocation::generate(&m2, &AllocSpec::contiguous(2));
+        let mut mapping = vec![alloc2.node(0), alloc2.node(1)];
+        // Both nodes share router 0 → no traffic.
+        let (mc, ac) = congestion_refine(
+            &tg,
+            &m2,
+            &alloc2,
+            &mut mapping,
+            &CongRefineConfig::volume(),
+        );
+        assert_eq!((mc, ac), (0.0, 0.0));
+        let _ = (m, alloc);
+    }
+
+    #[test]
+    fn respects_capacity_during_swaps() {
+        let m = MachineConfig::small(&[6], 1, 2).build();
+        let alloc = Allocation::generate(&m, &AllocSpec::contiguous(3));
+        let tg = TaskGraph::from_messages(
+            5,
+            [(0, 1, 2.0), (1, 2, 2.0), (2, 3, 2.0), (3, 4, 2.0), (4, 0, 2.0)],
+            None,
+        );
+        let mut mapping = vec![
+            alloc.node(0),
+            alloc.node(0),
+            alloc.node(1),
+            alloc.node(1),
+            alloc.node(2),
+        ];
+        congestion_refine(&tg, &m, &alloc, &mut mapping, &CongRefineConfig::volume());
+        validate_mapping(&tg, &alloc, &mapping).unwrap();
+    }
+}

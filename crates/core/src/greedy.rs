@@ -1,0 +1,584 @@
+//! Algorithm 1: Greedy Mapping (the paper's `UG` variant).
+//!
+//! Greedy graph growing over the task graph, placing each task on the
+//! allocated node that minimizes its weighted-hop increase:
+//!
+//! 1. the task with **maximum send+receive volume** (`t_MSRV`) is mapped
+//!    first;
+//! 2. while fewer than `NBFS` far seeds have been placed, the next task
+//!    is the one *farthest from the mapped set* (multi-source BFS on
+//!    `Gt`, ties broken toward higher communication volume) and it goes
+//!    to a far free node (multi-source BFS on `Gm` from the non-empty
+//!    nodes, farthest feasible level);
+//! 3. afterwards the next task is popped from the `conn` max-heap — the
+//!    unmapped task with the largest total connectivity to mapped
+//!    tasks — and `GETBESTNODE` places it: a BFS over the router graph
+//!    from the nodes of its mapped neighbors stops at the **first level
+//!    containing a feasible node** (the early-exit), and among that
+//!    level's candidates the one with minimum WH increase wins.
+//!
+//! Per the paper, the algorithm is run for `NBFS ∈ {0, 1}` and the
+//! mapping with the lower WH is returned. `NBFS` here counts far seeds
+//! placed *in addition to* `t_MSRV` (see DESIGN.md — the paper's
+//! pseudocode makes 0 and 1 coincide if `t_MSRV` counts as mapped).
+
+use umpa_ds::IndexedMaxHeap;
+use umpa_graph::{Bfs, TaskGraph};
+use umpa_topology::{Allocation, Machine};
+
+/// Configuration of the greedy mapper.
+#[derive(Clone, Debug)]
+pub struct GreedyConfig {
+    /// The `NBFS` values to try; the lowest-WH mapping wins.
+    pub nbfs_candidates: Vec<u32>,
+    /// Heterogeneity pre-pass (Section III-A: "when the number of
+    /// processors in the nodes are not uniform, we map the groups of
+    /// tasks with different weights at the beginning … since their
+    /// nodes are almost decided due to their uniqueness"): tasks
+    /// heavier than this fraction of the largest node capacity are
+    /// placed first, in descending weight order, so they still fit.
+    pub heavy_first_fraction: f64,
+}
+
+impl Default for GreedyConfig {
+    fn default() -> Self {
+        Self {
+            nbfs_candidates: vec![0, 1],
+            heavy_first_fraction: 0.5,
+        }
+    }
+}
+
+/// Weighted hops of a mapping, computed arithmetically (O(1) torus
+/// distances — no routing).
+pub fn weighted_hops(tg: &TaskGraph, machine: &Machine, mapping: &[u32]) -> f64 {
+    tg.messages()
+        .map(|(s, t, c)| {
+            f64::from(machine.hops(mapping[s as usize], mapping[t as usize])) * c
+        })
+        .sum()
+}
+
+/// Total hops of a mapping (unit message costs).
+pub fn total_hops(tg: &TaskGraph, machine: &Machine, mapping: &[u32]) -> f64 {
+    tg.messages()
+        .map(|(s, t, _)| f64::from(machine.hops(mapping[s as usize], mapping[t as usize])))
+        .sum()
+}
+
+/// Runs Algorithm 1 for every `NBFS` in the config and returns the
+/// mapping with the lowest WH.
+pub fn greedy_map(
+    tg: &TaskGraph,
+    machine: &Machine,
+    alloc: &Allocation,
+    cfg: &GreedyConfig,
+) -> Vec<u32> {
+    assert!(!cfg.nbfs_candidates.is_empty());
+    let mut best: Option<(f64, Vec<u32>)> = None;
+    for &nbfs in &cfg.nbfs_candidates {
+        let mapping = run_greedy(tg, machine, alloc, nbfs, cfg.heavy_first_fraction);
+        let wh = weighted_hops(tg, machine, &mapping);
+        if best.as_ref().is_none_or(|(bw, _)| wh < *bw) {
+            best = Some((wh, mapping));
+        }
+    }
+    best.unwrap().1
+}
+
+/// Runs Algorithm 1 with a fixed number of far seeds (default
+/// heterogeneity pre-pass threshold).
+pub fn greedy_map_with(
+    tg: &TaskGraph,
+    machine: &Machine,
+    alloc: &Allocation,
+    nbfs: u32,
+) -> Vec<u32> {
+    run_greedy(tg, machine, alloc, nbfs, 0.5)
+}
+
+fn run_greedy(
+    tg: &TaskGraph,
+    machine: &Machine,
+    alloc: &Allocation,
+    nbfs: u32,
+    heavy_first_fraction: f64,
+) -> Vec<u32> {
+    let n = tg.num_tasks();
+    let mut state = State::new(tg, machine, alloc);
+    if n == 0 {
+        return Vec::new();
+    }
+    let total_weight: f64 = (0..n as u32).map(|t| tg.task_weight(t)).sum();
+    assert!(
+        total_weight <= f64::from(alloc.total_procs()) + 1e-9,
+        "allocation too small: task weight {total_weight} > {} procs",
+        alloc.total_procs()
+    );
+    // Heterogeneity pre-pass (Section III-A): with non-uniform node
+    // capacities, heavy tasks fit fewer and fewer nodes as the mapping
+    // fills up, so they are placed first in descending weight order.
+    let caps = alloc.procs_all();
+    let non_uniform = caps.windows(2).any(|w| w[0] != w[1]);
+    if non_uniform {
+        let max_cap = f64::from(*caps.iter().max().unwrap());
+        let threshold = heavy_first_fraction * max_cap;
+        let mut heavy: Vec<u32> = (0..n as u32)
+            .filter(|&t| tg.task_weight(t) > threshold)
+            .collect();
+        heavy.sort_by(|&a, &b| {
+            tg.task_weight(b)
+                .partial_cmp(&tg.task_weight(a))
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        for t in heavy {
+            let node = state.best_node_for(t);
+            state.place(t, node);
+        }
+    }
+    // Map t_MSRV to an "arbitrary" node: the first allocated slot of
+    // maximum capacity that still fits it (deterministic).
+    let t0 = tg.task_with_max_srv().expect("nonempty graph");
+    if !state.is_mapped(t0) {
+        let w0 = tg.task_weight(t0);
+        let first_slot = (0..alloc.num_nodes())
+            .filter(|&s| state.free[s] + 1e-9 >= w0)
+            .max_by(|&a, &b| {
+                alloc
+                    .procs(a)
+                    .cmp(&alloc.procs(b))
+                    .then(b.cmp(&a)) // prefer the earlier slot on ties
+            })
+            .expect("allocation has room for t0 by the weight invariant");
+        state.place(t0, alloc.node(first_slot));
+    }
+    let mut seeds_placed = 0u32;
+    while state.mapped_count < n {
+        let tbest = if seeds_placed < nbfs {
+            seeds_placed += 1;
+            state.farthest_unmapped_task()
+        } else {
+            state.most_connected_task()
+        };
+        let node = state.best_node_for(tbest);
+        state.place(tbest, node);
+    }
+    state.mapping
+}
+
+/// Working state of one greedy run.
+struct State<'a> {
+    tg: &'a TaskGraph,
+    machine: &'a Machine,
+    alloc: &'a Allocation,
+    mapping: Vec<u32>,
+    free: Vec<f64>,
+    nonempty_slots: Vec<u32>,
+    slot_nonempty: Vec<bool>,
+    conn: IndexedMaxHeap,
+    bfs_tasks: Bfs,
+    bfs_routers: Bfs,
+    mapped_count: usize,
+}
+
+impl<'a> State<'a> {
+    fn new(tg: &'a TaskGraph, machine: &'a Machine, alloc: &'a Allocation) -> Self {
+        Self {
+            tg,
+            machine,
+            alloc,
+            mapping: vec![u32::MAX; tg.num_tasks()],
+            free: (0..alloc.num_nodes())
+                .map(|s| f64::from(alloc.procs(s)))
+                .collect(),
+            nonempty_slots: Vec::new(),
+            slot_nonempty: vec![false; alloc.num_nodes()],
+            conn: IndexedMaxHeap::new(tg.num_tasks()),
+            bfs_tasks: Bfs::new(tg.num_tasks()),
+            bfs_routers: Bfs::new(machine.num_routers()),
+            mapped_count: 0,
+        }
+    }
+
+    #[inline]
+    fn is_mapped(&self, t: u32) -> bool {
+        self.mapping[t as usize] != u32::MAX
+    }
+
+    /// Commits `t` to `node`, maintaining capacity, the non-empty list
+    /// and the connectivity heap (the paper's `conn.update` loop).
+    fn place(&mut self, t: u32, node: u32) {
+        debug_assert!(!self.is_mapped(t));
+        let slot = self.alloc.slot_of(node).expect("node not allocated") as usize;
+        debug_assert!(self.free[slot] + 1e-9 >= self.tg.task_weight(t));
+        self.mapping[t as usize] = node;
+        self.free[slot] -= self.tg.task_weight(t);
+        if !self.slot_nonempty[slot] {
+            self.slot_nonempty[slot] = true;
+            self.nonempty_slots.push(slot as u32);
+        }
+        self.conn.remove(t);
+        for (n, c) in self.tg.symmetric().edges(t) {
+            if !self.is_mapped(n) {
+                self.conn.add_to_key(n, c);
+            }
+        }
+        self.mapped_count += 1;
+    }
+
+    /// The unmapped task with maximum connectivity to the mapped set;
+    /// falls back to the max-SRV unmapped task when the heap is empty
+    /// (disconnected task graphs).
+    fn most_connected_task(&mut self) -> u32 {
+        if let Some((t, _)) = self.conn.pop() {
+            return t;
+        }
+        self.max_srv_unmapped()
+            .expect("loop invariant: an unmapped task exists")
+    }
+
+    fn max_srv_unmapped(&self) -> Option<u32> {
+        (0..self.tg.num_tasks() as u32)
+            .filter(|&t| !self.is_mapped(t))
+            .max_by(|&a, &b| {
+                self.tg
+                    .srv(a)
+                    .partial_cmp(&self.tg.srv(b))
+                    .unwrap()
+                    .then(b.cmp(&a))
+            })
+    }
+
+    /// Farthest unmapped task from the mapped set via multi-source BFS
+    /// on `Gt` (mapped tasks at level 0); ties favor higher SRV. Tasks
+    /// in unreached components are "infinitely far": the max-SRV one of
+    /// those wins outright (the paper's disconnected rule).
+    fn farthest_unmapped_task(&mut self) -> u32 {
+        let sources: Vec<u32> = (0..self.tg.num_tasks() as u32)
+            .filter(|&t| self.is_mapped(t))
+            .collect();
+        self.bfs_tasks.start(sources);
+        let mut best: Option<(u32, u32)> = None; // (level, task)
+        while let Some(ev) = self.bfs_tasks.next(self.tg.symmetric()) {
+            if self.is_mapped(ev.vertex) {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((lvl, t)) => {
+                    ev.level > lvl
+                        || (ev.level == lvl
+                            && (self.tg.srv(ev.vertex), std::cmp::Reverse(ev.vertex))
+                                > (self.tg.srv(t), std::cmp::Reverse(t)))
+                }
+            };
+            if better {
+                best = Some((ev.level, ev.vertex));
+            }
+        }
+        // Unreached (disconnected) tasks take precedence.
+        let unreached = (0..self.tg.num_tasks() as u32)
+            .filter(|&t| !self.is_mapped(t) && !self.bfs_tasks.was_visited(t))
+            .max_by(|&a, &b| {
+                self.tg
+                    .srv(a)
+                    .partial_cmp(&self.tg.srv(b))
+                    .unwrap()
+                    .then(b.cmp(&a))
+            });
+        unreached
+            .or(best.map(|(_, t)| t))
+            .expect("an unmapped task must exist")
+    }
+
+    /// WH increase of placing `t` on `node`, given its mapped neighbors.
+    fn wh_increase(&self, t: u32, node: u32) -> f64 {
+        self.tg
+            .symmetric()
+            .edges(t)
+            .filter(|&(n, _)| self.is_mapped(n))
+            .map(|(n, c)| f64::from(self.machine.hops(node, self.mapping[n as usize])) * c)
+            .sum()
+    }
+
+    /// `GETBESTNODE` of Algorithm 1.
+    fn best_node_for(&mut self, t: u32) -> u32 {
+        let w = self.tg.task_weight(t);
+        let has_mapped_neighbor = self
+            .tg
+            .symmetric()
+            .neighbors(t)
+            .iter()
+            .any(|&n| self.is_mapped(n));
+        if !has_mapped_neighbor {
+            return self.farthest_free_node(w);
+        }
+        // Multi-source BFS from the routers hosting t's mapped neighbors.
+        let sources: Vec<u32> = self
+            .tg
+            .symmetric()
+            .neighbors(t)
+            .iter()
+            .filter(|&&n| self.is_mapped(n))
+            .map(|&n| self.machine.router_of(self.mapping[n as usize]))
+            .collect();
+        self.bfs_routers.start(sources);
+        let mut best: Option<(f64, u32)> = None;
+        let mut hit_level: Option<u32> = None;
+        while let Some(ev) = self.bfs_routers.next(self.machine.router_graph()) {
+            // Early exit: once a feasible level is fully consumed, stop.
+            if let Some(l) = hit_level {
+                if ev.level > l {
+                    break;
+                }
+            }
+            for node in self.machine.nodes_of_router(ev.vertex) {
+                let Some(slot) = self.alloc.slot_of(node) else {
+                    continue;
+                };
+                if self.free[slot as usize] + 1e-9 < w {
+                    continue;
+                }
+                hit_level = Some(ev.level);
+                let inc = self.wh_increase(t, node);
+                if best.as_ref().is_none_or(|&(b, _)| inc < b) {
+                    best = Some((inc, node));
+                }
+            }
+        }
+        best.map(|(_, n)| n)
+            .expect("allocation has free capacity by the weight invariant")
+    }
+
+    /// For tasks with no mapped neighbor: one of the farthest free
+    /// allocated nodes from the non-empty set (multi-source BFS on the
+    /// router graph). The first feasible node of the deepest feasible
+    /// level is returned.
+    fn farthest_free_node(&mut self, w: f64) -> u32 {
+        if self.nonempty_slots.is_empty() {
+            // No placement context at all: first feasible slot.
+            let slot = (0..self.alloc.num_nodes())
+                .find(|&s| self.free[s] + 1e-9 >= w)
+                .expect("allocation has free capacity");
+            return self.alloc.node(slot);
+        }
+        let sources: Vec<u32> = self
+            .nonempty_slots
+            .iter()
+            .map(|&s| self.machine.router_of(self.alloc.node(s as usize)))
+            .collect();
+        self.bfs_routers.start(sources);
+        let mut best: Option<(u32, u32)> = None; // (level, node)
+        while let Some(ev) = self.bfs_routers.next(self.machine.router_graph()) {
+            for node in self.machine.nodes_of_router(ev.vertex) {
+                let Some(slot) = self.alloc.slot_of(node) else {
+                    continue;
+                };
+                if self.free[slot as usize] + 1e-9 < w {
+                    continue;
+                }
+                // Keep only the first candidate of the deepest level.
+                if best.is_none_or(|(lvl, _)| ev.level > lvl) {
+                    best = Some((ev.level, node));
+                }
+            }
+        }
+        best.map(|(_, n)| n)
+            .expect("allocation has free capacity by the weight invariant")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::validate_mapping;
+    use umpa_topology::{AllocSpec, MachineConfig};
+
+    fn machine() -> Machine {
+        MachineConfig::small(&[4, 4], 1, 1).build()
+    }
+
+    /// A 4-task chain with one heavy hub.
+    fn chain() -> TaskGraph {
+        TaskGraph::from_messages(
+            4,
+            [(0, 1, 10.0), (1, 2, 10.0), (2, 3, 10.0)],
+            None,
+        )
+    }
+
+    #[test]
+    fn produces_a_valid_one_to_one_mapping() {
+        let m = machine();
+        let alloc = umpa_topology::Allocation::generate(&m, &AllocSpec::sparse(4, 1));
+        let tg = chain();
+        let mapping = greedy_map(&tg, &m, &alloc, &GreedyConfig::default());
+        validate_mapping(&tg, &alloc, &mapping).unwrap();
+        // One task per node (capacity 1): all nodes distinct.
+        let mut nodes = mapping.clone();
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 4);
+    }
+
+    #[test]
+    fn chain_neighbors_land_adjacent_on_contiguous_alloc() {
+        let m = machine();
+        let alloc = umpa_topology::Allocation::generate(&m, &AllocSpec::contiguous(4));
+        let tg = chain();
+        let mapping = greedy_map(&tg, &m, &alloc, &GreedyConfig::default());
+        // A chain on a contiguous 4-node strip: optimal WH has every
+        // neighbor pair at distance 1 => WH = 30.
+        let wh = weighted_hops(&tg, &m, &mapping);
+        assert!(wh <= 40.0, "greedy WH {wh} too far from optimal 30");
+    }
+
+    #[test]
+    fn beats_a_reversed_random_placement_on_average() {
+        let m = machine();
+        let alloc = umpa_topology::Allocation::generate(&m, &AllocSpec::sparse(8, 3));
+        // Ring of 8 tasks.
+        let tg = TaskGraph::from_messages(
+            8,
+            (0..8u32).map(|i| (i, (i + 1) % 8, 1.0 + f64::from(i % 3))),
+            None,
+        );
+        let greedy = greedy_map(&tg, &m, &alloc, &GreedyConfig::default());
+        // Adversarial placement: tasks in allocation order but shifted
+        // by half the ring (pairs far apart).
+        let adversarial: Vec<u32> = (0..8usize)
+            .map(|t| alloc.node((t * 5) % 8))
+            .collect();
+        let g_wh = weighted_hops(&tg, &m, &greedy);
+        let a_wh = weighted_hops(&tg, &m, &adversarial);
+        assert!(g_wh <= a_wh, "greedy {g_wh} vs adversarial {a_wh}");
+    }
+
+    #[test]
+    fn respects_multi_task_capacity() {
+        let m = MachineConfig::small(&[4, 4], 1, 4).build();
+        let alloc = umpa_topology::Allocation::generate(&m, &AllocSpec::contiguous(2));
+        let tg = TaskGraph::from_messages(
+            8,
+            (0..7u32).map(|i| (i, i + 1, 1.0)),
+            None,
+        );
+        let mapping = greedy_map(&tg, &m, &alloc, &GreedyConfig::default());
+        validate_mapping(&tg, &alloc, &mapping).unwrap();
+    }
+
+    #[test]
+    fn disconnected_components_all_get_mapped() {
+        let m = machine();
+        let alloc = umpa_topology::Allocation::generate(&m, &AllocSpec::contiguous(6));
+        // Two disjoint triangles.
+        let tg = TaskGraph::from_messages(
+            6,
+            [
+                (0, 1, 2.0),
+                (1, 2, 2.0),
+                (2, 0, 2.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (5, 3, 1.0),
+            ],
+            None,
+        );
+        for nbfs in [0, 1, 2] {
+            let mapping = greedy_map_with(&tg, &m, &alloc, nbfs);
+            validate_mapping(&tg, &alloc, &mapping).unwrap();
+        }
+    }
+
+    #[test]
+    fn far_seed_spreads_disconnected_components() {
+        let m = MachineConfig::small(&[8], 1, 1).build();
+        let alloc = umpa_topology::Allocation::generate(&m, &AllocSpec::contiguous(8));
+        // Two disjoint pairs; with a far seed the second pair should not
+        // crowd the first.
+        let tg = TaskGraph::from_messages(4, [(0, 1, 5.0), (2, 3, 5.0)], None);
+        let mapping = greedy_map_with(&tg, &m, &alloc, 1);
+        validate_mapping(&tg, &alloc, &mapping).unwrap();
+        // Pairs themselves should be adjacent (free capacity abounds).
+        assert!(m.hops(mapping[0], mapping[1]) <= 1);
+        assert!(m.hops(mapping[2], mapping[3]) <= 1);
+    }
+
+    #[test]
+    fn isolated_tasks_are_still_placed() {
+        let m = machine();
+        let alloc = umpa_topology::Allocation::generate(&m, &AllocSpec::contiguous(3));
+        let tg = TaskGraph::from_messages(3, [(0, 1, 1.0)], None); // task 2 isolated
+        let mapping = greedy_map(&tg, &m, &alloc, &GreedyConfig::default());
+        validate_mapping(&tg, &alloc, &mapping).unwrap();
+        assert_ne!(mapping[2], u32::MAX);
+    }
+
+    #[test]
+    fn nbfs_variants_agree_on_validity_and_pick_lower_wh() {
+        let m = machine();
+        let alloc = umpa_topology::Allocation::generate(&m, &AllocSpec::sparse(6, 5));
+        let tg = TaskGraph::from_messages(
+            6,
+            [
+                (0, 1, 3.0),
+                (1, 2, 1.0),
+                (3, 4, 3.0),
+                (4, 5, 1.0),
+                (0, 3, 0.5),
+            ],
+            None,
+        );
+        let w0 = weighted_hops(&tg, &m, &greedy_map_with(&tg, &m, &alloc, 0));
+        let w1 = weighted_hops(&tg, &m, &greedy_map_with(&tg, &m, &alloc, 1));
+        let combined = weighted_hops(&tg, &m, &greedy_map(&tg, &m, &alloc, &GreedyConfig::default()));
+        assert!((combined - w0.min(w1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heterogeneous_capacities_place_heavy_tasks_first() {
+        // Nodes with capacities [4, 2, 2]; tasks with weights
+        // [4, 2, 2]. Without the pre-pass, placing a weight-2 task on
+        // the capacity-4 node first would strand the weight-4 task.
+        let m = MachineConfig::small(&[8], 1, 4).build();
+        let mut alloc = umpa_topology::Allocation::generate(&m, &AllocSpec::contiguous(3));
+        alloc.set_procs(vec![4, 2, 2]);
+        let tg = TaskGraph::from_messages(
+            3,
+            [(0, 1, 1.0), (1, 2, 5.0), (2, 0, 1.0)],
+            Some(vec![4.0, 2.0, 2.0]),
+        );
+        for nbfs in [0, 1] {
+            let mapping = greedy_map_with(&tg, &m, &alloc, nbfs);
+            validate_mapping(&tg, &alloc, &mapping).unwrap();
+            // The weight-4 task must sit on the capacity-4 node.
+            assert_eq!(mapping[0], alloc.node(0), "nbfs={nbfs}");
+        }
+    }
+
+    #[test]
+    fn uniform_capacities_skip_the_pre_pass() {
+        // With uniform capacities the pre-pass must not fire (it would
+        // degrade the greedy order): results equal the documented path.
+        let m = machine();
+        let alloc = umpa_topology::Allocation::generate(&m, &AllocSpec::sparse(4, 1));
+        let tg = chain();
+        let a = greedy_map_with(&tg, &m, &alloc, 0);
+        let cfg = GreedyConfig {
+            nbfs_candidates: vec![0],
+            heavy_first_fraction: 0.0, // would catch everything if it fired
+        };
+        let b = greedy_map(&tg, &m, &alloc, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocation too small")]
+    fn oversubscription_panics() {
+        let m = machine();
+        let alloc = umpa_topology::Allocation::generate(&m, &AllocSpec::contiguous(2));
+        let tg = chain();
+        greedy_map(&tg, &m, &alloc, &GreedyConfig::default());
+    }
+}

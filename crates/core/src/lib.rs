@@ -1,0 +1,56 @@
+//! `umpa-core` — the paper's contribution: fast, high-quality
+//! topology-aware task mapping.
+//!
+//! Implements the three algorithms of *Deveci, Kaya, Uçar, Çatalyürek,
+//! IPDPS 2015* plus the baselines they are evaluated against:
+//!
+//! * [`greedy`] — **Algorithm 1**, greedy graph-growing mapping (`UG`):
+//!   seeds the highest-traffic task, then repeatedly places the
+//!   unmapped task with maximum connectivity to the mapped set onto the
+//!   free node minimizing the weighted-hop increase, found by an
+//!   early-exiting BFS over the machine graph;
+//! * [`wh_refine`] — **Algorithm 2**, Kernighan–Lin-style swap
+//!   refinement of the weighted-hop metric (`UWH`), driven by a max-heap
+//!   of per-task incurred WH and a BFS-ordered candidate scan capped at
+//!   `Δ` evaluations;
+//! * [`cong_refine`] — **Algorithm 3**, maximum-congestion refinement
+//!   (`UMC` for volume congestion, `UMMC` for message congestion),
+//!   exact under static routing via an incrementally maintained
+//!   link-congestion heap and per-link communicating-task registry;
+//! * [`baselines`] — `DEF` (Hopper's SMP-style rank placement), `TMAP`
+//!   (LibTopoMap-like recursive bipartitioning with the DEF fallback
+//!   rule) and `SMAP` (Scotch-like dual recursive bipartitioning);
+//! * [`metrics`] — the six mapping metrics of Section II (TH, WH, MMC,
+//!   MC, AMC, AC);
+//! * [`pipeline`] — the two-phase flow of Section III-A: partition the
+//!   fine task graph into node groups, fix the balance with one FM
+//!   iteration, map the coarse graph, compose.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod cong_refine;
+pub mod greedy;
+pub mod mapping;
+pub mod metrics;
+pub mod pipeline;
+pub mod wh_refine;
+
+pub use baselines::{def_mapping, smap_mapping, tmap_mapping};
+pub use cong_refine::{congestion_refine, CongRefineConfig, CongestionKind};
+pub use greedy::{greedy_map, GreedyConfig};
+pub use mapping::validate_mapping;
+pub use metrics::{evaluate, MetricsReport};
+pub use pipeline::{map_tasks, MapperKind, MappingOutcome, PipelineConfig};
+pub use wh_refine::{wh_refine, WhRefineConfig};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::baselines::{def_mapping, smap_mapping, tmap_mapping};
+    pub use crate::cong_refine::{congestion_refine, CongRefineConfig, CongestionKind};
+    pub use crate::greedy::{greedy_map, GreedyConfig};
+    pub use crate::metrics::{evaluate, MetricsReport};
+    pub use crate::pipeline::{map_tasks, MapperKind, MappingOutcome, PipelineConfig};
+    pub use crate::wh_refine::{wh_refine, WhRefineConfig};
+}

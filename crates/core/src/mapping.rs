@@ -1,0 +1,186 @@
+//! Mapping representation and validation.
+//!
+//! A mapping `Γ : Vt → Va` is stored as `Vec<u32>`: `mapping[t]` is the
+//! machine node id hosting task `t`. Validation checks the two
+//! feasibility conditions of the problem statement: every task sits on
+//! an *allocated* node, and no node's processor capacity is exceeded by
+//! the total weight of its tasks.
+
+use umpa_graph::TaskGraph;
+use umpa_topology::Allocation;
+
+/// Why a mapping is infeasible.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MappingError {
+    /// The mapping vector length differs from the task count.
+    LengthMismatch {
+        /// Entries in the mapping vector.
+        got: usize,
+        /// Tasks in the task graph.
+        expected: usize,
+    },
+    /// A task was placed on a node outside the allocation.
+    UnallocatedNode {
+        /// Offending task.
+        task: u32,
+        /// The node it was placed on.
+        node: u32,
+    },
+    /// A node's capacity is exceeded.
+    OverCapacity {
+        /// The overloaded node.
+        node: u32,
+        /// Total task weight placed there.
+        load: f64,
+        /// Its processor capacity.
+        capacity: f64,
+    },
+}
+
+impl std::fmt::Display for MappingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MappingError::LengthMismatch { got, expected } => {
+                write!(f, "mapping has {got} entries for {expected} tasks")
+            }
+            MappingError::UnallocatedNode { task, node } => {
+                write!(f, "task {task} mapped to unallocated node {node}")
+            }
+            MappingError::OverCapacity {
+                node,
+                load,
+                capacity,
+            } => write!(
+                f,
+                "node {node} holds task weight {load} over capacity {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+/// Checks that `mapping` is a feasible `Γ` for `tg` on `alloc`.
+pub fn validate_mapping(
+    tg: &TaskGraph,
+    alloc: &Allocation,
+    mapping: &[u32],
+) -> Result<(), MappingError> {
+    if mapping.len() != tg.num_tasks() {
+        return Err(MappingError::LengthMismatch {
+            got: mapping.len(),
+            expected: tg.num_tasks(),
+        });
+    }
+    let mut load = vec![0.0f64; alloc.num_nodes()];
+    for (t, &node) in mapping.iter().enumerate() {
+        match alloc.slot_of(node) {
+            Some(slot) => load[slot as usize] += tg.task_weight(t as u32),
+            None => {
+                return Err(MappingError::UnallocatedNode {
+                    task: t as u32,
+                    node,
+                })
+            }
+        }
+    }
+    for slot in 0..alloc.num_nodes() {
+        let cap = f64::from(alloc.procs(slot));
+        if load[slot] > cap + 1e-9 {
+            return Err(MappingError::OverCapacity {
+                node: alloc.node(slot),
+                load: load[slot],
+                capacity: cap,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Remaining capacity per allocation slot under `mapping` (tasks may be
+/// partially placed: unmapped entries are `u32::MAX`).
+pub fn free_capacity(tg: &TaskGraph, alloc: &Allocation, mapping: &[u32]) -> Vec<f64> {
+    let mut free: Vec<f64> = (0..alloc.num_nodes())
+        .map(|s| f64::from(alloc.procs(s)))
+        .collect();
+    for (t, &node) in mapping.iter().enumerate() {
+        if node == u32::MAX {
+            continue;
+        }
+        if let Some(slot) = alloc.slot_of(node) {
+            free[slot as usize] -= tg.task_weight(t as u32);
+        }
+    }
+    free
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umpa_topology::{AllocSpec, Allocation, MachineConfig};
+
+    fn setup() -> (umpa_topology::Machine, Allocation, TaskGraph) {
+        let m = MachineConfig::small(&[4, 4], 1, 2).build();
+        let alloc = Allocation::generate(&m, &AllocSpec::contiguous(4));
+        let tg = TaskGraph::from_messages(4, [(0, 1, 1.0), (2, 3, 1.0)], None);
+        (m, alloc, tg)
+    }
+
+    #[test]
+    fn valid_mapping_passes() {
+        let (_, alloc, tg) = setup();
+        let mapping: Vec<u32> = (0..4).map(|t| alloc.node(t)).collect();
+        assert_eq!(validate_mapping(&tg, &alloc, &mapping), Ok(()));
+    }
+
+    #[test]
+    fn two_tasks_fit_a_two_proc_node() {
+        let (_, alloc, tg) = setup();
+        let mapping = vec![alloc.node(0), alloc.node(0), alloc.node(1), alloc.node(1)];
+        assert_eq!(validate_mapping(&tg, &alloc, &mapping), Ok(()));
+    }
+
+    #[test]
+    fn over_capacity_is_reported() {
+        let (_, alloc, tg) = setup();
+        let mapping = vec![alloc.node(0); 4];
+        assert!(matches!(
+            validate_mapping(&tg, &alloc, &mapping),
+            Err(MappingError::OverCapacity { .. })
+        ));
+    }
+
+    #[test]
+    fn unallocated_node_is_reported() {
+        let (m, alloc, tg) = setup();
+        let outside = (0..m.num_nodes() as u32)
+            .find(|&n| !alloc.contains(n))
+            .unwrap();
+        let mapping = vec![alloc.node(0), outside, alloc.node(1), alloc.node(2)];
+        assert_eq!(
+            validate_mapping(&tg, &alloc, &mapping),
+            Err(MappingError::UnallocatedNode {
+                task: 1,
+                node: outside
+            })
+        );
+    }
+
+    #[test]
+    fn length_mismatch_is_reported() {
+        let (_, alloc, tg) = setup();
+        assert!(matches!(
+            validate_mapping(&tg, &alloc, &[0, 1]),
+            Err(MappingError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn free_capacity_tracks_partial_mappings() {
+        let (_, alloc, tg) = setup();
+        let mapping = vec![alloc.node(0), u32::MAX, alloc.node(0), u32::MAX];
+        let free = free_capacity(&tg, &alloc, &mapping);
+        assert_eq!(free[0], 0.0);
+        assert_eq!(free[1], 2.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! The six mapping metrics of Section II.
+//!
+//! All metrics route every directed message `(t1, t2) ∈ Et` along the
+//! machine's static shortest path and aggregate per link:
+//!
+//! * `TH`  — total hops, Σ dilation;
+//! * `WH`  — weighted hops, Σ dilation · c;
+//! * `MMC` — max messages crossing one link;
+//! * `MC`  — max volume congestion, max_e Σ volume(e) / bw(e);
+//! * `AMC` — average message congestion over *used* links (= TH / |Etm|);
+//! * `AC`  — average volume congestion over used links.
+//!
+//! Two identities hold by construction and are exercised as tests and
+//! property tests: `TH = Σ_e Congestion(e)` and `WH = Σ_e VC(e)·bw(e)`.
+
+use umpa_graph::TaskGraph;
+use umpa_topology::routing::Hop;
+use umpa_topology::Machine;
+
+/// Evaluated mapping metrics plus the per-link congestion state they
+/// were derived from.
+#[derive(Clone, Debug)]
+pub struct MetricsReport {
+    /// Total hop count.
+    pub th: f64,
+    /// Weighted hop count.
+    pub wh: f64,
+    /// Maximum message congestion.
+    pub mmc: f64,
+    /// Maximum volume congestion.
+    pub mc: f64,
+    /// Average message congestion over used links.
+    pub amc: f64,
+    /// Average volume congestion over used links.
+    pub ac: f64,
+    /// Number of links carrying at least one message (`|Etm|`).
+    pub used_links: usize,
+    /// Messages crossing each link (indexed by link id).
+    pub msg_congestion: Vec<f64>,
+    /// Traffic volume crossing each link (indexed by link id).
+    pub vol_traffic: Vec<f64>,
+}
+
+impl MetricsReport {
+    /// The four headline metrics in Figure 2's order.
+    pub fn headline(&self) -> [f64; 4] {
+        [self.th, self.wh, self.mmc, self.mc]
+    }
+}
+
+/// Computes every metric for `mapping` (`mapping[t]` = node id of `t`).
+pub fn evaluate(tg: &TaskGraph, machine: &Machine, mapping: &[u32]) -> MetricsReport {
+    assert_eq!(mapping.len(), tg.num_tasks());
+    let nl = machine.num_links();
+    let mut msg = vec![0.0f64; nl];
+    let mut vol = vec![0.0f64; nl];
+    let mut th = 0.0;
+    let mut wh = 0.0;
+    let mut scratch: Vec<Hop> = Vec::new();
+    let mut links: Vec<u32> = Vec::new();
+    for (s, t, c) in tg.messages() {
+        let (a, b) = (mapping[s as usize], mapping[t as usize]);
+        links.clear();
+        machine.route_links(a, b, &mut scratch, &mut links);
+        let hops = links.len() as f64;
+        th += hops;
+        wh += hops * c;
+        for &l in &links {
+            msg[l as usize] += 1.0;
+            vol[l as usize] += c;
+        }
+    }
+    let mut mmc = 0.0f64;
+    let mut mc = 0.0f64;
+    let mut sum_vc = 0.0;
+    let mut used = 0usize;
+    for l in 0..nl {
+        if msg[l] > 0.0 {
+            used += 1;
+        }
+        mmc = mmc.max(msg[l]);
+        let vc = vol[l] / machine.link_bandwidth(l as u32);
+        mc = mc.max(vc);
+        sum_vc += vc;
+    }
+    let amc = if used > 0 { th / used as f64 } else { 0.0 };
+    let ac = if used > 0 { sum_vc / used as f64 } else { 0.0 };
+    MetricsReport {
+        th,
+        wh,
+        mmc,
+        mc,
+        amc,
+        ac,
+        used_links: used,
+        msg_congestion: msg,
+        vol_traffic: vol,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umpa_topology::MachineConfig;
+
+    /// 1-D 8-torus, 1 node per router, unit bandwidth.
+    fn line_machine() -> Machine {
+        MachineConfig::small(&[8], 1, 1).build()
+    }
+
+    #[test]
+    fn single_message_metrics() {
+        let m = line_machine();
+        let tg = TaskGraph::from_messages(2, [(0, 1, 3.0)], None);
+        // Place tasks 2 hops apart.
+        let r = evaluate(&tg, &m, &[0, 2]);
+        assert_eq!(r.th, 2.0);
+        assert_eq!(r.wh, 6.0);
+        assert_eq!(r.mmc, 1.0);
+        assert_eq!(r.mc, 3.0);
+        assert_eq!(r.used_links, 2);
+        assert_eq!(r.amc, 1.0);
+        assert_eq!(r.ac, 3.0);
+    }
+
+    #[test]
+    fn th_equals_sum_of_link_congestion() {
+        let m = line_machine();
+        let tg = TaskGraph::from_messages(
+            4,
+            [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.5), (3, 0, 1.0)],
+            None,
+        );
+        let r = evaluate(&tg, &m, &[0, 2, 5, 7]);
+        let sum: f64 = r.msg_congestion.iter().sum();
+        assert!((r.th - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wh_equals_sum_of_weighted_link_traffic() {
+        let m = line_machine();
+        let tg = TaskGraph::from_messages(3, [(0, 2, 4.0), (1, 0, 2.0)], None);
+        let r = evaluate(&tg, &m, &[1, 4, 6]);
+        let sum: f64 = (0..m.num_links() as u32)
+            .map(|l| r.vol_traffic[l as usize]) // bw = 1 here
+            .sum();
+        assert!((r.wh - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn opposing_messages_use_disjoint_directed_channels() {
+        let m = line_machine();
+        let tg = TaskGraph::from_messages(2, [(0, 1, 1.0), (1, 0, 1.0)], None);
+        let r = evaluate(&tg, &m, &[0, 1]);
+        // Directed links: each direction has its own channel, so no link
+        // sees 2 messages.
+        assert_eq!(r.mmc, 1.0);
+        assert_eq!(r.used_links, 2);
+    }
+
+    #[test]
+    fn colocated_tasks_cost_nothing() {
+        let m = MachineConfig::small(&[4], 2, 2).build();
+        let tg = TaskGraph::from_messages(2, [(0, 1, 9.0)], None);
+        // Nodes 0 and 1 share router 0.
+        let r = evaluate(&tg, &m, &[0, 1]);
+        assert_eq!(r.th, 0.0);
+        assert_eq!(r.wh, 0.0);
+        assert_eq!(r.mc, 0.0);
+        assert_eq!(r.used_links, 0);
+        assert_eq!(r.amc, 0.0);
+    }
+
+    #[test]
+    fn bandwidth_scales_volume_congestion() {
+        let mut cfg = MachineConfig::small(&[4, 4], 1, 1);
+        cfg.bw_per_dim = vec![2.0, 0.5];
+        let m = cfg.build();
+        let tg = TaskGraph::from_messages(2, [(0, 1, 4.0)], None);
+        // One hop along dim 0 (bw 2): VC = 2. One hop along dim 1 (bw .5): VC = 8.
+        let r_x = evaluate(&tg, &m, &[0, 1]);
+        assert_eq!(r_x.mc, 2.0);
+        let r_y = evaluate(&tg, &m, &[0, 4]);
+        assert_eq!(r_y.mc, 8.0);
+    }
+
+    #[test]
+    fn shared_links_accumulate() {
+        let m = line_machine();
+        // Two messages both crossing link 1->2.
+        let tg = TaskGraph::from_messages(4, [(0, 2, 1.0), (1, 3, 1.0)], None);
+        let r = evaluate(&tg, &m, &[0, 1, 2, 3]);
+        assert_eq!(r.mmc, 2.0); // the 1->2 link carries both
+        assert_eq!(r.mc, 2.0);
+    }
+}

@@ -1,0 +1,366 @@
+//! Algorithm 2: WH Refinement (the paper's `UWH` variant).
+//!
+//! Kernighan–Lin-style task swaps on an existing mapping:
+//!
+//! * a max-heap `whHeap` orders tasks by the WH they individually incur
+//!   (`TASKWHOPS`);
+//! * for the popped task `t_wh`, swap partners are sought in **BFS
+//!   order** over the machine graph starting from the nodes of
+//!   `Γ[nghbor(t_wh)]` — the closer a node is to `t_wh`'s neighbors, the
+//!   likelier the swap helps;
+//! * the scan early-exits after `Δ` evaluated candidates (paper value
+//!   8), the first improving swap is applied immediately, and the heap
+//!   keys of both tasks' neighborhoods are refreshed;
+//! * a pass ends when the heap empties; the next pass runs only if the
+//!   previous one improved WH by more than 0.5 % (paper's threshold).
+
+use umpa_ds::IndexedMaxHeap;
+use umpa_graph::{Bfs, TaskGraph};
+use umpa_topology::{Allocation, Machine};
+
+use crate::greedy::weighted_hops;
+
+/// Configuration of the WH refinement.
+#[derive(Clone, Copy, Debug)]
+pub struct WhRefineConfig {
+    /// Max evaluated swap candidates per popped task (`Δ`).
+    pub delta: usize,
+    /// Minimum relative WH improvement for another pass (paper: 0.5 %).
+    pub min_rel_improvement: f64,
+    /// Hard cap on passes.
+    pub max_passes: u32,
+}
+
+impl Default for WhRefineConfig {
+    fn default() -> Self {
+        Self {
+            delta: 8,
+            min_rel_improvement: 0.005,
+            max_passes: 64,
+        }
+    }
+}
+
+/// Refines `mapping` in place to lower WH; returns the final WH.
+pub fn wh_refine(
+    tg: &TaskGraph,
+    machine: &Machine,
+    alloc: &Allocation,
+    mapping: &mut [u32],
+    cfg: &WhRefineConfig,
+) -> f64 {
+    assert_eq!(mapping.len(), tg.num_tasks());
+    let mut r = Refiner::new(tg, machine, alloc, mapping);
+    let mut wh = weighted_hops(tg, machine, r.mapping);
+    for _ in 0..cfg.max_passes {
+        let improved = r.run_pass(cfg.delta);
+        let new_wh = wh - improved;
+        debug_assert!(
+            (new_wh - weighted_hops(tg, machine, r.mapping)).abs() < 1e-6 * (1.0 + new_wh),
+            "incremental WH drifted"
+        );
+        if wh <= 0.0 || (wh - new_wh) / wh <= cfg.min_rel_improvement {
+            wh = new_wh;
+            break;
+        }
+        wh = new_wh;
+    }
+    wh
+}
+
+struct Refiner<'a> {
+    tg: &'a TaskGraph,
+    machine: &'a Machine,
+    alloc: &'a Allocation,
+    mapping: &'a mut [u32],
+    /// Tasks hosted by each allocation slot.
+    tasks_on_slot: Vec<Vec<u32>>,
+    /// Free capacity per slot.
+    free: Vec<f64>,
+    bfs: Bfs,
+}
+
+impl<'a> Refiner<'a> {
+    fn new(
+        tg: &'a TaskGraph,
+        machine: &'a Machine,
+        alloc: &'a Allocation,
+        mapping: &'a mut [u32],
+    ) -> Self {
+        let mut tasks_on_slot = vec![Vec::new(); alloc.num_nodes()];
+        let mut free: Vec<f64> = (0..alloc.num_nodes())
+            .map(|s| f64::from(alloc.procs(s)))
+            .collect();
+        for (t, &node) in mapping.iter().enumerate() {
+            let slot = alloc.slot_of(node).expect("mapping must be feasible") as usize;
+            tasks_on_slot[slot].push(t as u32);
+            free[slot] -= tg.task_weight(t as u32);
+        }
+        Self {
+            tg,
+            machine,
+            alloc,
+            mapping,
+            tasks_on_slot,
+            free,
+            bfs: Bfs::new(machine.num_routers()),
+        }
+    }
+
+    /// `TASKWHOPS`: WH incurred by `t` under the current mapping.
+    fn task_wh(&self, t: u32) -> f64 {
+        let at = self.mapping[t as usize];
+        self.tg
+            .symmetric()
+            .edges(t)
+            .map(|(n, c)| f64::from(self.machine.hops(at, self.mapping[n as usize])) * c)
+            .sum()
+    }
+
+    /// WH gain (positive = improvement) of swapping `t1` with the
+    /// contents of `(slot2, t2)`; `t2 = None` means moving `t1` onto the
+    /// free capacity of `slot2`.
+    fn swap_gain(&mut self, t1: u32, t2: Option<u32>, node2: u32) -> f64 {
+        let node1 = self.mapping[t1 as usize];
+        let old = self.task_wh(t1) + t2.map_or(0.0, |t| self.task_wh(t));
+        // Virtually relocate (the t1–t2 edge, if any, contributes the
+        // same distance before and after a swap and cancels in the
+        // gain; evaluating both tasks against the *updated* mapping
+        // keeps that cancellation exact).
+        self.mapping[t1 as usize] = node2;
+        if let Some(t) = t2 {
+            self.mapping[t as usize] = node1;
+        }
+        let new = self.task_wh(t1) + t2.map_or(0.0, |t| self.task_wh(t));
+        self.mapping[t1 as usize] = node1;
+        if let Some(t) = t2 {
+            self.mapping[t as usize] = node2;
+        }
+        old - new
+    }
+
+    /// Commits a swap/move found by the candidate scan.
+    fn commit(&mut self, t1: u32, t2: Option<u32>, node2: u32) {
+        let node1 = self.mapping[t1 as usize];
+        let slot1 = self.alloc.slot_of(node1).unwrap() as usize;
+        let slot2 = self.alloc.slot_of(node2).unwrap() as usize;
+        let w1 = self.tg.task_weight(t1);
+        self.mapping[t1 as usize] = node2;
+        self.tasks_on_slot[slot1].retain(|&x| x != t1);
+        self.tasks_on_slot[slot2].push(t1);
+        self.free[slot1] += w1;
+        self.free[slot2] -= w1;
+        if let Some(t) = t2 {
+            let w2 = self.tg.task_weight(t);
+            self.mapping[t as usize] = node1;
+            self.tasks_on_slot[slot2].retain(|&x| x != t);
+            self.tasks_on_slot[slot1].push(t);
+            self.free[slot2] += w2;
+            self.free[slot1] -= w2;
+        }
+    }
+
+    /// One refinement pass; returns the total WH improvement achieved.
+    fn run_pass(&mut self, delta: usize) -> f64 {
+        let n = self.tg.num_tasks();
+        let mut heap = IndexedMaxHeap::new(n);
+        for t in 0..n as u32 {
+            heap.push(t, self.task_wh(t));
+        }
+        let mut pass_gain = 0.0;
+        while let Some((twh, key)) = heap.pop() {
+            if key <= 0.0 {
+                // Remaining tasks incur no WH; nothing to gain.
+                break;
+            }
+            if let Some((gain, t2, node2)) = self.find_swap(twh, delta) {
+                pass_gain += gain;
+                self.commit(twh, t2, node2);
+                // Refresh heap keys of both neighborhoods (+ partner).
+                let refresh = |task: u32, heap: &mut IndexedMaxHeap, s: &Self| {
+                    if heap.contains(task) {
+                        heap.change_key(task, s.task_wh(task));
+                    }
+                };
+                if let Some(t) = t2 {
+                    refresh(t, &mut heap, self);
+                    for &u in self.tg.symmetric().neighbors(t) {
+                        refresh(u, &mut heap, self);
+                    }
+                }
+                for &u in self.tg.symmetric().neighbors(twh) {
+                    refresh(u, &mut heap, self);
+                }
+            }
+        }
+        pass_gain
+    }
+
+    /// BFS-ordered candidate scan for `twh`; returns the first improving
+    /// `(gain, partner, node)` within `delta` evaluations.
+    fn find_swap(&mut self, twh: u32, delta: usize) -> Option<(f64, Option<u32>, u32)> {
+        let node1 = self.mapping[twh as usize];
+        let w1 = self.tg.task_weight(twh);
+        let sources: Vec<u32> = self
+            .tg
+            .symmetric()
+            .neighbors(twh)
+            .iter()
+            .map(|&nb| self.machine.router_of(self.mapping[nb as usize]))
+            .collect();
+        if sources.is_empty() {
+            return None; // no neighbors → its WH is 0 anyway
+        }
+        self.bfs.start(sources);
+        let mut evaluated = 0usize;
+        // The borrow checker dislikes iterating self.bfs while calling
+        // &mut self methods; pull events into a small loop instead.
+        loop {
+            let Some(ev) = self.bfs.next(self.machine.router_graph()) else {
+                return None;
+            };
+            for node2 in self.machine.nodes_of_router(ev.vertex) {
+                if node2 == node1 {
+                    continue;
+                }
+                let Some(slot2) = self.alloc.slot_of(node2) else {
+                    continue;
+                };
+                let slot2 = slot2 as usize;
+                // Swap candidates: every task on the node, plus a pure
+                // move when the free capacity admits t_wh.
+                let resident: Vec<u32> = self.tasks_on_slot[slot2].clone();
+                for &t2 in &resident {
+                    // Capacity check for the exchange.
+                    let w2 = self.tg.task_weight(t2);
+                    let slot1 = self.alloc.slot_of(node1).unwrap() as usize;
+                    if self.free[slot2] + w2 + 1e-9 < w1 || self.free[slot1] + w1 + 1e-9 < w2
+                    {
+                        continue;
+                    }
+                    let gain = self.swap_gain(twh, Some(t2), node2);
+                    evaluated += 1;
+                    if gain > 1e-9 {
+                        return Some((gain, Some(t2), node2));
+                    }
+                    if evaluated >= delta {
+                        return None;
+                    }
+                }
+                if self.free[slot2] + 1e-9 >= w1 {
+                    let gain = self.swap_gain(twh, None, node2);
+                    evaluated += 1;
+                    if gain > 1e-9 {
+                        return Some((gain, None, node2));
+                    }
+                    if evaluated >= delta {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::{greedy_map, GreedyConfig};
+    use crate::mapping::validate_mapping;
+    use umpa_topology::{AllocSpec, MachineConfig};
+
+    fn ring_tg(n: u32) -> TaskGraph {
+        TaskGraph::from_messages(n as usize, (0..n).map(|i| (i, (i + 1) % n, 2.0)), None)
+    }
+
+    #[test]
+    fn refinement_repairs_a_shuffled_mapping() {
+        let m = MachineConfig::small(&[8], 1, 1).build();
+        let alloc = umpa_topology::Allocation::generate(&m, &AllocSpec::contiguous(8));
+        let tg = ring_tg(8);
+        // Pessimal-ish: stride-3 placement of the ring.
+        let mut mapping: Vec<u32> = (0..8usize).map(|t| alloc.node(t * 3 % 8)).collect();
+        let before = weighted_hops(&tg, &m, &mapping);
+        let after = wh_refine(&tg, &m, &alloc, &mut mapping, &WhRefineConfig::default());
+        assert!(after < before, "no improvement: {before} -> {after}");
+        validate_mapping(&tg, &alloc, &mapping).unwrap();
+        assert!((weighted_hops(&tg, &m, &mapping) - after).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_worsens_wh() {
+        let m = MachineConfig::small(&[4, 4], 1, 1).build();
+        for seed in 0..4u64 {
+            let alloc =
+                umpa_topology::Allocation::generate(&m, &AllocSpec::sparse(8, seed));
+            let tg = ring_tg(8);
+            let mut mapping = greedy_map(&tg, &m, &alloc, &GreedyConfig::default());
+            let before = weighted_hops(&tg, &m, &mapping);
+            let after =
+                wh_refine(&tg, &m, &alloc, &mut mapping, &WhRefineConfig::default());
+            assert!(after <= before + 1e-9, "seed {seed}: {before} -> {after}");
+            validate_mapping(&tg, &alloc, &mapping).unwrap();
+        }
+    }
+
+    #[test]
+    fn optimal_mapping_is_a_fixed_point() {
+        let m = MachineConfig::small(&[8], 1, 1).build();
+        let alloc = umpa_topology::Allocation::generate(&m, &AllocSpec::contiguous(8));
+        let tg = ring_tg(8);
+        // The identity ring placement on a ring machine is optimal (all
+        // neighbors at distance 1, WH = 8 pairs * 2.0 * 2 dirs... WH
+        // counts directed messages: 8 * 2.0 = 16).
+        let mut mapping: Vec<u32> = (0..8usize).map(|t| alloc.node(t)).collect();
+        let wh0 = weighted_hops(&tg, &m, &mapping);
+        let wh1 = wh_refine(&tg, &m, &alloc, &mut mapping, &WhRefineConfig::default());
+        assert_eq!(wh0, wh1);
+    }
+
+    #[test]
+    fn delta_one_is_weaker_or_equal_to_delta_eight() {
+        let m = MachineConfig::small(&[4, 4], 1, 1).build();
+        let alloc = umpa_topology::Allocation::generate(&m, &AllocSpec::sparse(10, 2));
+        let tg = TaskGraph::from_messages(
+            10,
+            (0..10u32).flat_map(|i| {
+                [(i, (i + 1) % 10, 1.0), (i, (i + 3) % 10, 0.5)]
+            }),
+            None,
+        );
+        let base = greedy_map(&tg, &m, &alloc, &GreedyConfig::default());
+        let mut m1 = base.clone();
+        let mut m8 = base.clone();
+        let wh1 = wh_refine(
+            &tg,
+            &m,
+            &alloc,
+            &mut m1,
+            &WhRefineConfig {
+                delta: 1,
+                ..Default::default()
+            },
+        );
+        let wh8 = wh_refine(&tg, &m, &alloc, &mut m8, &WhRefineConfig::default());
+        assert!(wh8 <= wh1 + 1e-9, "Δ=8 ({wh8}) should beat Δ=1 ({wh1})");
+    }
+
+    #[test]
+    fn moves_onto_free_capacity_when_beneficial() {
+        let m = MachineConfig::small(&[8], 1, 2).build();
+        // 3 nodes, 2 procs each; 4 tasks: pair (0,1) and pair (2,3).
+        let alloc = umpa_topology::Allocation::generate(&m, &AllocSpec::contiguous(3));
+        let tg = TaskGraph::from_messages(4, [(0, 1, 5.0), (2, 3, 5.0)], None);
+        // Bad start: 0 and 1 split across far nodes.
+        let mut mapping = vec![
+            alloc.node(0),
+            alloc.node(2),
+            alloc.node(1),
+            alloc.node(1),
+        ];
+        let after = wh_refine(&tg, &m, &alloc, &mut mapping, &WhRefineConfig::default());
+        // 0 and 1 should end co-located (or adjacent at worst).
+        assert!(after <= 5.0, "WH after refine = {after}");
+        validate_mapping(&tg, &alloc, &mapping).unwrap();
+    }
+}

@@ -1,0 +1,98 @@
+//! Epoch-stamped visit markers.
+//!
+//! The mapping algorithms run thousands of BFS traversals over the same
+//! machine graph (one per `GETBESTNODE` call, one per refinement swap
+//! probe). Clearing a `visited: Vec<bool>` between traversals would cost
+//! `O(|Vm|)` each time and dominate the run. An [`EpochMarker`] instead
+//! stamps entries with a generation counter: bumping the generation
+//! invalidates every mark in `O(1)`.
+
+/// Reusable `O(1)`-reset visited marker for ids `0..len`.
+#[derive(Clone, Debug)]
+pub struct EpochMarker {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl EpochMarker {
+    /// Creates a marker for ids `0..len`, all unmarked.
+    pub fn new(len: usize) -> Self {
+        Self {
+            stamp: vec![0; len],
+            epoch: 1,
+        }
+    }
+
+    /// Number of addressable ids.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.stamp.len()
+    }
+
+    /// Whether the marker has zero capacity.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.stamp.is_empty()
+    }
+
+    /// Unmarks everything in `O(1)` (amortized; a wraparound triggers a
+    /// full clear once every `u32::MAX` resets).
+    pub fn reset(&mut self) {
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                self.stamp.fill(0);
+                1
+            }
+        };
+    }
+
+    /// Marks `id`; returns whether it was already marked this epoch.
+    #[inline]
+    pub fn mark(&mut self, id: usize) -> bool {
+        let was = self.stamp[id] == self.epoch;
+        self.stamp[id] = self.epoch;
+        was
+    }
+
+    /// Whether `id` is marked in the current epoch.
+    #[inline]
+    pub fn is_marked(&self, id: usize) -> bool {
+        self.stamp[id] == self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_and_query() {
+        let mut m = EpochMarker::new(10);
+        assert!(!m.mark(3));
+        assert!(m.mark(3));
+        assert!(m.is_marked(3));
+        assert!(!m.is_marked(4));
+    }
+
+    #[test]
+    fn reset_clears_in_constant_time() {
+        let mut m = EpochMarker::new(5);
+        m.mark(0);
+        m.mark(4);
+        m.reset();
+        assert!(!m.is_marked(0));
+        assert!(!m.is_marked(4));
+        assert!(!m.mark(0));
+    }
+
+    #[test]
+    fn survives_many_resets() {
+        let mut m = EpochMarker::new(2);
+        for _ in 0..10_000 {
+            m.mark(1);
+            m.reset();
+        }
+        assert!(!m.is_marked(1));
+    }
+}

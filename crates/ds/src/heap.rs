@@ -1,0 +1,375 @@
+//! Indexed binary max-heap with `O(log n)` change-key.
+//!
+//! Items are dense integer ids `0..capacity`; each id carries an `f64`
+//! key. The heap stores the position of every id so that keys can be
+//! changed (raised *or* lowered) in `O(log n)` without rebuilds — the
+//! operation the paper's `conn.update`, `whHeap` neighbour updates and
+//! `congHeap` virtual-swap probes all rely on.
+//!
+//! Ties are broken by id (smaller id wins) so every operation is fully
+//! deterministic; the mapping heuristics are sensitive to pop order and
+//! reproducibility across runs is required by the experiment harness.
+
+/// Sentinel meaning "id is not currently in the heap".
+const ABSENT: u32 = u32::MAX;
+
+/// An indexed binary max-heap over ids `0..capacity` with `f64` keys.
+///
+/// # Examples
+///
+/// ```
+/// use umpa_ds::IndexedMaxHeap;
+/// let mut h = IndexedMaxHeap::new(4);
+/// h.push(0, 1.0);
+/// h.push(2, 5.0);
+/// h.push(3, 3.0);
+/// h.change_key(0, 9.0);
+/// assert_eq!(h.pop(), Some((0, 9.0)));
+/// assert_eq!(h.pop(), Some((2, 5.0)));
+/// assert_eq!(h.pop(), Some((3, 3.0)));
+/// assert_eq!(h.pop(), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct IndexedMaxHeap {
+    /// Heap-ordered array of ids.
+    heap: Vec<u32>,
+    /// `pos[id]` = index of `id` inside `heap`, or `ABSENT`.
+    pos: Vec<u32>,
+    /// `key[id]` = current key of `id` (valid only while present).
+    key: Vec<f64>,
+}
+
+impl IndexedMaxHeap {
+    /// Creates an empty heap able to hold ids `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            heap: Vec::with_capacity(capacity),
+            pos: vec![ABSENT; capacity],
+            key: vec![0.0; capacity],
+        }
+    }
+
+    /// Number of ids currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the heap holds no ids.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Maximum id + 1 this heap accepts.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Whether `id` is currently in the heap.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        self.pos[id as usize] != ABSENT
+    }
+
+    /// Current key of `id`, if present.
+    #[inline]
+    pub fn key_of(&self, id: u32) -> Option<f64> {
+        self.contains(id).then(|| self.key[id as usize])
+    }
+
+    /// Inserts `id` with `key`. Panics if `id` is already present.
+    pub fn push(&mut self, id: u32, key: f64) {
+        assert!(
+            !self.contains(id),
+            "IndexedMaxHeap::push: id {id} already present"
+        );
+        self.key[id as usize] = key;
+        let at = self.heap.len();
+        self.heap.push(id);
+        self.pos[id as usize] = at as u32;
+        self.sift_up(at);
+    }
+
+    /// Inserts `id` or overwrites its key if already present.
+    pub fn push_or_update(&mut self, id: u32, key: f64) {
+        if self.contains(id) {
+            self.change_key(id, key);
+        } else {
+            self.push(id, key);
+        }
+    }
+
+    /// The max-key entry without removing it.
+    #[inline]
+    pub fn peek(&self) -> Option<(u32, f64)> {
+        self.heap.first().map(|&id| (id, self.key[id as usize]))
+    }
+
+    /// Removes and returns the max-key entry.
+    pub fn pop(&mut self) -> Option<(u32, f64)> {
+        let &top = self.heap.first()?;
+        let out = (top, self.key[top as usize]);
+        self.remove(top);
+        Some(out)
+    }
+
+    /// Sets a new key for a present `id`, restoring heap order.
+    pub fn change_key(&mut self, id: u32, key: f64) {
+        let at = self.pos[id as usize];
+        assert!(
+            at != ABSENT,
+            "IndexedMaxHeap::change_key: id {id} not present"
+        );
+        let old = self.key[id as usize];
+        self.key[id as usize] = key;
+        let at = at as usize;
+        if Self::before(key, id, old, id) {
+            self.sift_up(at);
+        } else {
+            self.sift_down(at);
+        }
+    }
+
+    /// Adds `delta` to the key of `id` (inserting with key `delta` if
+    /// absent) — the paper's `conn.update(t, c)` accumulation.
+    pub fn add_to_key(&mut self, id: u32, delta: f64) {
+        if self.contains(id) {
+            let k = self.key[id as usize] + delta;
+            self.change_key(id, k);
+        } else {
+            self.push(id, delta);
+        }
+    }
+
+    /// Removes `id` if present; returns its key.
+    pub fn remove(&mut self, id: u32) -> Option<f64> {
+        let at = self.pos[id as usize];
+        if at == ABSENT {
+            return None;
+        }
+        let at = at as usize;
+        let last = self.heap.len() - 1;
+        self.heap.swap(at, last);
+        let moved = self.heap[at];
+        self.pos[moved as usize] = at as u32;
+        self.heap.pop();
+        self.pos[id as usize] = ABSENT;
+        if at < self.heap.len() {
+            // Restore order for the element swapped into `at`.
+            self.sift_up(at);
+            self.sift_down(self.pos[moved as usize] as usize);
+        }
+        Some(self.key[id as usize])
+    }
+
+    /// Drops every entry, keeping allocations.
+    pub fn clear(&mut self) {
+        for &id in &self.heap {
+            self.pos[id as usize] = ABSENT;
+        }
+        self.heap.clear();
+    }
+
+    /// Iterates `(id, key)` pairs in unspecified (heap) order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.heap.iter().map(move |&id| (id, self.key[id as usize]))
+    }
+
+    /// Strict ordering: does (ka, ia) come before (kb, ib) in a max-heap?
+    /// Larger key first; ties broken toward the smaller id.
+    #[inline]
+    fn before(ka: f64, ia: u32, kb: f64, ib: u32) -> bool {
+        ka > kb || (ka == kb && ia < ib)
+    }
+
+    fn sift_up(&mut self, mut at: usize) {
+        while at > 0 {
+            let parent = (at - 1) / 2;
+            let (c, p) = (self.heap[at], self.heap[parent]);
+            if Self::before(
+                self.key[c as usize],
+                c,
+                self.key[p as usize],
+                p,
+            ) {
+                self.heap.swap(at, parent);
+                self.pos[c as usize] = parent as u32;
+                self.pos[p as usize] = at as u32;
+                at = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut at: usize) {
+        let n = self.heap.len();
+        loop {
+            let l = 2 * at + 1;
+            if l >= n {
+                break;
+            }
+            let r = l + 1;
+            let mut best = l;
+            if r < n {
+                let (lid, rid) = (self.heap[l], self.heap[r]);
+                if Self::before(
+                    self.key[rid as usize],
+                    rid,
+                    self.key[lid as usize],
+                    lid,
+                ) {
+                    best = r;
+                }
+            }
+            let (cid, bid) = (self.heap[at], self.heap[best]);
+            if Self::before(
+                self.key[bid as usize],
+                bid,
+                self.key[cid as usize],
+                cid,
+            ) {
+                self.heap.swap(at, best);
+                self.pos[cid as usize] = best as u32;
+                self.pos[bid as usize] = at as u32;
+                at = best;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Debug invariant check: heap order and position consistency.
+    #[doc(hidden)]
+    pub fn assert_invariants(&self) {
+        for (i, &id) in self.heap.iter().enumerate() {
+            assert_eq!(self.pos[id as usize] as usize, i, "pos out of sync");
+            if i > 0 {
+                let p = self.heap[(i - 1) / 2];
+                assert!(
+                    !Self::before(
+                        self.key[id as usize],
+                        id,
+                        self.key[p as usize],
+                        p
+                    ),
+                    "heap order violated at index {i}"
+                );
+            }
+        }
+        let present = self
+            .pos
+            .iter()
+            .filter(|&&p| p != ABSENT)
+            .count();
+        assert_eq!(present, self.heap.len(), "pos table leaks entries");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_orders_by_key_desc() {
+        let mut h = IndexedMaxHeap::new(8);
+        for (id, k) in [(0u32, 3.0), (1, 7.0), (2, 1.0), (3, 5.0)] {
+            h.push(id, k);
+        }
+        h.assert_invariants();
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop().map(|(i, _)| i)).collect();
+        assert_eq!(order, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn ties_break_toward_smaller_id() {
+        let mut h = IndexedMaxHeap::new(8);
+        h.push(5, 2.0);
+        h.push(1, 2.0);
+        h.push(3, 2.0);
+        assert_eq!(h.pop().unwrap().0, 1);
+        assert_eq!(h.pop().unwrap().0, 3);
+        assert_eq!(h.pop().unwrap().0, 5);
+    }
+
+    #[test]
+    fn change_key_raises_and_lowers() {
+        let mut h = IndexedMaxHeap::new(4);
+        h.push(0, 1.0);
+        h.push(1, 2.0);
+        h.push(2, 3.0);
+        h.change_key(0, 10.0);
+        h.assert_invariants();
+        assert_eq!(h.peek(), Some((0, 10.0)));
+        h.change_key(0, 0.5);
+        h.assert_invariants();
+        assert_eq!(h.peek(), Some((2, 3.0)));
+    }
+
+    #[test]
+    fn add_to_key_accumulates_like_conn_update() {
+        let mut h = IndexedMaxHeap::new(4);
+        h.add_to_key(2, 1.5);
+        h.add_to_key(2, 2.5);
+        h.add_to_key(1, 3.0);
+        assert_eq!(h.pop(), Some((2, 4.0)));
+        assert_eq!(h.pop(), Some((1, 3.0)));
+    }
+
+    #[test]
+    fn remove_middle_keeps_order() {
+        let mut h = IndexedMaxHeap::new(16);
+        for id in 0..10u32 {
+            h.push(id, f64::from(id * 7 % 10));
+        }
+        assert_eq!(h.remove(4), Some(8.0));
+        assert!(!h.contains(4));
+        h.assert_invariants();
+        let mut last = f64::INFINITY;
+        while let Some((_, k)) = h.pop() {
+            assert!(k <= last);
+            last = k;
+        }
+    }
+
+    #[test]
+    fn clear_resets_but_allows_reuse() {
+        let mut h = IndexedMaxHeap::new(4);
+        h.push(0, 1.0);
+        h.push(3, 2.0);
+        h.clear();
+        assert!(h.is_empty());
+        assert!(!h.contains(0));
+        h.push(0, 5.0);
+        assert_eq!(h.pop(), Some((0, 5.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn double_push_panics() {
+        let mut h = IndexedMaxHeap::new(2);
+        h.push(0, 1.0);
+        h.push(0, 2.0);
+    }
+
+    #[test]
+    fn key_of_and_contains_reflect_state() {
+        let mut h = IndexedMaxHeap::new(4);
+        assert_eq!(h.key_of(1), None);
+        h.push(1, 4.5);
+        assert_eq!(h.key_of(1), Some(4.5));
+        h.pop();
+        assert_eq!(h.key_of(1), None);
+    }
+
+    #[test]
+    fn push_or_update_overwrites() {
+        let mut h = IndexedMaxHeap::new(4);
+        h.push_or_update(2, 1.0);
+        h.push_or_update(2, 9.0);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.pop(), Some((2, 9.0)));
+    }
+}

@@ -1,0 +1,112 @@
+//! Union–find (disjoint set union) with path halving and union by size.
+//!
+//! Used by the coarsening matcher and connected-component routines in
+//! `umpa-graph`/`umpa-partition`.
+
+/// A disjoint-set forest over ids `0..len`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        Self {
+            parent: (0..len as u32).collect(),
+            size: vec![1; len],
+            sets: len,
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets remaining.
+    #[inline]
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Representative of `x`'s set (path-halving).
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `false` if already merged.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        self.sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn size_of(&mut self, x: u32) -> usize {
+        let r = self.find(x);
+        self.size[r as usize] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unions_merge_and_count() {
+        let mut uf = UnionFind::new(6);
+        assert_eq!(uf.set_count(), 6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(0, 2));
+        assert_eq!(uf.set_count(), 3);
+        assert!(uf.connected(1, 3));
+        assert!(!uf.connected(1, 4));
+        assert_eq!(uf.size_of(3), 4);
+        assert_eq!(uf.size_of(5), 1);
+    }
+
+    #[test]
+    fn find_is_idempotent_after_compression() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        let r = uf.find(0);
+        for i in 0..100 {
+            assert_eq!(uf.find(i), r);
+        }
+        assert_eq!(uf.set_count(), 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property test: `IndexedMaxHeap` against a `BTreeMap` reference model
+//! under arbitrary operation sequences (the DESIGN.md §7 invariant).
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use umpa_ds::IndexedMaxHeap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Push(u32, u32),
+    Pop,
+    ChangeKey(u32, u32),
+    AddToKey(u32, i32),
+    Remove(u32),
+}
+
+fn op_strategy(ids: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..ids, 0u32..1000).prop_map(|(i, k)| Op::Push(i, k)),
+        Just(Op::Pop),
+        (0..ids, 0u32..1000).prop_map(|(i, k)| Op::ChangeKey(i, k)),
+        (0..ids, -50i32..50).prop_map(|(i, d)| Op::AddToKey(i, d)),
+        (0..ids).prop_map(Op::Remove),
+    ]
+}
+
+/// Reference model: id → key map; max = (highest key, lowest id).
+#[derive(Default)]
+struct Model {
+    map: BTreeMap<u32, f64>,
+}
+
+impl Model {
+    fn max(&self) -> Option<(u32, f64)> {
+        self.map
+            .iter()
+            .max_by(|a, b| {
+                a.1.partial_cmp(b.1)
+                    .unwrap()
+                    .then(b.0.cmp(a.0)) // ties → smaller id first
+            })
+            .map(|(&i, &k)| (i, k))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn heap_matches_reference_model(ops in prop::collection::vec(op_strategy(16), 1..120)) {
+        let mut heap = IndexedMaxHeap::new(16);
+        let mut model = Model::default();
+        for op in ops {
+            match op {
+                Op::Push(i, k) => {
+                    if !model.map.contains_key(&i) {
+                        heap.push(i, f64::from(k));
+                        model.map.insert(i, f64::from(k));
+                    }
+                }
+                Op::Pop => {
+                    let got = heap.pop();
+                    let want = model.max();
+                    prop_assert_eq!(got, want);
+                    if let Some((i, _)) = want {
+                        model.map.remove(&i);
+                    }
+                }
+                Op::ChangeKey(i, k) => {
+                    if model.map.contains_key(&i) {
+                        heap.change_key(i, f64::from(k));
+                        model.map.insert(i, f64::from(k));
+                    }
+                }
+                Op::AddToKey(i, d) => {
+                    heap.add_to_key(i, f64::from(d));
+                    *model.map.entry(i).or_insert(0.0) += f64::from(d);
+                }
+                Op::Remove(i) => {
+                    let got = heap.remove(i);
+                    let want = model.map.remove(&i);
+                    prop_assert_eq!(got, want);
+                }
+            }
+            // Continuous agreement on size and top.
+            prop_assert_eq!(heap.len(), model.map.len());
+            prop_assert_eq!(heap.peek(), model.max());
+            heap.assert_invariants();
+        }
+    }
+}

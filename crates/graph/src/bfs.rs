@@ -1,0 +1,193 @@
+//! Multi-source BFS with a reusable, `O(1)`-reset workspace.
+//!
+//! Every `GETBESTNODE` call in Algorithm 1 and every candidate search in
+//! Algorithms 2–3 is "a BFS on `Gm` from a seed set, consumed in level
+//! order, aborted early". [`Bfs`] owns the queue and visit marks and is
+//! driven as a pull-style iterator so callers can stop at any vertex or
+//! at a level boundary without paying for the rest of the traversal.
+
+use umpa_ds::EpochMarker;
+
+use crate::csr::Graph;
+
+/// One BFS step: a newly visited vertex and its level (sources are 0).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BfsEvent {
+    /// The visited vertex.
+    pub vertex: u32,
+    /// BFS distance from the nearest source.
+    pub level: u32,
+}
+
+/// Reusable multi-source BFS engine over any [`Graph`].
+pub struct Bfs {
+    queue: Vec<(u32, u32)>,
+    head: usize,
+    visited: EpochMarker,
+}
+
+impl Bfs {
+    /// Creates a workspace for graphs with up to `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            queue: Vec::with_capacity(n),
+            head: 0,
+            visited: EpochMarker::new(n),
+        }
+    }
+
+    /// Starts a new traversal from `sources` (level 0, duplicates
+    /// ignored). Any traversal in flight is abandoned.
+    pub fn start(&mut self, sources: impl IntoIterator<Item = u32>) {
+        self.queue.clear();
+        self.head = 0;
+        self.visited.reset();
+        for s in sources {
+            if !self.visited.mark(s as usize) {
+                self.queue.push((s, 0));
+            }
+        }
+    }
+
+    /// Advances one vertex in level order, expanding its neighbors.
+    ///
+    /// Returns `None` when the reachable set is exhausted. The sources
+    /// themselves are yielded first (level 0).
+    pub fn next(&mut self, g: &Graph) -> Option<BfsEvent> {
+        if self.head >= self.queue.len() {
+            return None;
+        }
+        let (v, level) = self.queue[self.head];
+        self.head += 1;
+        for &n in g.neighbors(v) {
+            if !self.visited.mark(n as usize) {
+                self.queue.push((n, level + 1));
+            }
+        }
+        Some(BfsEvent { vertex: v, level })
+    }
+
+    /// Whether `v` has been visited in the current traversal.
+    #[inline]
+    pub fn was_visited(&self, v: u32) -> bool {
+        self.visited.is_marked(v as usize)
+    }
+
+    /// Runs the traversal to completion, returning the last event —
+    /// i.e. one of the vertices farthest from the source set (the
+    /// deterministic last one in level order). `None` if no sources.
+    pub fn run_to_farthest(&mut self, g: &Graph) -> Option<BfsEvent> {
+        let mut last = None;
+        while let Some(ev) = self.next(g) {
+            last = Some(ev);
+        }
+        last
+    }
+
+    /// Collects every `(vertex, level)` reachable from `sources`.
+    pub fn levels_from(
+        &mut self,
+        g: &Graph,
+        sources: impl IntoIterator<Item = u32>,
+    ) -> Vec<BfsEvent> {
+        self.start(sources);
+        let mut out = Vec::new();
+        while let Some(ev) = self.next(g) {
+            out.push(ev);
+        }
+        out
+    }
+}
+
+/// Convenience: single-source BFS distances (`u32::MAX` = unreachable).
+pub fn bfs_distances(g: &Graph, source: u32) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.num_vertices()];
+    let mut bfs = Bfs::new(g.num_vertices());
+    bfs.start([source]);
+    while let Some(ev) = bfs.next(g) {
+        dist[ev.vertex as usize] = ev.level;
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::GraphBuilder;
+
+    /// 0-1-2-3 path plus isolated 4.
+    fn path4() -> Graph {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 1.0).add_edge(1, 2, 1.0).add_edge(2, 3, 1.0);
+        b.build_symmetric()
+    }
+
+    #[test]
+    fn single_source_levels() {
+        let g = path4();
+        let mut bfs = Bfs::new(5);
+        let evs = bfs.levels_from(&g, [0]);
+        let lv: Vec<(u32, u32)> = evs.iter().map(|e| (e.vertex, e.level)).collect();
+        assert_eq!(lv, vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
+        assert!(!bfs.was_visited(4));
+    }
+
+    #[test]
+    fn multi_source_takes_min_level() {
+        let g = path4();
+        let mut bfs = Bfs::new(5);
+        let evs = bfs.levels_from(&g, [0, 3]);
+        let level_of = |v: u32| evs.iter().find(|e| e.vertex == v).unwrap().level;
+        assert_eq!(level_of(1), 1);
+        assert_eq!(level_of(2), 1);
+    }
+
+    #[test]
+    fn farthest_vertex_on_path() {
+        let g = path4();
+        let mut bfs = Bfs::new(5);
+        bfs.start([0]);
+        let far = bfs.run_to_farthest(&g).unwrap();
+        assert_eq!((far.vertex, far.level), (3, 3));
+    }
+
+    #[test]
+    fn workspace_reuse_is_clean() {
+        let g = path4();
+        let mut bfs = Bfs::new(5);
+        bfs.levels_from(&g, [0]);
+        let evs = bfs.levels_from(&g, [3]);
+        assert_eq!(evs[0].vertex, 3);
+        assert_eq!(evs.last().unwrap().vertex, 0);
+        assert_eq!(evs.last().unwrap().level, 3);
+    }
+
+    #[test]
+    fn early_exit_leaves_engine_restartable() {
+        let g = path4();
+        let mut bfs = Bfs::new(5);
+        bfs.start([0]);
+        assert_eq!(bfs.next(&g).unwrap().vertex, 0);
+        // Abandon mid-flight, restart elsewhere.
+        bfs.start([2]);
+        let all: Vec<u32> = std::iter::from_fn(|| bfs.next(&g).map(|e| e.vertex)).collect();
+        assert_eq!(all, vec![2, 1, 3, 0]);
+    }
+
+    #[test]
+    fn duplicate_sources_are_deduped() {
+        let g = path4();
+        let mut bfs = Bfs::new(5);
+        let evs = bfs.levels_from(&g, [1, 1, 1]);
+        assert_eq!(evs.iter().filter(|e| e.vertex == 1).count(), 1);
+    }
+
+    #[test]
+    fn distances_helper_matches_levels() {
+        let g = path4();
+        let d = bfs_distances(&g, 1);
+        assert_eq!(d[0], 1);
+        assert_eq!(d[3], 2);
+        assert_eq!(d[4], u32::MAX);
+    }
+}

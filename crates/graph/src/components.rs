@@ -1,0 +1,104 @@
+//! Connected components of (symmetrized) graphs.
+//!
+//! Algorithm 1 needs them when the task graph is disconnected: "a task
+//! with the maximum communication volume from one of the disconnected
+//! components is chosen" as the next seed.
+
+use crate::bfs::Bfs;
+use crate::csr::Graph;
+
+/// Component labelling of an undirected graph.
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// `label[v]` = component id in `0..count`.
+    pub label: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl Components {
+    /// Vertices of component `c` (allocates; intended for small graphs
+    /// or test/diagnostic paths).
+    pub fn members(&self, c: u32) -> Vec<u32> {
+        self.label
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == c)
+            .map(|(v, _)| v as u32)
+            .collect()
+    }
+
+    /// Sizes of all components.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut s = vec![0usize; self.count];
+        for &l in &self.label {
+            s[l as usize] += 1;
+        }
+        s
+    }
+}
+
+/// Labels connected components by repeated BFS. The graph is assumed to
+/// be symmetric (built with [`crate::GraphBuilder::build_symmetric`]).
+pub fn connected_components(g: &Graph) -> Components {
+    let n = g.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut bfs = Bfs::new(n);
+    for v in 0..n as u32 {
+        if label[v as usize] != u32::MAX {
+            continue;
+        }
+        bfs.start([v]);
+        while let Some(ev) = bfs.next(g) {
+            label[ev.vertex as usize] = count;
+        }
+        count += 1;
+    }
+    Components {
+        label,
+        count: count as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::GraphBuilder;
+
+    #[test]
+    fn splits_two_triangles_and_isolated() {
+        let mut b = GraphBuilder::new(7);
+        b.add_edge(0, 1, 1.0).add_edge(1, 2, 1.0).add_edge(2, 0, 1.0);
+        b.add_edge(3, 4, 1.0).add_edge(4, 5, 1.0).add_edge(5, 3, 1.0);
+        let g = b.build_symmetric();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 3);
+        assert_eq!(c.label[0], c.label[2]);
+        assert_eq!(c.label[3], c.label[5]);
+        assert_ne!(c.label[0], c.label[3]);
+        assert_eq!(c.members(c.label[6]), vec![6]);
+        let mut sizes = c.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 3, 3]);
+    }
+
+    #[test]
+    fn fully_connected_is_one_component() {
+        let mut b = GraphBuilder::new(4);
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                b.add_edge(u, v, 1.0);
+            }
+        }
+        let c = connected_components(&b.build_symmetric());
+        assert_eq!(c.count, 1);
+    }
+
+    #[test]
+    fn edgeless_graph_is_all_singletons() {
+        let c = connected_components(&Graph::empty(5));
+        assert_eq!(c.count, 5);
+        assert_eq!(c.sizes(), vec![1; 5]);
+    }
+}

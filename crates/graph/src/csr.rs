@@ -1,0 +1,348 @@
+//! Immutable CSR graphs and their builder.
+
+/// An immutable graph in compressed sparse row form.
+///
+/// Vertices are dense `u32` ids. Every edge carries an `f64` weight
+/// (communication volume for task graphs, bandwidth for topology
+/// graphs); every vertex carries an `f64` weight (task load / node
+/// capacity). Whether the graph is directed is a property of how it was
+/// built — the structure itself just stores out-adjacency.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Graph {
+    xadj: Vec<usize>,
+    adj: Vec<u32>,
+    ewgt: Vec<f64>,
+    vwgt: Vec<f64>,
+}
+
+impl Graph {
+    /// Builds directly from CSR arrays. `xadj.len() == vwgt.len() + 1`,
+    /// `adj.len() == ewgt.len() == xadj[last]`.
+    pub fn from_csr(
+        xadj: Vec<usize>,
+        adj: Vec<u32>,
+        ewgt: Vec<f64>,
+        vwgt: Vec<f64>,
+    ) -> Self {
+        assert_eq!(xadj.len(), vwgt.len() + 1, "xadj/vwgt length mismatch");
+        assert_eq!(adj.len(), ewgt.len(), "adj/ewgt length mismatch");
+        assert_eq!(*xadj.last().unwrap(), adj.len(), "xadj end mismatch");
+        debug_assert!(xadj.windows(2).all(|w| w[0] <= w[1]), "xadj not sorted");
+        Self {
+            xadj,
+            adj,
+            ewgt,
+            vwgt,
+        }
+    }
+
+    /// A graph with `n` isolated unit-weight vertices.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            xadj: vec![0; n + 1],
+            adj: Vec::new(),
+            ewgt: Vec::new(),
+            vwgt: vec![1.0; n],
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// Number of stored (directed) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.xadj[v as usize + 1] - self.xadj[v as usize]
+    }
+
+    /// Neighbor ids of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[self.xadj[v as usize]..self.xadj[v as usize + 1]]
+    }
+
+    /// Edge weights of `v`'s out-edges, parallel to [`Self::neighbors`].
+    #[inline]
+    pub fn edge_weights(&self, v: u32) -> &[f64] {
+        &self.ewgt[self.xadj[v as usize]..self.xadj[v as usize + 1]]
+    }
+
+    /// Iterates `(neighbor, edge_weight)` pairs of `v`.
+    #[inline]
+    pub fn edges(&self, v: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.edge_weights(v).iter().copied())
+    }
+
+    /// Iterates every stored edge as `(src, dst, weight)`.
+    pub fn all_edges(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
+        (0..self.num_vertices() as u32)
+            .flat_map(move |u| self.edges(u).map(move |(v, w)| (u, v, w)))
+    }
+
+    /// Weight of vertex `v`.
+    #[inline]
+    pub fn vertex_weight(&self, v: u32) -> f64 {
+        self.vwgt[v as usize]
+    }
+
+    /// All vertex weights.
+    #[inline]
+    pub fn vertex_weights(&self) -> &[f64] {
+        &self.vwgt
+    }
+
+    /// Replaces all vertex weights (must match vertex count).
+    pub fn set_vertex_weights(&mut self, vwgt: Vec<f64>) {
+        assert_eq!(vwgt.len(), self.num_vertices());
+        self.vwgt = vwgt;
+    }
+
+    /// Sum of all vertex weights.
+    pub fn total_vertex_weight(&self) -> f64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// Sum of all stored edge weights.
+    pub fn total_edge_weight(&self) -> f64 {
+        self.ewgt.iter().sum()
+    }
+
+    /// Sum of `v`'s out-edge weights.
+    pub fn weighted_degree(&self, v: u32) -> f64 {
+        self.edge_weights(v).iter().sum()
+    }
+
+    /// Looks up the weight of edge `(u, v)` by scanning `u`'s list.
+    pub fn edge_weight_between(&self, u: u32, v: u32) -> Option<f64> {
+        self.edges(u).find(|&(n, _)| n == v).map(|(_, w)| w)
+    }
+
+    /// Extracts the subgraph induced by `vertices` (edges with both
+    /// endpoints inside). Returns the subgraph — whose vertex `i`
+    /// corresponds to `vertices[i]` — so callers keep the id mapping.
+    pub fn induced_subgraph(&self, vertices: &[u32]) -> Graph {
+        let mut local = vec![u32::MAX; self.num_vertices()];
+        for (i, &v) in vertices.iter().enumerate() {
+            debug_assert!(local[v as usize] == u32::MAX, "duplicate vertex");
+            local[v as usize] = i as u32;
+        }
+        let mut b = GraphBuilder::new(vertices.len());
+        for (i, &v) in vertices.iter().enumerate() {
+            for (n, w) in self.edges(v) {
+                let ln = local[n as usize];
+                if ln != u32::MAX {
+                    b.add_edge(i as u32, ln, w);
+                }
+            }
+        }
+        b.vertex_weights(vertices.iter().map(|&v| self.vertex_weight(v)).collect());
+        b.build_directed()
+    }
+}
+
+/// Accumulates edge triplets and produces a [`Graph`].
+///
+/// Duplicate `(u, v)` entries are merged by summing weights; self-loops
+/// are dropped (neither metric in the paper counts them — a task does
+/// not message itself over the network).
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(u32, u32, f64)>,
+    vwgt: Option<Vec<f64>>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            edges: Vec::new(),
+            vwgt: None,
+        }
+    }
+
+    /// Number of vertices the final graph will have.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Adds a directed edge `(u, v)` with weight `w`.
+    pub fn add_edge(&mut self, u: u32, v: u32, w: f64) -> &mut Self {
+        debug_assert!((u as usize) < self.n && (v as usize) < self.n);
+        self.edges.push((u, v, w));
+        self
+    }
+
+    /// Sets explicit vertex weights (defaults to all `1.0`).
+    pub fn vertex_weights(&mut self, vwgt: Vec<f64>) -> &mut Self {
+        assert_eq!(vwgt.len(), self.n);
+        self.vwgt = Some(vwgt);
+        self
+    }
+
+    /// Builds keeping edge directions (duplicates merged, loops dropped).
+    pub fn build_directed(&self) -> Graph {
+        self.build_inner(false)
+    }
+
+    /// Builds the symmetrized graph: for every pair `{u, v}` the combined
+    /// weight `w(u→v) + w(v→u)` is stored in both directions. This is the
+    /// paper's symmetric view of `Gt` used by WH-driven algorithms.
+    pub fn build_symmetric(&self) -> Graph {
+        self.build_inner(true)
+    }
+
+    fn build_inner(&self, symmetrize: bool) -> Graph {
+        let n = self.n;
+        // Collect (possibly mirrored) edges, drop self-loops.
+        let mut triplets: Vec<(u32, u32, f64)> = Vec::with_capacity(
+            self.edges.len() * if symmetrize { 2 } else { 1 },
+        );
+        for &(u, v, w) in &self.edges {
+            if u == v {
+                continue;
+            }
+            triplets.push((u, v, w));
+            if symmetrize {
+                triplets.push((v, u, w));
+            }
+        }
+        // Sort then merge duplicates.
+        triplets.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        let mut xadj = vec![0usize; n + 1];
+        let mut adj = Vec::with_capacity(triplets.len());
+        let mut ewgt = Vec::with_capacity(triplets.len());
+        let mut i = 0;
+        while i < triplets.len() {
+            let (u, v, mut w) = triplets[i];
+            let mut j = i + 1;
+            while j < triplets.len() && triplets[j].0 == u && triplets[j].1 == v {
+                w += triplets[j].2;
+                j += 1;
+            }
+            adj.push(v);
+            ewgt.push(w);
+            xadj[u as usize + 1] += 1;
+            i = j;
+        }
+        for k in 0..n {
+            xadj[k + 1] += xadj[k];
+        }
+        let vwgt = self.vwgt.clone().unwrap_or_else(|| vec![1.0; n]);
+        Graph::from_csr(xadj, adj, ewgt, vwgt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> GraphBuilder {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 2.0).add_edge(1, 2, 3.0).add_edge(2, 0, 4.0);
+        b
+    }
+
+    #[test]
+    fn directed_build_keeps_direction() {
+        let g = triangle().build_directed();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[2]);
+        assert_eq!(g.edge_weight_between(2, 0), Some(4.0));
+        assert_eq!(g.edge_weight_between(0, 2), None);
+    }
+
+    #[test]
+    fn symmetric_build_mirrors_and_sums() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 2.0).add_edge(1, 0, 5.0).add_edge(1, 2, 1.0);
+        let g = b.build_symmetric();
+        // 0<->1 combined weight 7, 1<->2 combined weight 1.
+        assert_eq!(g.edge_weight_between(0, 1), Some(7.0));
+        assert_eq!(g.edge_weight_between(1, 0), Some(7.0));
+        assert_eq!(g.edge_weight_between(2, 1), Some(1.0));
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn duplicates_merge_and_loops_drop() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 1.0)
+            .add_edge(0, 1, 2.5)
+            .add_edge(0, 0, 99.0);
+        let g = b.build_directed();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight_between(0, 1), Some(3.5));
+    }
+
+    #[test]
+    fn vertex_weights_default_and_explicit() {
+        let g = triangle().build_directed();
+        assert_eq!(g.vertex_weight(1), 1.0);
+        assert_eq!(g.total_vertex_weight(), 3.0);
+        let mut b = triangle();
+        b.vertex_weights(vec![2.0, 3.0, 4.0]);
+        let g = b.build_directed();
+        assert_eq!(g.total_vertex_weight(), 9.0);
+    }
+
+    #[test]
+    fn empty_graph_has_isolated_vertices() {
+        let g = Graph::empty(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(3), 0);
+        assert!(g.neighbors(3).is_empty());
+    }
+
+    #[test]
+    fn all_edges_enumerates_everything() {
+        let g = triangle().build_directed();
+        let edges: Vec<_> = g.all_edges().collect();
+        assert_eq!(
+            edges,
+            vec![(0, 1, 2.0), (1, 2, 3.0), (2, 0, 4.0)]
+        );
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 1.0)
+            .add_edge(1, 2, 2.0)
+            .add_edge(2, 3, 3.0)
+            .add_edge(3, 4, 4.0);
+        b.vertex_weights(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let g = b.build_symmetric();
+        let sub = g.induced_subgraph(&[1, 2, 4]);
+        assert_eq!(sub.num_vertices(), 3);
+        // Only the 1-2 edge survives (3 links 2 and 4 but is excluded).
+        assert_eq!(sub.num_edges(), 2);
+        assert_eq!(sub.edge_weight_between(0, 1), Some(2.0));
+        assert_eq!(sub.vertex_weight(2), 5.0);
+    }
+
+    #[test]
+    fn weighted_degree_sums_out_edges() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 2.0).add_edge(0, 2, 3.0);
+        let g = b.build_directed();
+        assert_eq!(g.weighted_degree(0), 5.0);
+        assert_eq!(g.weighted_degree(1), 0.0);
+    }
+}

@@ -1,0 +1,292 @@
+//! The paper's MPI task graph `Gt`.
+//!
+//! `Gt` is *directed*: `(t1, t2) ∈ Et` iff `t1` sends a message to `t2`,
+//! and `c(t1, t2)` is the volume of that message. The WH/TH metrics are
+//! undirected (hop distance is symmetric), so the mapping algorithms
+//! traverse a symmetrized view while the congestion metrics route each
+//! directed message individually. [`TaskGraph`] keeps both views
+//! consistent and caches per-task send/receive volumes for the
+//! `t_MSRV` (maximum send+receive volume) seed of Algorithm 1.
+
+use crate::csr::{Graph, GraphBuilder};
+
+/// A directed task communication graph plus its symmetrized view.
+#[derive(Clone, Debug)]
+pub struct TaskGraph {
+    directed: Graph,
+    reversed: Graph,
+    sym: Graph,
+    send_vol: Vec<f64>,
+    recv_vol: Vec<f64>,
+    send_msgs: Vec<u32>,
+    recv_msgs: Vec<u32>,
+}
+
+impl TaskGraph {
+    /// Builds from directed `(sender, receiver, volume)` message edges.
+    ///
+    /// Duplicate edges are merged (volumes summed) — two logical
+    /// messages between the same pair in the same phase traverse the
+    /// same route and count once for MMC, as in the paper's model where
+    /// `Et` is a set. Self-loops are dropped. `task_weights` defaults to
+    /// uniform `1.0` (one processor slot per task).
+    pub fn from_messages(
+        num_tasks: usize,
+        messages: impl IntoIterator<Item = (u32, u32, f64)>,
+        task_weights: Option<Vec<f64>>,
+    ) -> Self {
+        let mut b = GraphBuilder::new(num_tasks);
+        for (s, t, v) in messages {
+            b.add_edge(s, t, v);
+        }
+        if let Some(w) = task_weights {
+            b.vertex_weights(w);
+        }
+        let directed = b.build_directed();
+        let sym = b.build_symmetric();
+        let mut rb = GraphBuilder::new(num_tasks);
+        for (s, t, v) in directed.all_edges() {
+            rb.add_edge(t, s, v);
+        }
+        let reversed = rb.build_directed();
+        let mut send_vol = vec![0.0; num_tasks];
+        let mut recv_vol = vec![0.0; num_tasks];
+        let mut send_msgs = vec![0u32; num_tasks];
+        let mut recv_msgs = vec![0u32; num_tasks];
+        for (s, t, v) in directed.all_edges() {
+            send_vol[s as usize] += v;
+            recv_vol[t as usize] += v;
+            send_msgs[s as usize] += 1;
+            recv_msgs[t as usize] += 1;
+        }
+        Self {
+            directed,
+            reversed,
+            sym,
+            send_vol,
+            recv_vol,
+            send_msgs,
+            recv_msgs,
+        }
+    }
+
+    /// Aggregates tasks into `num_groups` super-tasks: directed edge
+    /// volumes are summed across group boundaries, intra-group messages
+    /// disappear (they become node-local), and group weights are the
+    /// sums of member task weights. When `count_weighted` is set, each
+    /// fine message contributes `1.0` instead of its volume — the view
+    /// Algorithm 3's MMC variant refines, where congestion counts
+    /// *messages*, not words.
+    pub fn group_quotient(
+        &self,
+        group_of: &[u32],
+        num_groups: usize,
+        count_weighted: bool,
+    ) -> TaskGraph {
+        assert_eq!(group_of.len(), self.num_tasks());
+        let mut weights = vec![0.0; num_groups];
+        for t in 0..self.num_tasks() {
+            weights[group_of[t] as usize] += self.task_weight(t as u32);
+        }
+        let messages = self.messages().filter_map(|(s, t, v)| {
+            let (gs, gt) = (group_of[s as usize], group_of[t as usize]);
+            (gs != gt).then_some((gs, gt, if count_weighted { 1.0 } else { v }))
+        });
+        TaskGraph::from_messages(num_groups, messages, Some(weights))
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.directed.num_vertices()
+    }
+
+    /// Number of directed message edges `|Et|`.
+    #[inline]
+    pub fn num_messages(&self) -> usize {
+        self.directed.num_edges()
+    }
+
+    /// The directed message graph (one edge per message).
+    #[inline]
+    pub fn directed(&self) -> &Graph {
+        &self.directed
+    }
+
+    /// The symmetrized graph: weight of `{u, v}` is
+    /// `c(u→v) + c(v→u)`, stored in both directions.
+    #[inline]
+    pub fn symmetric(&self) -> &Graph {
+        &self.sym
+    }
+
+    /// Iterates directed messages `(sender, receiver, volume)`.
+    pub fn messages(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
+        self.directed.all_edges()
+    }
+
+    /// Iterates `(sender, volume)` over messages *received* by `t`.
+    pub fn in_edges(&self, t: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.reversed.edges(t)
+    }
+
+    /// Iterates `(receiver, volume)` over messages *sent* by `t`.
+    pub fn out_edges(&self, t: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.directed.edges(t)
+    }
+
+    /// Total communication volume (sum of message volumes).
+    pub fn total_volume(&self) -> f64 {
+        self.send_vol.iter().sum()
+    }
+
+    /// Volume sent by `t`.
+    #[inline]
+    pub fn send_volume(&self, t: u32) -> f64 {
+        self.send_vol[t as usize]
+    }
+
+    /// Volume received by `t`.
+    #[inline]
+    pub fn recv_volume(&self, t: u32) -> f64 {
+        self.recv_vol[t as usize]
+    }
+
+    /// Send + receive volume of `t` (the MSRV quantity of Algorithm 1).
+    #[inline]
+    pub fn srv(&self, t: u32) -> f64 {
+        self.send_vol[t as usize] + self.recv_vol[t as usize]
+    }
+
+    /// Number of messages sent by `t`.
+    #[inline]
+    pub fn send_messages(&self, t: u32) -> u32 {
+        self.send_msgs[t as usize]
+    }
+
+    /// Number of messages received by `t`.
+    #[inline]
+    pub fn recv_messages(&self, t: u32) -> u32 {
+        self.recv_msgs[t as usize]
+    }
+
+    /// The task with maximum send+receive volume (ties → smaller id);
+    /// `None` for an empty graph.
+    pub fn task_with_max_srv(&self) -> Option<u32> {
+        (0..self.num_tasks() as u32).max_by(|&a, &b| {
+            self.srv(a)
+                .partial_cmp(&self.srv(b))
+                .unwrap()
+                .then(b.cmp(&a)) // prefer smaller id on ties
+        })
+    }
+
+    /// Computation weight (processor demand) of task `t`.
+    #[inline]
+    pub fn task_weight(&self, t: u32) -> f64 {
+        self.directed.vertex_weight(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star() -> TaskGraph {
+        // 0 sends to 1,2,3; 3 sends back to 0.
+        TaskGraph::from_messages(
+            4,
+            [(0, 1, 5.0), (0, 2, 3.0), (0, 3, 2.0), (3, 0, 7.0)],
+            None,
+        )
+    }
+
+    #[test]
+    fn volumes_and_message_counts() {
+        let tg = star();
+        assert_eq!(tg.num_tasks(), 4);
+        assert_eq!(tg.num_messages(), 4);
+        assert_eq!(tg.send_volume(0), 10.0);
+        assert_eq!(tg.recv_volume(0), 7.0);
+        assert_eq!(tg.srv(0), 17.0);
+        assert_eq!(tg.send_messages(0), 3);
+        assert_eq!(tg.recv_messages(1), 1);
+        assert_eq!(tg.total_volume(), 17.0);
+    }
+
+    #[test]
+    fn msrv_task_is_hub() {
+        assert_eq!(star().task_with_max_srv(), Some(0));
+    }
+
+    #[test]
+    fn msrv_tie_prefers_smaller_id() {
+        let tg = TaskGraph::from_messages(3, [(0, 1, 4.0), (2, 1, 4.0)], None);
+        // srv: t0=4, t1=8, t2=4 → t1; then equal case:
+        assert_eq!(tg.task_with_max_srv(), Some(1));
+        let tg = TaskGraph::from_messages(2, [(0, 1, 4.0)], None);
+        // both have srv 4.0 → smaller id
+        assert_eq!(tg.task_with_max_srv(), Some(0));
+    }
+
+    #[test]
+    fn symmetric_view_combines_volumes() {
+        let tg = star();
+        assert_eq!(tg.symmetric().edge_weight_between(0, 3), Some(9.0));
+        assert_eq!(tg.symmetric().edge_weight_between(3, 0), Some(9.0));
+        assert_eq!(tg.symmetric().edge_weight_between(1, 0), Some(5.0));
+    }
+
+    #[test]
+    fn duplicate_messages_merge() {
+        let tg = TaskGraph::from_messages(2, [(0, 1, 1.0), (0, 1, 2.0)], None);
+        assert_eq!(tg.num_messages(), 1);
+        assert_eq!(tg.send_volume(0), 3.0);
+    }
+
+    #[test]
+    fn task_weights_flow_through() {
+        let tg = TaskGraph::from_messages(2, [(0, 1, 1.0)], Some(vec![2.0, 3.0]));
+        assert_eq!(tg.task_weight(0), 2.0);
+        assert_eq!(tg.task_weight(1), 3.0);
+    }
+
+    #[test]
+    fn empty_graph_has_no_msrv() {
+        let tg = TaskGraph::from_messages(0, [], None);
+        assert_eq!(tg.task_with_max_srv(), None);
+    }
+
+    #[test]
+    fn in_and_out_edges_are_duals() {
+        let tg = star();
+        let ins: Vec<(u32, f64)> = tg.in_edges(0).collect();
+        assert_eq!(ins, vec![(3, 7.0)]);
+        let outs: Vec<(u32, f64)> = tg.out_edges(0).collect();
+        assert_eq!(outs.len(), 3);
+        assert!(tg.in_edges(1).eq([(0, 5.0)]));
+    }
+
+    #[test]
+    fn quotient_sums_cross_group_volume_and_drops_internal() {
+        let tg = star();
+        // groups: {0,1} -> 0, {2,3} -> 1
+        let q = tg.group_quotient(&[0, 0, 1, 1], 2, false);
+        assert_eq!(q.num_tasks(), 2);
+        // 0->2 (3.0) and 0->3 (2.0) merge into group edge 0->1 (5.0);
+        // 3->0 (7.0) becomes 1->0; 0->1 vanishes (internal).
+        assert_eq!(q.send_volume(0), 5.0);
+        assert_eq!(q.send_volume(1), 7.0);
+        assert_eq!(q.num_messages(), 2);
+        assert_eq!(q.task_weight(0), 2.0);
+    }
+
+    #[test]
+    fn count_weighted_quotient_counts_messages() {
+        let tg = star();
+        let q = tg.group_quotient(&[0, 0, 1, 1], 2, true);
+        // Two fine messages 0->2, 0->3 cross: weight 2.0.
+        assert_eq!(q.send_volume(0), 2.0);
+        assert_eq!(q.send_volume(1), 1.0);
+    }
+}

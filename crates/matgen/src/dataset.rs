@@ -1,0 +1,304 @@
+//! The 25-instance matrix registry.
+//!
+//! Stands in for the paper's "25 matrices from the University of Florida
+//! sparse matrix collection, belonging to 9 different classes" (Section
+//! IV). Each entry names a deterministic generator configuration; the
+//! [`Scale`] knob shrinks or grows every instance together so the full
+//! experiment suite can run at laptop scale while `--full` approaches
+//! paper sizes (see DESIGN.md §6, "Scaling").
+
+use crate::gen::{self, Stencil2D, Stencil3D};
+use crate::pattern::SparsePattern;
+
+/// Structural class of a dataset entry (9 classes, as in the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MatrixClass {
+    /// 2-D structured grids (finite differences).
+    Grid2D,
+    /// 3-D structured grids.
+    Grid3D,
+    /// Random geometric graphs (the `rgg_n_2_*` family).
+    Rgg,
+    /// DNA-electrophoresis-like multi-diagonal chains (`cage*`).
+    Cage,
+    /// Scale-free / power-law graphs (web, social).
+    ScaleFree,
+    /// Uniform random (Erdős–Rényi-like).
+    Random,
+    /// Banded matrices (reordered structural problems).
+    Banded,
+    /// FEM meshes.
+    Fem,
+    /// Coupled block systems (circuit / multiphysics).
+    Block,
+}
+
+/// Size multiplier applied to the whole registry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    /// ~1–3 k rows per matrix — unit/integration tests.
+    Tiny,
+    /// ~15–40 k rows — the default harness scale.
+    #[default]
+    Small,
+    /// ~60–160 k rows — slower, closer to paper shape.
+    Medium,
+    /// ~0.5–1.3 M rows — hours-long full runs.
+    Large,
+}
+
+impl Scale {
+    /// Linear size factor relative to [`Scale::Tiny`].
+    pub fn factor(self) -> usize {
+        match self {
+            Scale::Tiny => 1,
+            Scale::Small => 16,
+            Scale::Medium => 64,
+            Scale::Large => 512,
+        }
+    }
+}
+
+/// One named instance of the registry.
+#[derive(Clone, Copy, Debug)]
+pub struct DatasetEntry {
+    /// Instance name (stable identifier used in experiment output).
+    pub name: &'static str,
+    /// Structural class.
+    pub class: MatrixClass,
+    builder: fn(Scale) -> SparsePattern,
+}
+
+impl DatasetEntry {
+    /// Generates the matrix at the requested scale.
+    pub fn build(&self, scale: Scale) -> SparsePattern {
+        (self.builder)(scale)
+    }
+}
+
+/// Side length for 2-D instances: `base` rows at Tiny, scaled by √factor.
+fn side2(base: usize, scale: Scale) -> usize {
+    let f = (scale.factor() as f64).sqrt();
+    (base as f64 * f).round() as usize
+}
+
+/// Side length for 3-D instances (cube-root scaling).
+fn side3(base: usize, scale: Scale) -> usize {
+    let f = (scale.factor() as f64).cbrt();
+    (base as f64 * f).round() as usize
+}
+
+/// Row count for 1-D-indexed instances.
+fn rows(base: usize, scale: Scale) -> usize {
+    base * scale.factor()
+}
+
+/// Power-of-two row count (R-MAT requirement).
+fn rows_pow2(base_log2: u32, scale: Scale) -> usize {
+    1usize << (base_log2 + scale.factor().trailing_zeros())
+}
+
+macro_rules! entry {
+    ($name:literal, $class:ident, $builder:expr) => {
+        DatasetEntry {
+            name: $name,
+            class: MatrixClass::$class,
+            builder: $builder,
+        }
+    };
+}
+
+/// The 25-instance registry (9 classes).
+pub fn registry() -> Vec<DatasetEntry> {
+    vec![
+        // -- Grid2D (3)
+        entry!("grid2d_5pt_sq", Grid2D, |s| gen::stencil2d(
+            side2(40, s),
+            side2(40, s),
+            Stencil2D::FivePoint
+        )),
+        entry!("grid2d_9pt_sq", Grid2D, |s| gen::stencil2d(
+            side2(38, s),
+            side2(38, s),
+            Stencil2D::NinePoint
+        )),
+        entry!("grid2d_5pt_wide", Grid2D, |s| gen::stencil2d(
+            side2(80, s),
+            side2(20, s),
+            Stencil2D::FivePoint
+        )),
+        // -- Grid3D (3)
+        entry!("grid3d_7pt", Grid3D, |s| gen::stencil3d(
+            side3(12, s),
+            side3(12, s),
+            side3(12, s),
+            Stencil3D::SevenPoint
+        )),
+        entry!("grid3d_27pt", Grid3D, |s| gen::stencil3d(
+            side3(10, s),
+            side3(10, s),
+            side3(10, s),
+            Stencil3D::TwentySevenPoint
+        )),
+        entry!("grid3d_7pt_slab", Grid3D, |s| gen::stencil3d(
+            side3(20, s),
+            side3(20, s),
+            side3(5, s),
+            Stencil3D::SevenPoint
+        )),
+        // -- Rgg (3)
+        entry!("rgg_a", Rgg, |s| {
+            let n = rows(1600, s);
+            gen::rgg(n, 1.8 * (1.0 / (n as f64)).sqrt() * 2.0, 101)
+        }),
+        entry!("rgg_b", Rgg, |s| {
+            let n = rows(1600, s);
+            gen::rgg(n, 2.2 * (1.0 / (n as f64)).sqrt() * 2.0, 102)
+        }),
+        entry!("rgg_c", Rgg, |s| {
+            let n = rows(2000, s);
+            gen::rgg(n, 1.6 * (1.0 / (n as f64)).sqrt() * 2.0, 103)
+        }),
+        // -- Cage (3)
+        entry!("cage_a", Cage, |s| gen::cage_like(rows(1600, s), 201)),
+        entry!("cage_b", Cage, |s| gen::cage_like(rows(2000, s), 202)),
+        entry!("cage_c", Cage, |s| gen::cage_like(rows(1200, s), 203)),
+        // -- ScaleFree (3)
+        entry!("rmat_a", ScaleFree, |s| gen::rmat(
+            rows_pow2(11, s),
+            8,
+            (0.57, 0.19, 0.19, 0.05),
+            301
+        )),
+        entry!("rmat_b", ScaleFree, |s| gen::rmat(
+            rows_pow2(11, s),
+            12,
+            (0.55, 0.2, 0.2, 0.05),
+            302
+        )),
+        entry!("rmat_c", ScaleFree, |s| gen::rmat(
+            rows_pow2(10, s),
+            16,
+            (0.6, 0.18, 0.18, 0.04),
+            303
+        )),
+        // -- Random (3)
+        entry!("er_a", Random, |s| gen::erdos_renyi(rows(1600, s), 8, 401)),
+        entry!("er_b", Random, |s| gen::erdos_renyi(rows(2000, s), 12, 402)),
+        entry!("er_c", Random, |s| gen::erdos_renyi(rows(1200, s), 16, 403)),
+        // -- Banded (3)
+        entry!("band_narrow", Banded, |s| gen::banded_random(
+            rows(2000, s),
+            24,
+            8,
+            501
+        )),
+        entry!("band_wide", Banded, |s| gen::banded_random(
+            rows(1600, s),
+            200,
+            10,
+            502
+        )),
+        entry!("band_dense", Banded, |s| gen::banded_random(
+            rows(1200, s),
+            64,
+            16,
+            503
+        )),
+        // -- Fem (2)
+        entry!("fem_sq", Fem, |s| gen::fem_mesh2d(side2(40, s), side2(40, s))),
+        entry!("fem_strip", Fem, |s| gen::fem_mesh2d(
+            side2(90, s),
+            side2(18, s)
+        )),
+        // -- Block (2)
+        entry!("block_chain", Block, |s| gen::block_coupled(
+            16,
+            rows(100, s),
+            10,
+            rows(12, s),
+            601
+        )),
+        entry!("block_fat", Block, |s| gen::block_coupled(
+            8,
+            rows(200, s),
+            14,
+            rows(20, s),
+            602
+        )),
+    ]
+}
+
+/// The `cage15` stand-in used by the communication-only and SpMV timing
+/// experiments (Figures 4a, 5, Table I).
+pub fn cage15_like(scale: Scale) -> SparsePattern {
+    gen::cage_like(rows(2500, scale), 1515)
+}
+
+/// The `rgg_n_2_23_s0` stand-in used by Figure 4b and Table I.
+pub fn rgg_like(scale: Scale) -> SparsePattern {
+    let n = rows(2500, scale);
+    gen::rgg(n, 2.0 * (1.0 / (n as f64)).sqrt() * 2.0, 2323)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn registry_has_25_instances_in_9_classes() {
+        let reg = registry();
+        assert_eq!(reg.len(), 25);
+        let classes: HashSet<_> = reg.iter().map(|e| e.class).collect();
+        assert_eq!(classes.len(), 9);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let reg = registry();
+        let names: HashSet<_> = reg.iter().map(|e| e.name).collect();
+        assert_eq!(names.len(), 25);
+    }
+
+    #[test]
+    fn tiny_scale_builds_every_instance() {
+        for e in registry() {
+            let m = e.build(Scale::Tiny);
+            assert!(
+                m.nrows() >= 500,
+                "{} too small at Tiny: {}",
+                e.name,
+                m.nrows()
+            );
+            assert!(
+                m.nrows() <= 30_000,
+                "{} too large at Tiny: {}",
+                e.name,
+                m.nrows()
+            );
+            assert!(m.nnz() > m.nrows(), "{} has no off-diagonal", e.name);
+        }
+    }
+
+    #[test]
+    fn small_scale_is_bigger_than_tiny() {
+        let e = &registry()[0];
+        assert!(e.build(Scale::Small).nrows() > 4 * e.build(Scale::Tiny).nrows());
+    }
+
+    #[test]
+    fn special_instances_build() {
+        let c = cage15_like(Scale::Tiny);
+        let r = rgg_like(Scale::Tiny);
+        assert!(c.nrows() >= 2000);
+        assert!(r.nrows() >= 2000);
+        assert!((10.0..25.0).contains(&c.avg_row_nnz()));
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let e = &registry()[8]; // rgg_c
+        assert_eq!(e.build(Scale::Tiny), e.build(Scale::Tiny));
+    }
+}

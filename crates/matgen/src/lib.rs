@@ -1,0 +1,44 @@
+//! `umpa-matgen` — sparse-matrix workloads.
+//!
+//! The paper's task graphs come from 25 University of Florida matrices
+//! (9 classes) partitioned 1-D row-wise; its timing experiments use
+//! `cage15` (DNA electrophoresis, ~5.2 M rows, ~19 nnz/row) and
+//! `rgg_n_2_23_s0` (random geometric graph, ~8.4 M vertices). The UFL
+//! collection is not available offline, so this crate provides
+//! *generators for the same structural classes* plus a fixed 25-instance
+//! registry ([`dataset`]) standing in for the paper's list (see
+//! DESIGN.md, substitution table).
+//!
+//! Contents:
+//!
+//! * [`SparsePattern`] — a CSR sparsity pattern (values are irrelevant
+//!   to every metric in the paper);
+//! * [`gen`] — deterministic, seeded generators: 2-D/3-D stencils,
+//!   random geometric graphs, cage-like multi-diagonal chains, R-MAT
+//!   scale-free, Erdős–Rényi, banded random, FEM-style meshes and
+//!   coupled block matrices;
+//! * [`spmv`] — the 1-D row-wise SpMV communication pattern: given a
+//!   row partition it derives the directed MPI task graph (who sends
+//!   how many vector entries to whom) and the column-net partition
+//!   quality metrics TV / TM / MSV / MSM used throughout Section IV;
+//! * [`mm`] — Matrix Market import/export for interoperability.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod gen;
+pub mod mm;
+pub mod pattern;
+pub mod spmv;
+
+pub use dataset::{DatasetEntry, MatrixClass, Scale};
+pub use pattern::SparsePattern;
+pub use spmv::{spmv_task_graph, CommStats};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::dataset::{DatasetEntry, MatrixClass, Scale};
+    pub use crate::pattern::SparsePattern;
+    pub use crate::spmv::{spmv_task_graph, CommStats};
+}

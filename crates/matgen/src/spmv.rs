@@ -1,0 +1,199 @@
+//! 1-D row-wise SpMV communication patterns.
+//!
+//! The paper converts each matrix to a column-net hypergraph, partitions
+//! rows into K parts and builds "MPI task communication graphs
+//! corresponding to these partitions" (Section IV). For `y = A·x` with
+//! rows and the conformally distributed `x`-entries owned by `part[·]`,
+//! the owner of `x_j` must send it to every part that holds a row with a
+//! nonzero in column `j` — the *expand* communication of 1-D row-wise
+//! SpMV. Each ordered part pair with at least one needed entry is one
+//! MPI message; its volume is the number of distinct vector entries.
+//!
+//! The same structure yields the partition quality metrics of Figure 1:
+//! total volume `TV`, total messages `TM`, maximum send volume `MSV`
+//! and maximum sent messages `MSM`.
+
+use std::collections::HashMap;
+
+use umpa_graph::TaskGraph;
+
+use crate::pattern::SparsePattern;
+
+/// Partition quality metrics of a task graph (Figure 1 columns).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CommStats {
+    /// Total communication volume (words).
+    pub tv: f64,
+    /// Total number of messages.
+    pub tm: usize,
+    /// Maximum send volume over parts.
+    pub msv: f64,
+    /// Maximum number of sent messages over parts.
+    pub msm: u32,
+    /// Computational load imbalance: max part load / average part load.
+    pub imbalance: f64,
+}
+
+impl CommStats {
+    /// Derives the metrics from a task graph and per-task loads.
+    pub fn from_task_graph(tg: &TaskGraph, loads: &[f64]) -> Self {
+        let p = tg.num_tasks();
+        let mut msv = 0.0f64;
+        let mut msm = 0u32;
+        for t in 0..p as u32 {
+            msv = msv.max(tg.send_volume(t));
+            msm = msm.max(tg.send_messages(t));
+        }
+        let total: f64 = loads.iter().sum();
+        let maxl = loads.iter().cloned().fold(0.0f64, f64::max);
+        let avg = if p == 0 { 0.0 } else { total / p as f64 };
+        Self {
+            tv: tg.total_volume(),
+            tm: tg.num_messages(),
+            msv,
+            msm,
+            imbalance: if avg > 0.0 { maxl / avg } else { 1.0 },
+        }
+    }
+}
+
+/// Builds the directed MPI task graph of a 1-D row-wise SpMV under the
+/// given row partition.
+///
+/// * `part[i]` ∈ `0..num_parts` is the owner of row `i` (and of `x_i`).
+/// * Task weights are `1.0` — each MPI task occupies one processor;
+///   computational loads are a separate quantity (see
+///   [`partition_loads`]), used by the SpMV time model, not by the
+///   placement capacity constraints.
+///
+/// Returns the task graph; message volumes are in vector-entry words
+/// (scale by the byte width when feeding the simulator).
+pub fn spmv_task_graph(a: &SparsePattern, part: &[u32], num_parts: usize) -> TaskGraph {
+    assert_eq!(a.nrows(), part.len(), "partition length != row count");
+    assert_eq!(a.nrows(), a.ncols(), "SpMV comm model needs a square matrix");
+    let at = a.transpose();
+    let mut volumes: HashMap<(u32, u32), f64> = HashMap::new();
+    // Scratch: distinct parts seen in the current column.
+    let mut seen: Vec<u32> = Vec::with_capacity(64);
+    for j in 0..a.nrows() as u32 {
+        let owner = part[j as usize];
+        seen.clear();
+        for &i in at.row(j) {
+            let p = part[i as usize];
+            if p != owner && !seen.contains(&p) {
+                seen.push(p);
+            }
+        }
+        for &q in &seen {
+            *volumes.entry((owner, q)).or_insert(0.0) += 1.0;
+        }
+    }
+    TaskGraph::from_messages(
+        num_parts,
+        volumes.into_iter().map(|((s, t), v)| (s, t, v)),
+        None,
+    )
+}
+
+/// Per-part computational loads under a row partition (convenience for
+/// metric reporting).
+pub fn partition_loads(a: &SparsePattern, part: &[u32], num_parts: usize) -> Vec<f64> {
+    let mut loads = vec![0.0f64; num_parts];
+    for i in 0..a.nrows() as u32 {
+        loads[part[i as usize] as usize] += 1.0 + a.row_nnz(i) as f64;
+    }
+    loads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4x4 with a dense column 0 and a chain.
+    fn sample() -> SparsePattern {
+        SparsePattern::from_entries(
+            4,
+            4,
+            [
+                (0, 0),
+                (1, 0),
+                (2, 0),
+                (3, 0), // dense column 0
+                (1, 1),
+                (2, 2),
+                (3, 3),
+                (1, 2), // row 1 needs x2
+            ],
+        )
+    }
+
+    #[test]
+    fn expand_messages_follow_column_owners() {
+        let a = sample();
+        // rows 0,1 -> part 0; rows 2,3 -> part 1.
+        let part = vec![0, 0, 1, 1];
+        let tg = spmv_task_graph(&a, &part, 2);
+        // Column 0 owned by part 0, needed by part 1 (rows 2,3): 1 word.
+        // Column 2 owned by part 1, needed by part 0 (row 1): 1 word.
+        assert_eq!(tg.num_messages(), 2);
+        assert_eq!(tg.send_volume(0), 1.0);
+        assert_eq!(tg.send_volume(1), 1.0);
+    }
+
+    #[test]
+    fn volume_counts_distinct_entries_not_nonzeros() {
+        let a = sample();
+        let part = vec![0, 1, 1, 1];
+        let tg = spmv_task_graph(&a, &part, 2);
+        // Column 0 (owner part 0) needed by part 1 via rows 1,2,3 —
+        // still one word because it is one vector entry.
+        assert_eq!(tg.send_volume(0), 1.0);
+        assert_eq!(tg.recv_volume(1), 1.0);
+    }
+
+    #[test]
+    fn single_part_has_no_communication() {
+        let a = sample();
+        let tg = spmv_task_graph(&a, &vec![0; 4], 1);
+        assert_eq!(tg.num_messages(), 0);
+        assert_eq!(tg.total_volume(), 0.0);
+    }
+
+    #[test]
+    fn loads_are_row_nnz_plus_one() {
+        let a = sample();
+        let part = vec![0, 0, 1, 1];
+        let loads = partition_loads(&a, &part, 2);
+        // part0: rows 0 (1 nnz) + 1 (3 nnz) -> 2 + 4 = 6
+        // part1: rows 2 (2 nnz) + 3 (2 nnz) -> 3 + 3 = 6
+        assert_eq!(loads, vec![6.0, 6.0]);
+        // Task weights stay at 1 processor each — loads are separate.
+        let tg = spmv_task_graph(&a, &part, 2);
+        assert_eq!(tg.task_weight(0), 1.0);
+    }
+
+    #[test]
+    fn comm_stats_aggregate() {
+        let a = sample();
+        let part = vec![0, 0, 1, 1];
+        let tg = spmv_task_graph(&a, &part, 2);
+        let stats = CommStats::from_task_graph(&tg, &partition_loads(&a, &part, 2));
+        assert_eq!(stats.tv, 2.0);
+        assert_eq!(stats.tm, 2);
+        assert_eq!(stats.msv, 1.0);
+        assert_eq!(stats.msm, 1);
+        assert!((stats.imbalance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stencil_partition_talks_to_neighbors_only() {
+        use crate::gen::{stencil2d, Stencil2D};
+        let a = stencil2d(8, 8, Stencil2D::FivePoint);
+        // Split into two horizontal strips.
+        let part: Vec<u32> = (0..64).map(|i| u32::from(i >= 32)).collect();
+        let tg = spmv_task_graph(&a, &part, 2);
+        assert_eq!(tg.num_messages(), 2); // one each way across the cut
+        assert_eq!(tg.send_volume(0), 8.0); // boundary row of 8 entries
+        assert_eq!(tg.send_volume(1), 8.0);
+    }
+}

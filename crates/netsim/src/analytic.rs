@@ -1,0 +1,115 @@
+//! Fast α–β contention bound on the communication time.
+//!
+//! Used by parameter sweeps where the event-driven simulator would be
+//! too slow. The bound combines the three budget terms any BSP-style
+//! exchange must pay:
+//!
+//! * the most congested link must move all its traffic:
+//!   `max_e traffic(e)/bw(e)` — the `MC` metric in seconds;
+//! * every NIC must inject/drain its bytes and pay per-message
+//!   overhead;
+//! * the longest route's latency.
+//!
+//! The max of those plus the overhead term tracks the DES results
+//! closely on both volume-bound and message-bound patterns.
+
+use umpa_graph::TaskGraph;
+use umpa_topology::routing::Hop;
+use umpa_topology::Machine;
+
+use crate::des::DesConfig;
+
+/// Lower-bound estimate of the comm-phase time in µs.
+pub fn analytic_comm_time(
+    machine: &Machine,
+    tg: &TaskGraph,
+    mapping: &[u32],
+    cfg: &DesConfig,
+) -> f64 {
+    assert_eq!(mapping.len(), tg.num_tasks());
+    let nl = machine.num_links();
+    let nt = tg.num_tasks();
+    let mut traffic = vec![0.0f64; nl];
+    // Per-task injection/drain (matching the DES endpoint model).
+    let mut task_send = vec![0.0f64; nt];
+    let mut task_recv = vec![0.0f64; nt];
+    let mut task_send_msgs = vec![0u32; nt];
+    let mut task_recv_msgs = vec![0u32; nt];
+    let mut scratch: Vec<Hop> = Vec::new();
+    let mut links: Vec<u32> = Vec::new();
+    let mut max_hops = 0u32;
+    for (s, t, vol) in tg.messages() {
+        let bytes = vol * cfg.bytes_per_word * cfg.scale;
+        let (a, b) = (mapping[s as usize], mapping[t as usize]);
+        task_send[s as usize] += bytes;
+        task_recv[t as usize] += bytes;
+        task_send_msgs[s as usize] += 1;
+        task_recv_msgs[t as usize] += 1;
+        links.clear();
+        machine.route_links(a, b, &mut scratch, &mut links);
+        max_hops = max_hops.max(links.len() as u32);
+        for &l in &links {
+            traffic[l as usize] += bytes;
+        }
+    }
+    let link_term = (0..nl)
+        .map(|l| traffic[l] / (machine.link_bandwidth(l as u32) * 1000.0))
+        .fold(0.0f64, f64::max);
+    let nic_bw = machine.config().nic_bw * 1000.0;
+    let nic_term = (0..nt)
+        .map(|n| {
+            (task_send[n] / nic_bw + cfg.overhead_us * f64::from(task_send_msgs[n])).max(
+                task_recv[n] / nic_bw + cfg.overhead_us * f64::from(task_recv_msgs[n]),
+            )
+        })
+        .fold(0.0f64, f64::max);
+    let latency_term = machine.path_latency_us(max_hops);
+    link_term.max(nic_term) + latency_term
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::des::simulate;
+    use umpa_topology::MachineConfig;
+
+    #[test]
+    fn bounds_the_des_from_below_approximately() {
+        let m = MachineConfig::small(&[8], 1, 1).build();
+        let tg = TaskGraph::from_messages(
+            6,
+            [
+                (0, 3, 4000.0),
+                (1, 4, 4000.0),
+                (2, 5, 4000.0),
+                (3, 0, 1000.0),
+            ],
+            None,
+        );
+        let mapping: Vec<u32> = (0..6).collect();
+        let cfg = DesConfig::default();
+        let a = analytic_comm_time(&m, &tg, &mapping, &cfg);
+        let d = simulate(&m, &tg, &mapping, &cfg).makespan_us;
+        assert!(a <= d * 1.05, "analytic {a} should not exceed DES {d}");
+        assert!(a >= d * 0.2, "analytic {a} too loose vs DES {d}");
+    }
+
+    #[test]
+    fn ranks_congested_placements_worse() {
+        let m = MachineConfig::small(&[8], 1, 1).build();
+        let tg =
+            TaskGraph::from_messages(4, [(0, 1, 50_000.0), (2, 3, 50_000.0)], None);
+        let cfg = DesConfig::default();
+        let disjoint = analytic_comm_time(&m, &tg, &[0, 1, 4, 5], &cfg);
+        let shared = analytic_comm_time(&m, &tg, &[0, 2, 1, 3], &cfg);
+        assert!(shared > disjoint);
+    }
+
+    #[test]
+    fn empty_pattern_costs_only_base_latency() {
+        let m = MachineConfig::small(&[4], 1, 1).build();
+        let tg = TaskGraph::from_messages(2, [], None);
+        let t = analytic_comm_time(&m, &tg, &[0, 1], &DesConfig::default());
+        assert!((t - m.path_latency_us(0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,178 @@
+//! The two applications of the paper's evaluation.
+//!
+//! * [`comm_only_time`] — Section IV-C's synthetic kernel: "no
+//!   computation is performed, and all the transfers are initialized at
+//!   the same time"; message sizes are scaled (the paper uses 4K for
+//!   cage15 and 256K for rgg) and each configuration is repeated to
+//!   average out noise;
+//! * [`spmv_time`] — Section IV-D's Tpetra-style SpMV: per iteration,
+//!   every node computes on its rows (time ∝ local nonzeros) and then
+//!   the expand communication runs; the pattern is iteration-invariant,
+//!   so one simulated exchange is scaled by the iteration count.
+
+use umpa_graph::TaskGraph;
+use umpa_topology::Machine;
+
+use crate::des::{simulate, DesConfig};
+
+/// Application-level simulation parameters.
+#[derive(Clone, Debug)]
+pub struct AppConfig {
+    /// Network-level simulation parameters.
+    pub des: DesConfig,
+    /// Repetitions (the paper runs each configuration 5 times).
+    pub repetitions: u32,
+    /// Compute speed for SpMV: µs per nonzero on one processor.
+    pub us_per_nnz: f64,
+}
+
+impl Default for AppConfig {
+    fn default() -> Self {
+        Self {
+            des: DesConfig::default(),
+            repetitions: 5,
+            us_per_nnz: 2.0e-3,
+        }
+    }
+}
+
+/// Statistics over repetitions.
+#[derive(Clone, Copy, Debug)]
+pub struct TimeStats {
+    /// Mean time, µs.
+    pub mean_us: f64,
+    /// Standard deviation, µs.
+    pub std_us: f64,
+}
+
+fn stats(samples: &[f64]) -> TimeStats {
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+    TimeStats {
+        mean_us: mean,
+        std_us: var.sqrt(),
+    }
+}
+
+/// Simulates the communication-only application; returns mean/std over
+/// the configured repetitions (each with a distinct noise seed).
+pub fn comm_only_time(
+    machine: &Machine,
+    tg: &TaskGraph,
+    mapping: &[u32],
+    cfg: &AppConfig,
+) -> TimeStats {
+    let samples: Vec<f64> = (0..cfg.repetitions.max(1))
+        .map(|rep| {
+            let des = DesConfig {
+                seed: cfg.des.seed.wrapping_add(u64::from(rep)),
+                ..cfg.des.clone()
+            };
+            simulate(machine, tg, mapping, &des).makespan_us
+        })
+        .collect();
+    stats(&samples)
+}
+
+/// Simulates `iterations` of SpMV; `task_loads[t]` is the nonzero count
+/// of task `t`'s rows. Per iteration the slowest node's compute time
+/// (its tasks share the node's processors but each processor runs one
+/// task, so the node's compute time is its *max* task load) adds to the
+/// communication makespan.
+pub fn spmv_time(
+    machine: &Machine,
+    tg: &TaskGraph,
+    mapping: &[u32],
+    task_loads: &[f64],
+    iterations: u32,
+    cfg: &AppConfig,
+) -> TimeStats {
+    assert_eq!(task_loads.len(), tg.num_tasks());
+    // Max task load per node: tasks on one node run on distinct cores.
+    let mut node_compute = vec![0.0f64; machine.num_nodes()];
+    for (t, &node) in mapping.iter().enumerate() {
+        let c = task_loads[t] * cfg.us_per_nnz;
+        let slot = &mut node_compute[node as usize];
+        *slot = slot.max(c);
+    }
+    let compute = node_compute.iter().cloned().fold(0.0f64, f64::max);
+    let samples: Vec<f64> = (0..cfg.repetitions.max(1))
+        .map(|rep| {
+            let des = DesConfig {
+                seed: cfg.des.seed.wrapping_add(u64::from(rep)),
+                ..cfg.des.clone()
+            };
+            let comm = simulate(machine, tg, mapping, &des).makespan_us;
+            f64::from(iterations) * (compute + comm)
+        })
+        .collect();
+    stats(&samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umpa_topology::MachineConfig;
+
+    fn setup() -> (Machine, TaskGraph, Vec<u32>) {
+        let m = MachineConfig::small(&[8], 1, 1).build();
+        let tg = TaskGraph::from_messages(
+            4,
+            [(0, 1, 1000.0), (1, 2, 1000.0), (2, 3, 1000.0)],
+            None,
+        );
+        (m, tg, vec![0, 1, 2, 3])
+    }
+
+    #[test]
+    fn comm_only_averages_repetitions() {
+        let (m, tg, mapping) = setup();
+        let mut cfg = AppConfig::default();
+        cfg.des.noise = 0.05;
+        let s = comm_only_time(&m, &tg, &mapping, &cfg);
+        assert!(s.mean_us > 0.0);
+        assert!(s.std_us > 0.0, "noise should produce variance");
+        assert!(s.std_us < 0.2 * s.mean_us);
+    }
+
+    #[test]
+    fn zero_noise_has_zero_std() {
+        let (m, tg, mapping) = setup();
+        let s = comm_only_time(&m, &tg, &mapping, &AppConfig::default());
+        assert_eq!(s.std_us, 0.0);
+    }
+
+    #[test]
+    fn spmv_scales_with_iterations() {
+        let (m, tg, mapping) = setup();
+        let loads = vec![5000.0; 4];
+        let cfg = AppConfig::default();
+        let t100 = spmv_time(&m, &tg, &mapping, &loads, 100, &cfg);
+        let t500 = spmv_time(&m, &tg, &mapping, &loads, 500, &cfg);
+        assert!((t500.mean_us / t100.mean_us - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spmv_includes_compute_term() {
+        let (m, tg, mapping) = setup();
+        let cfg = AppConfig::default();
+        let light = spmv_time(&m, &tg, &mapping, &vec![0.0; 4], 10, &cfg);
+        let heavy = spmv_time(&m, &tg, &mapping, &vec![1.0e6; 4], 10, &cfg);
+        assert!(heavy.mean_us > light.mean_us + 10.0 * 1.0e6 * cfg.us_per_nnz * 0.99);
+    }
+
+    #[test]
+    fn better_mapping_gives_faster_comm_only() {
+        let m = MachineConfig::small(&[8], 1, 1).build();
+        let tg = TaskGraph::from_messages(
+            4,
+            [(0, 1, 50_000.0), (1, 2, 50_000.0), (2, 3, 50_000.0)],
+            None,
+        );
+        let cfg = AppConfig::default();
+        let chain = comm_only_time(&m, &tg, &[0, 1, 2, 3], &cfg);
+        let spread = comm_only_time(&m, &tg, &[0, 4, 1, 5], &cfg);
+        assert!(chain.mean_us < spread.mean_us);
+    }
+}

@@ -1,0 +1,419 @@
+//! Store-and-forward discrete-event network simulation.
+//!
+//! Model, per message `(s, t, bytes)` between nodes `Γ(s)` and `Γ(t)`:
+//!
+//! 1. the sender NIC serializes its outgoing messages FIFO: each costs
+//!    `overhead + bytes / nic_bw`;
+//! 2. the message hops its static route; every directed link is a FIFO
+//!    server with service time `bytes / bw(link)` plus the per-hop
+//!    latency (store-and-forward at message granularity);
+//! 3. the receiver NIC drains arrivals FIFO at `overhead + bytes /
+//!    nic_bw`.
+//!
+//! Everything is deterministic given the seed; optional multiplicative
+//! noise on service times models competing jobs. Contention emerges
+//! naturally: messages sharing a link queue behind each other, so the
+//! completion time grows with exactly the congestion the MC/MMC metrics
+//! count, while per-message overheads make message counts (TH/AMC
+//! territory) dominate when messages are small.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use umpa_graph::TaskGraph;
+use umpa_topology::routing::Hop;
+use umpa_topology::Machine;
+
+/// Simulator parameters.
+#[derive(Clone, Debug)]
+pub struct DesConfig {
+    /// Bytes per unit of task-graph edge volume (a "word"; 8 = f64).
+    pub bytes_per_word: f64,
+    /// Extra multiplier on message sizes (the paper's 4K / 256K scales).
+    pub scale: f64,
+    /// Per-message software overhead at each endpoint, µs.
+    pub overhead_us: f64,
+    /// Relative service-time noise amplitude (uniform ±noise).
+    pub noise: f64,
+    /// Noise seed (vary per repetition).
+    pub seed: u64,
+    /// Packet size in bytes for wormhole-style pipelining. `None` =
+    /// store-and-forward at message granularity (each hop holds the
+    /// whole message). With packets, a long message overlaps its own
+    /// hops: makespan ≈ transfer + hops·packet-time instead of
+    /// hops·transfer. Chunk count per message is capped at 64 to bound
+    /// event counts.
+    pub packet_bytes: Option<f64>,
+}
+
+impl Default for DesConfig {
+    fn default() -> Self {
+        Self {
+            bytes_per_word: 8.0,
+            scale: 1.0,
+            overhead_us: 1.0,
+            noise: 0.0,
+            seed: 0,
+            packet_bytes: None,
+        }
+    }
+}
+
+/// Simulation output.
+#[derive(Clone, Debug)]
+pub struct DesResult {
+    /// Time until the last message is drained, µs.
+    pub makespan_us: f64,
+    /// Number of simulated messages.
+    pub messages: usize,
+    /// Total bytes moved over the network (excludes node-local pairs).
+    pub network_bytes: f64,
+}
+
+/// A pending message (or packet chunk) in flight.
+struct Msg {
+    /// Remaining route (link ids, reversed so `pop` advances).
+    route_rev: Vec<u32>,
+    bytes: f64,
+    /// Endpoint software overhead carried by this chunk (the full
+    /// per-message overhead divided across its chunks).
+    overhead: f64,
+    dst_task: u32,
+}
+
+/// FIFO server availability times.
+struct Servers {
+    free_at: Vec<f64>,
+}
+
+impl Servers {
+    fn new(n: usize) -> Self {
+        Self {
+            free_at: vec![0.0; n],
+        }
+    }
+
+    /// Serves a job arriving at `t` with service time `s`; returns the
+    /// completion time.
+    fn serve(&mut self, idx: usize, t: f64, s: f64) -> f64 {
+        let start = self.free_at[idx].max(t);
+        let done = start + s;
+        self.free_at[idx] = done;
+        done
+    }
+}
+
+/// Runs the simulation for `tg` under `mapping` (node id per task).
+///
+/// # Examples
+///
+/// ```
+/// use umpa_graph::TaskGraph;
+/// use umpa_netsim::des::{simulate, DesConfig};
+/// use umpa_topology::MachineConfig;
+///
+/// let machine = MachineConfig::small(&[8], 1, 1).build();
+/// let tg = TaskGraph::from_messages(2, [(0, 1, 1000.0)], None);
+/// let near = simulate(&machine, &tg, &[0, 1], &DesConfig::default());
+/// let far = simulate(&machine, &tg, &[0, 4], &DesConfig::default());
+/// assert!(far.makespan_us > near.makespan_us);
+/// ```
+pub fn simulate(
+    machine: &Machine,
+    tg: &TaskGraph,
+    mapping: &[u32],
+    cfg: &DesConfig,
+) -> DesResult {
+    assert_eq!(mapping.len(), tg.num_tasks());
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut jitter = move |base: f64| -> f64 {
+        if cfg.noise > 0.0 {
+            base * (1.0 + rng.gen_range(-cfg.noise..=cfg.noise))
+        } else {
+            base
+        }
+    };
+    // Collect messages sorted by (sender, receiver) for deterministic
+    // NIC queueing (MPI ranks post sends in rank order).
+    let mut msgs: Vec<(u32, u32, f64)> = tg.messages().collect();
+    msgs.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    // Injection/drain serialize per MPI *process* (Gemini FMA gives each
+    // process its own injection pipeline; the shared HT link is far
+    // faster than the torus links, so the torus — not the NIC — is the
+    // modelled bottleneck, matching the paper's observed behaviour).
+    let mut send_nic = Servers::new(tg.num_tasks());
+    let mut recv_nic = Servers::new(tg.num_tasks());
+    let mut links = Servers::new(machine.num_links());
+    let nic_bw = machine.config().nic_bw * 1000.0; // bytes per µs
+    let hop_lat = machine.config().hop_latency_us;
+    let base_lat = machine.config().base_latency_us;
+    // Event queue keyed by time; (time, seq) gives deterministic order.
+    let mut queue: std::collections::BinaryHeap<QEntry> = std::collections::BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut pool: Vec<Msg> = Vec::with_capacity(msgs.len());
+    let mut scratch: Vec<Hop> = Vec::new();
+    let mut network_bytes = 0.0;
+    for &(s, t, vol) in &msgs {
+        let bytes = vol * cfg.bytes_per_word * cfg.scale;
+        let (a, b) = (mapping[s as usize], mapping[t as usize]);
+        let mut route = Vec::new();
+        machine.route_links(a, b, &mut scratch, &mut route);
+        if !route.is_empty() {
+            network_bytes += bytes;
+        }
+        route.reverse();
+        // Wormhole-style chunking: split into packets so a message can
+        // overlap its own hops. Overhead is amortized over chunks.
+        let chunks = match cfg.packet_bytes {
+            Some(p) if p > 0.0 && bytes > p => ((bytes / p).ceil() as usize).min(64),
+            _ => 1,
+        };
+        let chunk_bytes = bytes / chunks as f64;
+        let chunk_overhead = cfg.overhead_us / chunks as f64;
+        for _ in 0..chunks {
+            // Sender serialization (same-node messages skip the network
+            // but still pay the software overhead on both ends).
+            let inj = jitter(chunk_overhead + chunk_bytes / nic_bw);
+            let ready = send_nic.serve(s as usize, 0.0, inj) + base_lat;
+            let id = pool.len();
+            pool.push(Msg {
+                route_rev: route.clone(),
+                bytes: chunk_bytes,
+                overhead: chunk_overhead,
+                dst_task: t,
+            });
+            queue.push(QEntry {
+                time: ready,
+                seq,
+                msg: id,
+            });
+            seq += 1;
+        }
+    }
+    let mut makespan = 0.0f64;
+    while let Some(QEntry { time, msg, .. }) = queue.pop() {
+        let next_link = pool[msg].route_rev.pop();
+        match next_link {
+            Some(l) => {
+                let bw = machine.link_bandwidth(l) * 1000.0; // bytes/µs
+                let service = jitter(pool[msg].bytes / bw + hop_lat);
+                let done = links.serve(l as usize, time, service);
+                queue.push(QEntry {
+                    time: done,
+                    seq,
+                    msg,
+                });
+                seq += 1;
+            }
+            None => {
+                // Arrived: the receiving process drains it. Chunked
+                // messages pay the amortized per-chunk overhead so the
+                // total per-message overhead is preserved.
+                let drain = jitter(pool[msg].overhead + pool[msg].bytes / nic_bw);
+                let done = recv_nic.serve(pool[msg].dst_task as usize, time, drain);
+                makespan = makespan.max(done);
+            }
+        }
+    }
+    DesResult {
+        makespan_us: makespan,
+        messages: msgs.len(),
+        network_bytes,
+    }
+}
+
+/// Min-heap entry ordered by `(time, seq)`.
+struct QEntry {
+    time: f64,
+    seq: u64,
+    msg: usize,
+}
+
+impl PartialEq for QEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for QEntry {}
+impl PartialOrd for QEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for a min-heap on (time, seq).
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umpa_topology::MachineConfig;
+
+    fn machine() -> Machine {
+        MachineConfig::small(&[8], 1, 1).build()
+    }
+
+    #[test]
+    fn empty_graph_takes_no_time() {
+        let m = machine();
+        let tg = TaskGraph::from_messages(2, [], None);
+        let r = simulate(&m, &tg, &[0, 1], &DesConfig::default());
+        assert_eq!(r.makespan_us, 0.0);
+        assert_eq!(r.messages, 0);
+    }
+
+    #[test]
+    fn single_message_time_decomposes() {
+        let m = machine();
+        let tg = TaskGraph::from_messages(2, [(0, 1, 100.0)], None);
+        let cfg = DesConfig::default();
+        let r = simulate(&m, &tg, &[0, 1], &cfg);
+        let bytes = 100.0 * 8.0;
+        let nic = m.config().nic_bw * 1000.0;
+        let expect = (cfg.overhead_us + bytes / nic) // inject
+            + m.config().base_latency_us
+            + (bytes / (m.link_bandwidth(0) * 1000.0) + m.config().hop_latency_us)
+            + (cfg.overhead_us + bytes / nic); // drain
+        assert!(
+            (r.makespan_us - expect).abs() < 1e-9,
+            "got {} want {expect}",
+            r.makespan_us
+        );
+        assert_eq!(r.network_bytes, bytes);
+    }
+
+    #[test]
+    fn farther_placement_takes_longer() {
+        let m = machine();
+        let tg = TaskGraph::from_messages(2, [(0, 1, 1000.0)], None);
+        let near = simulate(&m, &tg, &[0, 1], &DesConfig::default()).makespan_us;
+        let far = simulate(&m, &tg, &[0, 4], &DesConfig::default()).makespan_us;
+        assert!(far > near);
+    }
+
+    #[test]
+    fn contention_slows_shared_links() {
+        let m = machine();
+        // Two bulky messages; placements that share a link vs. disjoint.
+        let tg = TaskGraph::from_messages(4, [(0, 1, 50_000.0), (2, 3, 50_000.0)], None);
+        let disjoint = simulate(&m, &tg, &[0, 1, 4, 5], &DesConfig::default()).makespan_us;
+        // 0->1->2 and 1->2->3 share link 1->2? Place both flows across
+        // the same link: (0 -> 2) and (1 -> 2)? Use: tasks at 0,2 and 1,2
+        // not allowed (capacity). Flows 0->2 (via 1) and 1->3 (via 2):
+        // share link 1->2.
+        let shared = simulate(&m, &tg, &[0, 2, 1, 3], &DesConfig::default()).makespan_us;
+        assert!(
+            shared > disjoint,
+            "shared {shared} should exceed disjoint {disjoint}"
+        );
+    }
+
+    #[test]
+    fn message_count_dominates_when_tiny() {
+        let m = machine();
+        // 10 tiny messages from one sender vs 1 tiny message: sender
+        // overhead serializes.
+        let many = TaskGraph::from_messages(11, (1..=10u32).map(|i| (0, i, 1.0)), None);
+        let one = TaskGraph::from_messages(2, [(0, 1, 10.0)], None);
+        let map_many: Vec<u32> = (0..11u32).map(|i| i % 8).collect();
+        let t_many = simulate(&m, &many, &map_many, &DesConfig::default()).makespan_us;
+        let t_one = simulate(&m, &one, &[0, 1], &DesConfig::default()).makespan_us;
+        // 10 injections serialize at ≈1 µs overhead each, while the
+        // single message pays ≈3.3 µs total — expect ≳3× separation.
+        assert!(
+            t_many > 3.0 * t_one,
+            "many-small {t_many} vs one {t_one}"
+        );
+    }
+
+    #[test]
+    fn colocated_messages_skip_the_network() {
+        let m = MachineConfig::small(&[4], 2, 2).build();
+        let tg = TaskGraph::from_messages(2, [(0, 1, 1000.0)], None);
+        let r = simulate(&m, &tg, &[0, 1], &DesConfig::default());
+        assert_eq!(r.network_bytes, 0.0);
+        assert!(r.makespan_us > 0.0); // still pays overheads
+    }
+
+    #[test]
+    fn noise_is_reproducible_and_bounded() {
+        let m = machine();
+        let tg = TaskGraph::from_messages(3, [(0, 1, 500.0), (1, 2, 500.0)], None);
+        let cfg = DesConfig {
+            noise: 0.05,
+            seed: 9,
+            ..DesConfig::default()
+        };
+        let a = simulate(&m, &tg, &[0, 1, 2], &cfg).makespan_us;
+        let b = simulate(&m, &tg, &[0, 1, 2], &cfg).makespan_us;
+        assert_eq!(a, b);
+        let clean = simulate(&m, &tg, &[0, 1, 2], &DesConfig::default()).makespan_us;
+        assert!((a - clean).abs() / clean < 0.15);
+    }
+
+    #[test]
+    fn packet_pipelining_overlaps_hops() {
+        let m = machine();
+        // One large message over a 4-hop route: store-and-forward pays
+        // 4 full transfers; wormhole chunks overlap them.
+        let tg = TaskGraph::from_messages(2, [(0, 1, 100_000.0)], None);
+        let saf = simulate(&m, &tg, &[0, 4], &DesConfig::default()).makespan_us;
+        let worm = simulate(
+            &m,
+            &tg,
+            &[0, 4],
+            &DesConfig {
+                packet_bytes: Some(100_000.0 * 8.0 / 32.0),
+                ..DesConfig::default()
+            },
+        )
+        .makespan_us;
+        assert!(
+            worm < 0.5 * saf,
+            "wormhole {worm} should be well under store-and-forward {saf}"
+        );
+    }
+
+    #[test]
+    fn packet_mode_preserves_total_overhead_for_small_messages() {
+        let m = machine();
+        // Messages smaller than the packet size must behave identically.
+        let tg = TaskGraph::from_messages(2, [(0, 1, 10.0)], None);
+        let a = simulate(&m, &tg, &[0, 2], &DesConfig::default()).makespan_us;
+        let b = simulate(
+            &m,
+            &tg,
+            &[0, 2],
+            &DesConfig {
+                packet_bytes: Some(1_000_000.0),
+                ..DesConfig::default()
+            },
+        )
+        .makespan_us;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scale_multiplies_volume_effects() {
+        let m = machine();
+        let tg = TaskGraph::from_messages(2, [(0, 1, 1000.0)], None);
+        let small = simulate(&m, &tg, &[0, 4], &DesConfig::default()).makespan_us;
+        let big = simulate(
+            &m,
+            &tg,
+            &[0, 4],
+            &DesConfig {
+                scale: 64.0,
+                ..DesConfig::default()
+            },
+        )
+        .makespan_us;
+        assert!(big > 10.0 * small);
+    }
+}

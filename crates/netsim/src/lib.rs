@@ -1,0 +1,40 @@
+//! `umpa-netsim` — the execution substrate standing in for Hopper runs.
+//!
+//! The paper measures two applications on the real machine: a synthetic
+//! **communication-only** kernel ("all the transfers are initialized at
+//! the same time where each processor follows the pattern in the
+//! corresponding communication graph", Section IV-C) and a **Trilinos
+//! SpMV** (Section IV-D). Neither a Cray XE6 nor MPI is available here,
+//! so this crate simulates both on the modelled torus:
+//!
+//! * [`des`] — a deterministic store-and-forward **discrete-event
+//!   simulator**: every message is serialized by its sender NIC, then
+//!   traverses its static route link by link, queueing FIFO behind
+//!   other messages on each link (contention!), and is finally drained
+//!   by the receiver NIC. Per-message overheads make many-small-message
+//!   patterns latency-bound while large volumes are bandwidth-bound —
+//!   the two regimes the paper's regression analysis distinguishes;
+//! * [`analytic`] — a fast α–β contention bound used for quick sweeps;
+//! * [`apps`] — the two applications: `comm_only` (with the paper's
+//!   message-size scaling) and `spmv` (compute + comm per iteration,
+//!   repeated);
+//! * noise injection emulates "outside factors (e.g., network traffic
+//!   and overhead from competing jobs)".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod apps;
+pub mod des;
+
+pub use analytic::analytic_comm_time;
+pub use apps::{comm_only_time, spmv_time, AppConfig};
+pub use des::{DesConfig, DesResult};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::analytic::analytic_comm_time;
+    pub use crate::apps::{comm_only_time, spmv_time, AppConfig};
+    pub use crate::des::{simulate, DesConfig, DesResult};
+}

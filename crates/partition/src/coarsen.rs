@@ -1,0 +1,200 @@
+//! Multilevel coarsening via heavy-edge matching.
+//!
+//! The classic METIS-style scheme: visit vertices in random order, match
+//! each unmatched vertex with its unmatched neighbor of maximum edge
+//! weight (heavy-edge rule), collapse matched pairs into coarse
+//! vertices, sum vertex weights and merge parallel edges. Repeated until
+//! the graph is small enough for the initial bisection or coarsening
+//! stalls.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use umpa_graph::{Graph, GraphBuilder};
+
+/// One coarsening step: the coarse graph and the fine→coarse map.
+#[derive(Clone, Debug)]
+pub struct CoarseLevel {
+    /// The coarse graph.
+    pub graph: Graph,
+    /// `map[fine_vertex]` = coarse vertex id.
+    pub map: Vec<u32>,
+}
+
+/// Matches vertices by the heavy-edge rule and builds the coarse graph.
+///
+/// Returns `None` if matching cannot shrink the graph by at least 10 %
+/// (isolated vertices and star graphs eventually stall).
+pub fn coarsen_step(g: &Graph, seed: u64) -> Option<CoarseLevel> {
+    let n = g.num_vertices();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    const UNMATCHED: u32 = u32::MAX;
+    let mut mate = vec![UNMATCHED; n];
+    for &v in &order {
+        if mate[v as usize] != UNMATCHED {
+            continue;
+        }
+        // Heaviest unmatched neighbor; ties toward lighter vertex weight
+        // (keeps coarse weights even), then smaller id.
+        let mut best: Option<(u32, f64)> = None;
+        for (u, w) in g.edges(v) {
+            if u == v || mate[u as usize] != UNMATCHED {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bu, bw)) => {
+                    w > bw
+                        || (w == bw
+                            && (g.vertex_weight(u), u) < (g.vertex_weight(bu), bu))
+                }
+            };
+            if better {
+                best = Some((u, w));
+            }
+        }
+        match best {
+            Some((u, _)) => {
+                mate[v as usize] = u;
+                mate[u as usize] = v;
+            }
+            None => mate[v as usize] = v, // matched with itself
+        }
+    }
+    // Assign coarse ids.
+    let mut map = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for v in 0..n as u32 {
+        if map[v as usize] != u32::MAX {
+            continue;
+        }
+        let m = mate[v as usize];
+        map[v as usize] = next;
+        if m != v && m != UNMATCHED {
+            map[m as usize] = next;
+        }
+        next += 1;
+    }
+    let coarse_n = next as usize;
+    if coarse_n as f64 > 0.9 * n as f64 {
+        return None;
+    }
+    // Coarse vertex weights and edges.
+    let mut vwgt = vec![0.0; coarse_n];
+    for v in 0..n {
+        vwgt[map[v] as usize] += g.vertex_weight(v as u32);
+    }
+    let mut b = GraphBuilder::new(coarse_n);
+    for (u, v, w) in g.all_edges() {
+        let (cu, cv) = (map[u as usize], map[v as usize]);
+        if cu != cv {
+            b.add_edge(cu, cv, w);
+        }
+    }
+    b.vertex_weights(vwgt);
+    // The fine graph is symmetric; merging duplicates directionally
+    // keeps it symmetric, so a directed build suffices.
+    Some(CoarseLevel {
+        graph: b.build_directed(),
+        map,
+    })
+}
+
+/// Coarsens until `target_size` vertices or a stall; returns the levels
+/// from finest to coarsest (empty if `g` is already small enough).
+pub fn coarsen_until(g: &Graph, target_size: usize, seed: u64) -> Vec<CoarseLevel> {
+    let mut levels: Vec<CoarseLevel> = Vec::new();
+    let mut round = 0u64;
+    loop {
+        let current = levels.last().map(|l| &l.graph).unwrap_or(g);
+        if current.num_vertices() <= target_size {
+            break;
+        }
+        match coarsen_step(current, seed.wrapping_add(round)) {
+            Some(level) => levels.push(level),
+            None => break,
+        }
+        round += 1;
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umpa_graph::GraphBuilder;
+
+    fn grid(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n * n);
+        let idx = |x: usize, y: usize| (y * n + x) as u32;
+        for y in 0..n {
+            for x in 0..n {
+                if x + 1 < n {
+                    b.add_edge(idx(x, y), idx(x + 1, y), 1.0);
+                }
+                if y + 1 < n {
+                    b.add_edge(idx(x, y), idx(x, y + 1), 1.0);
+                }
+            }
+        }
+        b.build_symmetric()
+    }
+
+    #[test]
+    fn step_preserves_total_vertex_weight() {
+        let g = grid(8);
+        let lvl = coarsen_step(&g, 1).unwrap();
+        assert!(lvl.graph.num_vertices() < g.num_vertices());
+        assert!((lvl.graph.total_vertex_weight() - g.total_vertex_weight()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_drops_internal_edges_only() {
+        let g = grid(6);
+        let lvl = coarsen_step(&g, 2).unwrap();
+        // Every coarse edge weight is a sum of fine cut edges; totals
+        // can only shrink by collapsed (matched) edges.
+        assert!(lvl.graph.total_edge_weight() < g.total_edge_weight());
+        // Map covers all fine vertices with valid coarse ids.
+        let cn = lvl.graph.num_vertices() as u32;
+        assert!(lvl.map.iter().all(|&c| c < cn));
+    }
+
+    #[test]
+    fn heavy_edges_are_preferred() {
+        // K3 with 0-1 (w=1), 0-2 (w=10), 1-2 (w=5). Edge 0-1 is the
+        // locally lightest choice for *both* endpoints, so whatever the
+        // visit order, the heavy-edge rule must never match it.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0).add_edge(0, 2, 10.0).add_edge(1, 2, 5.0);
+        let g = b.build_symmetric();
+        for seed in 0..16u64 {
+            let lvl = coarsen_step(&g, seed).unwrap();
+            assert_ne!(
+                lvl.map[0], lvl.map[1],
+                "seed {seed} matched the lightest edge"
+            );
+        }
+    }
+
+    #[test]
+    fn coarsen_until_reaches_target() {
+        let g = grid(12); // 144 vertices
+        let levels = coarsen_until(&g, 20, 7);
+        assert!(!levels.is_empty());
+        let last = &levels.last().unwrap().graph;
+        assert!(last.num_vertices() <= 40, "stalled at {}", last.num_vertices());
+        // Weight conserved through all levels.
+        assert!((last.total_vertex_weight() - 144.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edgeless_graph_stalls_gracefully() {
+        let g = Graph::empty(10);
+        // Self-matching shrinks nothing; must return None, not loop.
+        assert!(coarsen_step(&g, 3).is_none());
+        assert!(coarsen_until(&g, 2, 3).is_empty());
+    }
+}

@@ -1,0 +1,313 @@
+//! Sparse (non-contiguous) node allocations.
+//!
+//! On Cray systems "the scheduler allocates a non-contiguous set of
+//! nodes for each job … no locality guarantee is provided" (Section
+//! II-B). The paper's experiments run on five real Hopper allocations;
+//! we reproduce their character with a generator: a background-occupancy
+//! model marks blocks of the placement curve as busy (other jobs), and
+//! the job then receives the first free nodes in curve order — exactly
+//! how a linear-ordering scheduler fragments a machine.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use umpa_ds::FixedBitSet;
+
+use crate::machine::Machine;
+use crate::ordering::NodeOrdering;
+
+/// Parameters of an allocation request.
+#[derive(Clone, Debug)]
+pub struct AllocSpec {
+    /// Number of nodes to allocate.
+    pub num_nodes: usize,
+    /// Fraction of the machine already busy with other jobs, `0.0..1.0`.
+    pub background_occupancy: f64,
+    /// Mean size (in curve-consecutive nodes) of the busy fragments.
+    pub fragment_len: usize,
+    /// Placement curve used by the scheduler.
+    pub ordering: NodeOrdering,
+    /// RNG seed; the paper's "5 different allocations" map to 5 seeds.
+    pub seed: u64,
+}
+
+impl AllocSpec {
+    /// A sparse allocation with the paper-like default fragmentation
+    /// (≈30 % of the machine busy in short fragments).
+    pub fn sparse(num_nodes: usize, seed: u64) -> Self {
+        Self {
+            num_nodes,
+            background_occupancy: 0.3,
+            fragment_len: 4,
+            ordering: NodeOrdering::Serpentine,
+            seed,
+        }
+    }
+
+    /// A contiguous allocation (empty machine): the first `num_nodes`
+    /// nodes in curve order.
+    pub fn contiguous(num_nodes: usize) -> Self {
+        Self {
+            num_nodes,
+            background_occupancy: 0.0,
+            fragment_len: 1,
+            ordering: NodeOrdering::Serpentine,
+            seed: 0,
+        }
+    }
+}
+
+/// A set of nodes reserved for the application (`Va ⊆ Vm`), in the
+/// placement-curve order the scheduler would hand out ranks.
+#[derive(Clone, Debug)]
+pub struct Allocation {
+    nodes: Vec<u32>,
+    procs: Vec<u32>,
+    /// `slot_of[node]` = index into `nodes`, or `u32::MAX` if not allocated.
+    slot_of: Vec<u32>,
+}
+
+impl Allocation {
+    /// Builds from an explicit node list (placement order) and a uniform
+    /// processor count per node.
+    pub fn from_nodes(machine: &Machine, nodes: Vec<u32>, procs_per_node: u32) -> Self {
+        let mut slot_of = vec![u32::MAX; machine.num_nodes()];
+        for (i, &n) in nodes.iter().enumerate() {
+            assert!(
+                slot_of[n as usize] == u32::MAX,
+                "node {n} allocated twice"
+            );
+            slot_of[n as usize] = i as u32;
+        }
+        let procs = vec![procs_per_node; nodes.len()];
+        Self {
+            nodes,
+            procs,
+            slot_of,
+        }
+    }
+
+    /// Generates an allocation per `spec` on `machine`.
+    ///
+    /// Panics if the machine does not have enough free nodes left after
+    /// the background jobs are placed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use umpa_topology::{AllocSpec, Allocation, MachineConfig};
+    ///
+    /// let machine = MachineConfig::small(&[4, 4], 2, 4).build();
+    /// let alloc = Allocation::generate(&machine, &AllocSpec::sparse(6, 42));
+    /// assert_eq!(alloc.num_nodes(), 6);
+    /// assert_eq!(alloc.total_procs(), 24);
+    /// assert!(alloc.contains(alloc.node(0)));
+    /// ```
+    pub fn generate(machine: &Machine, spec: &AllocSpec) -> Self {
+        let total = machine.num_nodes();
+        assert!(
+            spec.num_nodes <= total,
+            "requested {} nodes from a {}-node machine",
+            spec.num_nodes,
+            total
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+        // Node placement order: routers in curve order, nodes within a
+        // router consecutive (Cray hands out both Gemini nodes together).
+        let router_order = spec.ordering.router_order(machine.torus());
+        let mut node_order = Vec::with_capacity(total);
+        for &r in &router_order {
+            node_order.extend(machine.nodes_of_router(r));
+        }
+        // Mark background-job fragments busy along the curve.
+        let mut busy = FixedBitSet::new(total);
+        let target_busy =
+            ((total as f64 * spec.background_occupancy) as usize).min(total - spec.num_nodes);
+        let mut busy_count = 0usize;
+        let frag = spec.fragment_len.max(1);
+        let mut guard = 0;
+        while busy_count < target_busy && guard < 64 * total {
+            guard += 1;
+            let start = rng.gen_range(0..total);
+            let len = 1 + rng.gen_range(0..2 * frag); // mean ≈ frag
+            for off in 0..len {
+                let pos = (start + off) % total;
+                let node = node_order[pos] as usize;
+                if !busy.get(node) {
+                    busy.set(node);
+                    busy_count += 1;
+                    if busy_count >= target_busy {
+                        break;
+                    }
+                }
+            }
+        }
+        // First free nodes in curve order get the job.
+        let mut nodes = Vec::with_capacity(spec.num_nodes);
+        for &n in &node_order {
+            if nodes.len() == spec.num_nodes {
+                break;
+            }
+            if !busy.get(n as usize) {
+                nodes.push(n);
+            }
+        }
+        assert_eq!(
+            nodes.len(),
+            spec.num_nodes,
+            "machine too occupied to satisfy the allocation"
+        );
+        Self::from_nodes(machine, nodes, machine.procs_per_node())
+    }
+
+    /// Number of allocated nodes `|Va|`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Allocated node ids in placement order.
+    #[inline]
+    pub fn nodes(&self) -> &[u32] {
+        &self.nodes
+    }
+
+    /// Node id of allocation slot `i`.
+    #[inline]
+    pub fn node(&self, slot: usize) -> u32 {
+        self.nodes[slot]
+    }
+
+    /// Processor count of allocation slot `i`.
+    #[inline]
+    pub fn procs(&self, slot: usize) -> u32 {
+        self.procs[slot]
+    }
+
+    /// Per-slot processor counts.
+    #[inline]
+    pub fn procs_all(&self) -> &[u32] {
+        &self.procs
+    }
+
+    /// Overrides per-slot processor counts (for heterogeneous tests).
+    pub fn set_procs(&mut self, procs: Vec<u32>) {
+        assert_eq!(procs.len(), self.nodes.len());
+        self.procs = procs;
+    }
+
+    /// Total processor count across the allocation.
+    pub fn total_procs(&self) -> u32 {
+        self.procs.iter().sum()
+    }
+
+    /// Whether `node` belongs to the allocation.
+    #[inline]
+    pub fn contains(&self, node: u32) -> bool {
+        self.slot_of[node as usize] != u32::MAX
+    }
+
+    /// Allocation slot of `node` (`None` if not allocated).
+    #[inline]
+    pub fn slot_of(&self, node: u32) -> Option<u32> {
+        let s = self.slot_of[node as usize];
+        (s != u32::MAX).then_some(s)
+    }
+
+    /// Mean pairwise hop distance between allocated nodes — a
+    /// fragmentation diagnostic (sparse allocations score higher than
+    /// contiguous ones). O(|Va|²); intended for reporting.
+    pub fn mean_pairwise_hops(&self, machine: &Machine) -> f64 {
+        let n = self.nodes.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut sum = 0u64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                sum += u64::from(machine.hops(self.nodes[i], self.nodes[j]));
+            }
+        }
+        sum as f64 / (n * (n - 1) / 2) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+
+    fn machine() -> Machine {
+        MachineConfig::small(&[4, 4, 4], 2, 4).build()
+    }
+
+    #[test]
+    fn contiguous_allocation_takes_curve_prefix() {
+        let m = machine();
+        let a = Allocation::generate(&m, &AllocSpec::contiguous(10));
+        assert_eq!(a.num_nodes(), 10);
+        // Prefix of the serpentine curve: consecutive slots are on
+        // routers at most 1 hop apart.
+        for w in a.nodes().windows(2) {
+            assert!(m.hops(w[0], w[1]) <= 1);
+        }
+    }
+
+    #[test]
+    fn sparse_allocation_is_fragmented() {
+        let m = machine();
+        let cont = Allocation::generate(&m, &AllocSpec::contiguous(32));
+        let sparse = Allocation::generate(&m, &AllocSpec::sparse(32, 7));
+        assert!(
+            sparse.mean_pairwise_hops(&m) > cont.mean_pairwise_hops(&m),
+            "sparse allocation should be more spread out"
+        );
+    }
+
+    #[test]
+    fn allocation_has_no_duplicates_and_respects_membership() {
+        let m = machine();
+        let a = Allocation::generate(&m, &AllocSpec::sparse(20, 3));
+        let mut seen = std::collections::HashSet::new();
+        for &n in a.nodes() {
+            assert!(seen.insert(n));
+            assert!(a.contains(n));
+        }
+        assert_eq!(a.total_procs(), 20 * 4);
+        let outside = (0..m.num_nodes() as u32).find(|&n| !a.contains(n)).unwrap();
+        assert_eq!(a.slot_of(outside), None);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let m = machine();
+        let a = Allocation::generate(&m, &AllocSpec::sparse(24, 1));
+        let b = Allocation::generate(&m, &AllocSpec::sparse(24, 2));
+        assert_ne!(a.nodes(), b.nodes());
+    }
+
+    #[test]
+    fn same_seed_reproduces() {
+        let m = machine();
+        let a = Allocation::generate(&m, &AllocSpec::sparse(24, 5));
+        let b = Allocation::generate(&m, &AllocSpec::sparse(24, 5));
+        assert_eq!(a.nodes(), b.nodes());
+    }
+
+    #[test]
+    #[should_panic(expected = "requested")]
+    fn oversized_request_panics() {
+        let m = machine();
+        Allocation::generate(&m, &AllocSpec::contiguous(10_000));
+    }
+
+    #[test]
+    fn slot_lookup_roundtrips() {
+        let m = machine();
+        let a = Allocation::generate(&m, &AllocSpec::sparse(16, 11));
+        for (i, &n) in a.nodes().iter().enumerate() {
+            assert_eq!(a.slot_of(n), Some(i as u32));
+            assert_eq!(a.node(i), n);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! `umpa-topology` — the network topology substrate.
+//!
+//! The paper targets NERSC's Hopper: a Cray XE6 whose Gemini routers
+//! form a 3-D torus with wraparound, two compute nodes per router,
+//! static shortest-path (dimension-ordered) routing and per-dimension
+//! link bandwidths. This crate models that machine — and k-ary n-D tori
+//! in general — from scratch:
+//!
+//! * [`Torus`] — geometry: router coordinates, O(1) hop distances,
+//!   neighbor enumeration (the "hop count between two arbitrary nodes
+//!   can be found in O(1)" property Algorithm 1's complexity relies on);
+//! * [`routing`] — static dimension-ordered routing producing the exact
+//!   per-link routes that the congestion metrics (Eq. 1) accumulate;
+//! * [`Machine`] — the full machine: torus + nodes-per-router +
+//!   bandwidths + latencies + the router graph in CSR form for BFS;
+//! * [`ordering`] — linear node orderings (lexicographic / serpentine
+//!   space-filling curve) standing in for Cray's placement curve;
+//! * [`alloc`] — a fragmented-allocation generator reproducing the
+//!   paper's *sparse* (non-contiguous) node allocations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod machine;
+pub mod ordering;
+pub mod routing;
+pub mod torus;
+
+pub use alloc::{AllocSpec, Allocation};
+pub use machine::{LinkMode, Machine, MachineConfig};
+pub use ordering::NodeOrdering;
+pub use torus::Torus;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::alloc::{AllocSpec, Allocation};
+    pub use crate::machine::{LinkMode, Machine, MachineConfig};
+    pub use crate::ordering::NodeOrdering;
+    pub use crate::torus::Torus;
+}

@@ -1,0 +1,385 @@
+//! The machine model: torus + compute nodes + link bandwidths.
+//!
+//! A [`Machine`] is the paper's topology graph `Gm` plus everything the
+//! algorithms and the network simulator need: Gemini-style multi-node
+//! routers, per-dimension link bandwidths, hop latencies and a CSR
+//! router graph for BFS traversals.
+
+use umpa_graph::{Graph, GraphBuilder};
+
+use crate::routing::{self, Hop};
+use crate::torus::Torus;
+
+/// Whether congestion is accumulated per directed channel or per
+/// physical (undirected) link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LinkMode {
+    /// Each direction of a physical link is a separate channel — the
+    /// default; Gemini links carry independent traffic per direction.
+    #[default]
+    Directed,
+    /// Both directions share one congestion counter.
+    Undirected,
+}
+
+/// Configuration for building a [`Machine`].
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Torus extents per dimension.
+    pub dims: Vec<u32>,
+    /// Wraparound links (torus) or not (mesh).
+    pub wraparound: bool,
+    /// Compute nodes attached to each router (Gemini: 2).
+    pub nodes_per_router: u32,
+    /// Processor cores usable per node (the paper uses 16 of Hopper's 24).
+    pub procs_per_node: u32,
+    /// Link bandwidth per dimension, GB/s.
+    pub bw_per_dim: Vec<f64>,
+    /// Congestion accounting mode.
+    pub link_mode: LinkMode,
+    /// Nearest-neighbor one-way latency, microseconds.
+    pub base_latency_us: f64,
+    /// Additional latency per hop, microseconds.
+    pub hop_latency_us: f64,
+    /// Injection (NIC) bandwidth per node, GB/s.
+    pub nic_bw: f64,
+}
+
+impl MachineConfig {
+    /// NERSC Hopper: Cray XE6, 17×8×24 Gemini 3-D torus, 2 nodes per
+    /// Gemini, X/Z links ≈ 9.375 GB/s, Y links ≈ 4.68 GB/s; nearest and
+    /// farthest latencies 1.27 µs and 3.88 µs (Section II-B), which over
+    /// the 24-hop diameter gives ≈ 0.109 µs per hop.
+    pub fn hopper() -> Self {
+        Self {
+            dims: vec![17, 8, 24],
+            wraparound: true,
+            nodes_per_router: 2,
+            procs_per_node: 16,
+            bw_per_dim: vec![9.375, 4.68, 9.375],
+            link_mode: LinkMode::Directed,
+            base_latency_us: 1.27,
+            hop_latency_us: (3.88 - 1.27) / 24.0,
+            nic_bw: 6.0,
+        }
+    }
+
+    /// A small torus for tests and examples, unit bandwidths.
+    pub fn small(dims: &[u32], nodes_per_router: u32, procs_per_node: u32) -> Self {
+        Self {
+            dims: dims.to_vec(),
+            wraparound: true,
+            nodes_per_router,
+            procs_per_node,
+            bw_per_dim: vec![1.0; dims.len()],
+            link_mode: LinkMode::Directed,
+            base_latency_us: 1.0,
+            hop_latency_us: 0.1,
+            nic_bw: 1.0,
+        }
+    }
+
+    /// A small mesh (no wraparound) for tests and generality checks.
+    pub fn small_mesh(dims: &[u32], nodes_per_router: u32, procs_per_node: u32) -> Self {
+        Self {
+            wraparound: false,
+            ..Self::small(dims, nodes_per_router, procs_per_node)
+        }
+    }
+
+    /// Builds the machine.
+    pub fn build(self) -> Machine {
+        Machine::new(self)
+    }
+}
+
+/// The machine: topology graph `Gm`, node/processor layout, link ids and
+/// bandwidths, and O(1) hop distances.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    torus: Torus,
+    cfg: MachineConfig,
+    router_graph: Graph,
+    /// Bandwidth per link id (respecting `link_mode` id space).
+    link_bw: Vec<f64>,
+}
+
+impl Machine {
+    /// Builds a machine from a config.
+    pub fn new(cfg: MachineConfig) -> Self {
+        assert_eq!(
+            cfg.dims.len(),
+            cfg.bw_per_dim.len(),
+            "bw_per_dim must have one entry per torus dimension"
+        );
+        assert!(cfg.nodes_per_router >= 1);
+        assert!(cfg.procs_per_node >= 1);
+        let torus = if cfg.wraparound {
+            Torus::new(&cfg.dims)
+        } else {
+            Torus::new_mesh(&cfg.dims)
+        };
+        let nr = torus.num_routers();
+        let nd = torus.ndims();
+        let mut b = GraphBuilder::new(nr);
+        for r in 0..nr as u32 {
+            for d in 0..nd {
+                let p = torus.neighbor(r, d, true);
+                if p != r {
+                    // Undirected builder edge; weight = dim bandwidth.
+                    b.add_edge(r, p, cfg.bw_per_dim[d]);
+                }
+            }
+        }
+        let router_graph = b.build_symmetric();
+        let per_router = match cfg.link_mode {
+            LinkMode::Directed => 2 * nd,
+            LinkMode::Undirected => nd,
+        };
+        let mut link_bw = vec![0.0; nr * per_router];
+        for r in 0..nr {
+            for d in 0..nd {
+                match cfg.link_mode {
+                    LinkMode::Directed => {
+                        link_bw[(r * nd + d) * 2] = cfg.bw_per_dim[d];
+                        link_bw[(r * nd + d) * 2 + 1] = cfg.bw_per_dim[d];
+                    }
+                    LinkMode::Undirected => {
+                        link_bw[r * nd + d] = cfg.bw_per_dim[d];
+                    }
+                }
+            }
+        }
+        Self {
+            torus,
+            cfg,
+            router_graph,
+            link_bw,
+        }
+    }
+
+    /// The underlying torus geometry.
+    #[inline]
+    pub fn torus(&self) -> &Torus {
+        &self.torus
+    }
+
+    /// The build configuration.
+    #[inline]
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Number of routers `|Vm|` (vertices of the topology graph).
+    #[inline]
+    pub fn num_routers(&self) -> usize {
+        self.torus.num_routers()
+    }
+
+    /// Total number of compute nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_routers() * self.cfg.nodes_per_router as usize
+    }
+
+    /// Processor cores usable per node.
+    #[inline]
+    pub fn procs_per_node(&self) -> u32 {
+        self.cfg.procs_per_node
+    }
+
+    /// Router a node hangs off.
+    #[inline]
+    pub fn router_of(&self, node: u32) -> u32 {
+        node / self.cfg.nodes_per_router
+    }
+
+    /// Node ids attached to router `r`.
+    #[inline]
+    pub fn nodes_of_router(&self, r: u32) -> std::ops::Range<u32> {
+        let npr = self.cfg.nodes_per_router;
+        r * npr..(r + 1) * npr
+    }
+
+    /// Hop distance between two *nodes* (0 when they share a router).
+    #[inline]
+    pub fn hops(&self, a: u32, b: u32) -> u32 {
+        self.torus.distance(self.router_of(a), self.router_of(b))
+    }
+
+    /// Network diameter in hops.
+    #[inline]
+    pub fn diameter(&self) -> u32 {
+        self.torus.diameter()
+    }
+
+    /// The router adjacency graph in CSR form (symmetric; edge weights =
+    /// link bandwidths), for BFS traversals.
+    #[inline]
+    pub fn router_graph(&self) -> &Graph {
+        &self.router_graph
+    }
+
+    /// Number of link ids in the active [`LinkMode`] id space.
+    #[inline]
+    pub fn num_links(&self) -> usize {
+        self.link_bw.len()
+    }
+
+    /// Bandwidth of link `id` in GB/s.
+    #[inline]
+    pub fn link_bandwidth(&self, id: u32) -> f64 {
+        self.link_bw[id as usize]
+    }
+
+    /// Latency of a `hops`-hop message path in microseconds.
+    #[inline]
+    pub fn path_latency_us(&self, hops: u32) -> f64 {
+        self.cfg.base_latency_us + self.cfg.hop_latency_us * f64::from(hops)
+    }
+
+    /// Link id of a routing hop in the active id space.
+    #[inline]
+    pub fn link_id(&self, hop: Hop) -> u32 {
+        let nd = self.torus.ndims();
+        match self.cfg.link_mode {
+            LinkMode::Directed => {
+                let dir = u32::from(!hop.positive);
+                ((hop.from as usize * nd + hop.dim as usize) * 2) as u32 + dir
+            }
+            LinkMode::Undirected => {
+                // Canonical owner of an undirected link is the endpoint
+                // the +1 direction departs from.
+                let owner = if hop.positive {
+                    hop.from
+                } else {
+                    self.torus.neighbor(hop.from, hop.dim as usize, false)
+                };
+                (owner as usize * nd + hop.dim as usize) as u32
+            }
+        }
+    }
+
+    /// Appends the link ids of the static route between *nodes* `a` and
+    /// `b` onto `out` (empty when they share a router). Reuses `scratch`
+    /// for the hop expansion to avoid allocation in hot loops.
+    pub fn route_links(&self, a: u32, b: u32, scratch: &mut Vec<Hop>, out: &mut Vec<u32>) {
+        let (ra, rb) = (self.router_of(a), self.router_of(b));
+        if ra == rb {
+            return;
+        }
+        scratch.clear();
+        routing::route(&self.torus, ra, rb, scratch);
+        out.extend(scratch.iter().map(|&h| self.link_id(h)));
+    }
+
+    /// Route link ids as a fresh vector (diagnostics/tests).
+    pub fn route_links_vec(&self, a: u32, b: u32) -> Vec<u32> {
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        self.route_links(a, b, &mut scratch, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m222() -> Machine {
+        MachineConfig::small(&[4, 4, 4], 2, 4).build()
+    }
+
+    #[test]
+    fn node_router_layout() {
+        let m = m222();
+        assert_eq!(m.num_routers(), 64);
+        assert_eq!(m.num_nodes(), 128);
+        assert_eq!(m.router_of(0), 0);
+        assert_eq!(m.router_of(1), 0);
+        assert_eq!(m.router_of(2), 1);
+        assert_eq!(m.nodes_of_router(3), 6..8);
+    }
+
+    #[test]
+    fn same_router_nodes_have_zero_hops_and_empty_route() {
+        let m = m222();
+        assert_eq!(m.hops(0, 1), 0);
+        assert!(m.route_links_vec(0, 1).is_empty());
+    }
+
+    #[test]
+    fn route_link_count_matches_hops() {
+        let m = m222();
+        for a in (0..128u32).step_by(11) {
+            for b in (0..128u32).step_by(7) {
+                assert_eq!(m.route_links_vec(a, b).len() as u32, m.hops(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn directed_links_distinguish_directions() {
+        let m = m222();
+        // Pick two nodes on adjacent routers; routes a->b and b->a use
+        // different directed channel ids.
+        let (a, b) = (0u32, 2u32);
+        let ab = m.route_links_vec(a, b);
+        let ba = m.route_links_vec(b, a);
+        assert_eq!(ab.len(), 1);
+        assert_eq!(ba.len(), 1);
+        assert_ne!(ab[0], ba[0]);
+    }
+
+    #[test]
+    fn undirected_links_share_ids() {
+        let mut cfg = MachineConfig::small(&[4, 4], 1, 1);
+        cfg.link_mode = LinkMode::Undirected;
+        let m = cfg.build();
+        let ab = m.route_links_vec(0, 1);
+        let ba = m.route_links_vec(1, 0);
+        assert_eq!(ab, ba);
+        assert_eq!(m.num_links(), 16 * 2);
+    }
+
+    #[test]
+    fn hopper_preset_shape() {
+        let m = MachineConfig::hopper().build();
+        assert_eq!(m.num_routers(), 17 * 8 * 24);
+        assert_eq!(m.num_nodes(), 2 * 17 * 8 * 24);
+        assert_eq!(m.diameter(), 24);
+        assert_eq!(m.procs_per_node(), 16);
+        // Y-dimension links are the slow ones.
+        let r0 = 0u32;
+        let y_neighbor = m.torus().neighbor(r0, 1, true);
+        let hop = Hop {
+            from: r0,
+            dim: 1,
+            positive: true,
+        };
+        let _ = y_neighbor;
+        assert!((m.link_bandwidth(m.link_id(hop)) - 4.68).abs() < 1e-12);
+        let hop_x = Hop {
+            from: r0,
+            dim: 0,
+            positive: true,
+        };
+        assert!((m.link_bandwidth(m.link_id(hop_x)) - 9.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_model_matches_paper_endpoints() {
+        let m = MachineConfig::hopper().build();
+        assert!((m.path_latency_us(0) - 1.27).abs() < 1e-9);
+        assert!((m.path_latency_us(24) - 3.88).abs() < 1e-9);
+    }
+
+    #[test]
+    fn router_graph_is_six_regular_for_3d() {
+        let m = m222();
+        let g = m.router_graph();
+        for r in 0..g.num_vertices() as u32 {
+            assert_eq!(g.degree(r), 6);
+        }
+    }
+}

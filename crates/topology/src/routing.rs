@@ -1,0 +1,166 @@
+//! Static dimension-ordered shortest-path routing.
+//!
+//! Cray Gemini routes packets statically: all hops of dimension 0 first,
+//! then dimension 1, etc., always taking the shorter wrap direction
+//! (ties resolved toward +1 so routing is deterministic). Because the
+//! route of a message is a pure function of its endpoints, the paper's
+//! congestion metrics (Eq. 1) can be computed *exactly* — the property
+//! Algorithm 3 depends on.
+
+use crate::torus::{Torus, MAX_DIMS};
+
+/// One hop of a route: the router it leaves from, the dimension it
+/// travels along and the direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hop {
+    /// Router the hop departs from.
+    pub from: u32,
+    /// Dimension index.
+    pub dim: u8,
+    /// `true` = +1 direction.
+    pub positive: bool,
+}
+
+/// Appends the dimension-ordered route from router `a` to router `b`
+/// onto `out`. The route has exactly `torus.distance(a, b)` hops.
+pub fn route(torus: &Torus, a: u32, b: u32, out: &mut Vec<Hop>) {
+    let mut ca = [0u32; MAX_DIMS];
+    let mut cb = [0u32; MAX_DIMS];
+    torus.coords_into(a, &mut ca);
+    torus.coords_into(b, &mut cb);
+    let mut cur = a;
+    for d in 0..torus.ndims() {
+        let k = torus.dims()[d];
+        if ca[d] == cb[d] {
+            continue;
+        }
+        let (steps, positive) = if torus.has_wraparound() {
+            let fwd = (cb[d] + k - ca[d]) % k;
+            let bwd = k - fwd;
+            // Shorter wrap direction; tie → positive.
+            if fwd <= bwd {
+                (fwd, true)
+            } else {
+                (bwd, false)
+            }
+        } else {
+            // Mesh: only the direct direction exists.
+            if cb[d] > ca[d] {
+                (cb[d] - ca[d], true)
+            } else {
+                (ca[d] - cb[d], false)
+            }
+        };
+        for _ in 0..steps {
+            out.push(Hop {
+                from: cur,
+                dim: d as u8,
+                positive,
+            });
+            cur = torus.neighbor(cur, d, positive);
+        }
+    }
+    debug_assert_eq!(cur, b, "route did not arrive at destination");
+}
+
+/// Computes the route eagerly into a fresh vector (test/diagnostic use;
+/// hot paths should reuse a buffer through [`route`]).
+pub fn route_vec(torus: &Torus, a: u32, b: u32) -> Vec<Hop> {
+    let mut v = Vec::with_capacity(torus.distance(a, b) as usize);
+    route(torus, a, b, &mut v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_length_equals_distance() {
+        let t = Torus::new(&[5, 4, 3]);
+        for a in (0..60u32).step_by(7) {
+            for b in 0..60u32 {
+                assert_eq!(
+                    route_vec(&t, a, b).len() as u32,
+                    t.distance(a, b),
+                    "a={a} b={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn route_is_dimension_ordered() {
+        let t = Torus::new(&[6, 6]);
+        let r = route_vec(&t, t.router_at(&[0, 0]), t.router_at(&[2, 3]));
+        let dims: Vec<u8> = r.iter().map(|h| h.dim).collect();
+        assert_eq!(dims, vec![0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn route_takes_shorter_wrap() {
+        let t = Torus::new(&[8]);
+        // 0 -> 6 : backward (2 hops) beats forward (6 hops).
+        let r = route_vec(&t, 0, 6);
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().all(|h| !h.positive));
+    }
+
+    #[test]
+    fn tie_breaks_positive() {
+        let t = Torus::new(&[8]);
+        // 0 -> 4: both directions are 4 hops; deterministic choice is +.
+        let r = route_vec(&t, 0, 4);
+        assert_eq!(r.len(), 4);
+        assert!(r.iter().all(|h| h.positive));
+    }
+
+    #[test]
+    fn empty_route_for_same_router() {
+        let t = Torus::new(&[4, 4]);
+        assert!(route_vec(&t, 9, 9).is_empty());
+    }
+
+    #[test]
+    fn mesh_routes_are_direct() {
+        let m = Torus::new_mesh(&[8]);
+        // 0 -> 6 on a mesh must take 6 forward hops (no wrap shortcut).
+        let r = route_vec(&m, 0, 6);
+        assert_eq!(r.len(), 6);
+        assert!(r.iter().all(|h| h.positive));
+        // And route length always equals mesh distance.
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                assert_eq!(route_vec(&m, a, b).len() as u32, m.distance(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_2d_route_is_dimension_ordered_and_valid() {
+        let m = Torus::new_mesh(&[5, 4]);
+        let (a, b) = (m.router_at(&[4, 3]), m.router_at(&[0, 0]));
+        let r = route_vec(&m, a, b);
+        assert_eq!(r.len() as u32, m.distance(a, b));
+        let mut cur = a;
+        for h in &r {
+            assert_eq!(h.from, cur);
+            assert!(!h.positive); // heading toward (0,0)
+            cur = m.neighbor(cur, h.dim as usize, h.positive);
+        }
+        assert_eq!(cur, b);
+    }
+
+    #[test]
+    fn route_hops_are_contiguous() {
+        let t = Torus::new(&[7, 5, 3]);
+        let (a, b) = (3u32, 97u32);
+        let r = route_vec(&t, a, b);
+        let mut cur = a;
+        for h in &r {
+            assert_eq!(h.from, cur);
+            cur = t.neighbor(cur, h.dim as usize, h.positive);
+        }
+        assert_eq!(cur, b);
+    }
+}

@@ -1,0 +1,302 @@
+//! k-ary n-dimensional torus geometry.
+
+/// Maximum supported torus dimensionality (the Top500 machines the paper
+/// cites use 3-D, 5-D and 6-D tori).
+pub const MAX_DIMS: usize = 6;
+
+/// A k-ary n-D torus (or mesh) of routers.
+///
+/// Routers are dense ids `0..num_routers`, laid out in row-major order
+/// with dimension 0 fastest-varying. Distances and routes are computed
+/// arithmetically in `O(ndims)` — no search. With `wraparound` off the
+/// geometry is a mesh: same ids, no wrap links — the WH-minimizing
+/// algorithms of the paper only need hop distances and work unchanged.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Torus {
+    dims: Vec<u32>,
+    /// `stride[d]` = id increment for +1 step in dimension `d`.
+    strides: Vec<u32>,
+    wrap: bool,
+}
+
+impl Torus {
+    /// Creates a torus (with wraparound) of the given extents.
+    ///
+    /// Panics if `dims` is empty, longer than [`MAX_DIMS`], or any
+    /// extent is zero.
+    pub fn new(dims: &[u32]) -> Self {
+        Self::build(dims, true)
+    }
+
+    /// Creates a mesh (no wraparound) of the given extents.
+    pub fn new_mesh(dims: &[u32]) -> Self {
+        Self::build(dims, false)
+    }
+
+    fn build(dims: &[u32], wrap: bool) -> Self {
+        assert!(
+            !dims.is_empty() && dims.len() <= MAX_DIMS,
+            "torus must have 1..={MAX_DIMS} dimensions"
+        );
+        assert!(dims.iter().all(|&k| k > 0), "zero-extent dimension");
+        let mut strides = Vec::with_capacity(dims.len());
+        let mut s = 1u32;
+        for &k in dims {
+            strides.push(s);
+            s = s.checked_mul(k).expect("torus too large for u32 ids");
+        }
+        Self {
+            dims: dims.to_vec(),
+            strides,
+            wrap,
+        }
+    }
+
+    /// Whether wraparound links exist.
+    #[inline]
+    pub fn has_wraparound(&self) -> bool {
+        self.wrap
+    }
+
+    /// Per-dimension extents.
+    #[inline]
+    pub fn dims(&self) -> &[u32] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of routers.
+    #[inline]
+    pub fn num_routers(&self) -> usize {
+        self.dims.iter().product::<u32>() as usize
+    }
+
+    /// Network diameter: maximum hop distance between any router pair.
+    pub fn diameter(&self) -> u32 {
+        if self.wrap {
+            self.dims.iter().map(|&k| k / 2).sum()
+        } else {
+            self.dims.iter().map(|&k| k - 1).sum()
+        }
+    }
+
+    /// Writes the coordinates of router `r` into `out[..ndims]`.
+    #[inline]
+    pub fn coords_into(&self, r: u32, out: &mut [u32; MAX_DIMS]) {
+        let mut rest = r;
+        for (d, &k) in self.dims.iter().enumerate() {
+            out[d] = rest % k;
+            rest /= k;
+        }
+    }
+
+    /// Coordinates of router `r` as a fresh array (first `ndims` valid).
+    #[inline]
+    pub fn coords(&self, r: u32) -> [u32; MAX_DIMS] {
+        let mut c = [0u32; MAX_DIMS];
+        self.coords_into(r, &mut c);
+        c
+    }
+
+    /// Router id at the given coordinates (first `ndims` entries used).
+    #[inline]
+    pub fn router_at(&self, coords: &[u32]) -> u32 {
+        debug_assert!(coords.len() >= self.ndims());
+        let mut r = 0u32;
+        for d in 0..self.ndims() {
+            debug_assert!(coords[d] < self.dims[d]);
+            r += coords[d] * self.strides[d];
+        }
+        r
+    }
+
+    /// Coordinate of router `r` along dimension `d`.
+    #[inline]
+    pub fn coord(&self, r: u32, d: usize) -> u32 {
+        (r / self.strides[d]) % self.dims[d]
+    }
+
+    /// Hop distance between routers `a` and `b` (shortest path length,
+    /// honoring wraparound if present), computed in `O(ndims)`.
+    #[inline]
+    pub fn distance(&self, a: u32, b: u32) -> u32 {
+        let mut hops = 0;
+        for d in 0..self.ndims() {
+            let k = self.dims[d];
+            let ca = self.coord(a, d);
+            let cb = self.coord(b, d);
+            if self.wrap {
+                let fwd = (cb + k - ca) % k;
+                hops += fwd.min(k - fwd);
+            } else {
+                hops += ca.abs_diff(cb);
+            }
+        }
+        hops
+    }
+
+    /// The router one step from `r` along dimension `d`; `positive`
+    /// selects the +1 or −1 direction. On a mesh boundary where the
+    /// step does not exist, `r` itself is returned (callers treat a
+    /// self-step as "no neighbor").
+    #[inline]
+    pub fn neighbor(&self, r: u32, d: usize, positive: bool) -> u32 {
+        let k = self.dims[d];
+        let c = self.coord(r, d);
+        let nc = if positive {
+            if c + 1 < k {
+                c + 1
+            } else if self.wrap {
+                0
+            } else {
+                return r;
+            }
+        } else if c > 0 {
+            c - 1
+        } else if self.wrap {
+            k - 1
+        } else {
+            return r;
+        };
+        r + (nc * self.strides[d]) - (c * self.strides[d])
+    }
+
+    /// All neighbors of `r` (up to `2·ndims`; fewer when an extent ≤ 2
+    /// makes both directions coincide). Deduplicated, deterministic
+    /// order.
+    pub fn neighbors(&self, r: u32) -> Vec<u32> {
+        let mut out = Vec::with_capacity(2 * self.ndims());
+        for d in 0..self.ndims() {
+            let p = self.neighbor(r, d, true);
+            let m = self.neighbor(r, d, false);
+            if p != r && !out.contains(&p) {
+                out.push(p);
+            }
+            if m != r && !out.contains(&m) {
+                out.push(m);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_coord_roundtrip() {
+        let t = Torus::new(&[4, 3, 5]);
+        assert_eq!(t.num_routers(), 60);
+        for r in 0..60u32 {
+            let c = t.coords(r);
+            assert_eq!(t.router_at(&c[..3]), r);
+        }
+    }
+
+    #[test]
+    fn distance_uses_wraparound() {
+        let t = Torus::new(&[8]);
+        assert_eq!(t.distance(0, 1), 1);
+        assert_eq!(t.distance(0, 7), 1);
+        assert_eq!(t.distance(0, 4), 4);
+        assert_eq!(t.distance(2, 6), 4);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_triangle() {
+        let t = Torus::new(&[5, 4]);
+        for a in 0..20u32 {
+            for b in 0..20u32 {
+                assert_eq!(t.distance(a, b), t.distance(b, a));
+                for c in 0..20u32 {
+                    assert!(t.distance(a, c) <= t.distance(a, b) + t.distance(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_3d() {
+        let t = Torus::new(&[17, 8, 24]);
+        assert_eq!(t.diameter(), 8 + 4 + 12);
+    }
+
+    #[test]
+    fn neighbors_step_one_hop() {
+        let t = Torus::new(&[4, 4, 4]);
+        for r in 0..64u32 {
+            let ns = t.neighbors(r);
+            assert_eq!(ns.len(), 6);
+            for n in ns {
+                assert_eq!(t.distance(r, n), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn small_extent_dedups_neighbors() {
+        let t = Torus::new(&[2, 3]);
+        // dimension 0 extent 2: +1 and -1 are the same router.
+        let ns = t.neighbors(0);
+        assert_eq!(ns.len(), 3); // 1, and the two distinct dim-1 neighbors
+    }
+
+    #[test]
+    fn neighbor_wraps_both_directions() {
+        let t = Torus::new(&[5]);
+        assert_eq!(t.neighbor(4, 0, true), 0);
+        assert_eq!(t.neighbor(0, 0, false), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions")]
+    fn too_many_dims_panics() {
+        Torus::new(&[2, 2, 2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn mesh_distance_has_no_wraparound() {
+        let m = Torus::new_mesh(&[8]);
+        assert_eq!(m.distance(0, 7), 7);
+        assert_eq!(m.distance(7, 0), 7);
+        assert_eq!(m.diameter(), 7);
+        let t = Torus::new(&[8]);
+        assert_eq!(t.distance(0, 7), 1);
+    }
+
+    #[test]
+    fn mesh_boundary_has_no_neighbor() {
+        let m = Torus::new_mesh(&[4, 3]);
+        // Router (0,0): no -x, no -y neighbor.
+        assert_eq!(m.neighbor(0, 0, false), 0);
+        assert_eq!(m.neighbor(0, 1, false), 0);
+        // Router (3,2): no +x, no +y neighbor.
+        let corner = m.router_at(&[3, 2]);
+        assert_eq!(m.neighbor(corner, 0, true), corner);
+        assert_eq!(m.neighbor(corner, 1, true), corner);
+        // Interior neighbors exist in both directions.
+        let mid = m.router_at(&[1, 1]);
+        assert_eq!(m.neighbors(mid).len(), 4);
+        // Corner has exactly 2 neighbors.
+        assert_eq!(m.neighbors(0).len(), 2);
+    }
+
+    #[test]
+    fn mesh_distance_is_still_a_metric() {
+        let m = Torus::new_mesh(&[4, 4]);
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                assert_eq!(m.distance(a, b), m.distance(b, a));
+                for c in 0..16u32 {
+                    assert!(m.distance(a, c) <= m.distance(a, b) + m.distance(b, c));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Beyond Hopper: the WH-minimizing algorithms only need hop distances,
+//! so they generalize to any torus. This example maps the same workload
+//! onto a 3-D Hopper-style torus and a BlueGene/Q-style 5-D torus and
+//! compares dilation.
+//!
+//! ```bash
+//! cargo run --release --example custom_topology
+//! ```
+
+use umpa::prelude::*;
+
+fn workload() -> TaskGraph {
+    // A 3-D 4x4x4 stencil communication pattern (64 tasks).
+    let idx = |x: u32, y: u32, z: u32| z * 16 + y * 4 + x;
+    let mut msgs = Vec::new();
+    for z in 0..4u32 {
+        for y in 0..4u32 {
+            for x in 0..4u32 {
+                let t = idx(x, y, z);
+                let mut link = |other: u32| {
+                    msgs.push((t, other, 4.0));
+                    msgs.push((other, t, 4.0));
+                };
+                if x + 1 < 4 {
+                    link(idx(x + 1, y, z));
+                }
+                if y + 1 < 4 {
+                    link(idx(x, y + 1, z));
+                }
+                if z + 1 < 4 {
+                    link(idx(x, y, z + 1));
+                }
+            }
+        }
+    }
+    TaskGraph::from_messages(64, msgs, None)
+}
+
+fn run(label: &str, cfg: MachineConfig) {
+    let machine = cfg.build();
+    let nodes = 64 / machine.procs_per_node() as usize;
+    let alloc = Allocation::generate(&machine, &AllocSpec::sparse(nodes, 9));
+    let tasks = workload();
+    let pipeline = PipelineConfig::default();
+    println!(
+        "\n{label}: {:?} torus, diameter {} hops, {} nodes allocated",
+        machine.torus().dims(),
+        machine.diameter(),
+        nodes
+    );
+    for kind in [MapperKind::Def, MapperKind::Greedy, MapperKind::GreedyWh] {
+        let out = map_tasks(&tasks, &machine, &alloc, kind, &pipeline);
+        let m = evaluate(&tasks, &machine, &out.fine_mapping);
+        println!(
+            "  {:>4}: TH = {:>5.0}  WH = {:>6.0}  avg dilation = {:.2} hops/message",
+            kind.name(),
+            m.th,
+            m.wh,
+            m.th / tasks.num_messages() as f64
+        );
+    }
+}
+
+fn main() {
+    // Hopper-style 3-D torus (shrunk), 2 nodes/router, 4 cores.
+    let mut hopper = MachineConfig::small(&[6, 4, 8], 2, 4);
+    hopper.bw_per_dim = vec![9.375, 4.68, 9.375];
+    run("3-D Cray-style", hopper);
+
+    // BlueGene/Q-style 5-D torus, 1 node/router, 16 cores.
+    let bgq = MachineConfig::small(&[4, 4, 4, 2, 2], 1, 16);
+    run("5-D BlueGene-style", bgq);
+}

@@ -1,0 +1,61 @@
+//! Quickstart: map a small task graph onto a torus and compare every
+//! mapper on the paper's metrics.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use umpa::prelude::*;
+
+fn main() {
+    // 1. A machine: 4×4×4 torus, 2 nodes per router, 4 cores per node —
+    //    a scaled-down Cray XE6. `MachineConfig::hopper()` gives the
+    //    real thing.
+    let machine = MachineConfig::small(&[4, 4, 4], 2, 4).build();
+
+    // 2. A sparse allocation: 16 nodes scattered over the torus, the
+    //    way a busy scheduler would hand them out.
+    let alloc = Allocation::generate(&machine, &AllocSpec::sparse(16, 7));
+    println!(
+        "allocated {} nodes, mean pairwise distance {:.2} hops",
+        alloc.num_nodes(),
+        alloc.mean_pairwise_hops(&machine)
+    );
+
+    // 3. An application: 64 MPI tasks in a 2-D halo-exchange pattern
+    //    (each task talks to its 4 grid neighbors).
+    let side = 8u32;
+    let idx = |x: u32, y: u32| y * side + x;
+    let mut messages = Vec::new();
+    for y in 0..side {
+        for x in 0..side {
+            if x + 1 < side {
+                messages.push((idx(x, y), idx(x + 1, y), 8.0));
+                messages.push((idx(x + 1, y), idx(x, y), 8.0));
+            }
+            if y + 1 < side {
+                messages.push((idx(x, y), idx(x, y + 1), 8.0));
+                messages.push((idx(x, y + 1), idx(x, y), 8.0));
+            }
+        }
+    }
+    let tasks = TaskGraph::from_messages(64, messages, None);
+
+    // 4. Run the full two-phase pipeline for every mapper and print the
+    //    paper's four headline metrics.
+    let cfg = PipelineConfig::default();
+    println!("\n{:>6}  {:>8} {:>8} {:>6} {:>8}", "mapper", "TH", "WH", "MMC", "MC");
+    for kind in MapperKind::all() {
+        let out = map_tasks(&tasks, &machine, &alloc, kind, &cfg);
+        let m = evaluate(&tasks, &machine, &out.fine_mapping);
+        println!(
+            "{:>6}  {:>8.0} {:>8.0} {:>6.0} {:>8.2}",
+            kind.name(),
+            m.th,
+            m.wh,
+            m.mmc,
+            m.mc
+        );
+    }
+    println!("\nLower is better everywhere; UG/UWH should lead WH, UMC should lead MC.");
+}

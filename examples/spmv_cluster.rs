@@ -1,0 +1,74 @@
+//! End-to-end SpMV campaign: generate a cage-like matrix, partition it
+//! with two partitioner presets, map with every algorithm, and simulate
+//! 100 SpMV iterations on the modelled Hopper — the workflow behind
+//! Figure 5.
+//!
+//! ```bash
+//! cargo run --release --example spmv_cluster
+//! ```
+
+use umpa::matgen::dataset;
+use umpa::matgen::spmv::{partition_loads, spmv_task_graph};
+use umpa::netsim::prelude::*;
+use umpa::prelude::*;
+
+fn main() {
+    let machine = MachineConfig::hopper().build();
+    let parts = 256; // MPI processes
+    let nodes = parts / machine.procs_per_node() as usize;
+    let alloc = Allocation::generate(&machine, &AllocSpec::sparse(nodes, 42));
+    println!(
+        "machine: {:?} torus, {} nodes allocated for {} processes",
+        machine.torus().dims(),
+        nodes,
+        parts
+    );
+
+    let a = dataset::cage15_like(Scale::Tiny);
+    println!(
+        "matrix: {} rows, {} nnz ({:.1} per row)",
+        a.nrows(),
+        a.nnz(),
+        a.avg_row_nnz()
+    );
+
+    let cfg = PipelineConfig::default();
+    let app = AppConfig {
+        des: DesConfig {
+            noise: 0.02,
+            seed: 1,
+            ..DesConfig::default()
+        },
+        repetitions: 3,
+        ..AppConfig::default()
+    };
+
+    for partitioner in [PartitionerKind::Patoh, PartitionerKind::UmpaTM] {
+        let part = partitioner.partition_matrix(&a, parts, 1);
+        let tg = spmv_task_graph(&a, &part, parts);
+        let loads = partition_loads(&a, &part, parts);
+        println!(
+            "\npartitioner {}: TV = {:.0} words, {} messages",
+            partitioner.name(),
+            tg.total_volume(),
+            tg.num_messages()
+        );
+        println!("{:>6} {:>12} {:>10} {:>8}", "mapper", "time/iter", "TH", "MC");
+        let mut def_time = None;
+        for kind in MapperKind::all() {
+            let out = map_tasks(&tg, &machine, &alloc, kind, &cfg);
+            let m = evaluate(&tg, &machine, &out.fine_mapping);
+            let t = spmv_time(&machine, &tg, &out.fine_mapping, &loads, 100, &app);
+            let per_iter = t.mean_us / 100.0;
+            let base = *def_time.get_or_insert(per_iter);
+            println!(
+                "{:>6} {:>9.1} µs {:>10.0} {:>8.2}  ({:.2}x DEF)",
+                kind.name(),
+                per_iter,
+                m.th,
+                m.mc,
+                per_iter / base
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! `umpa` — facade crate for the umpa-rs workspace.
+//!
+//! Re-exports the public API of every sub-crate so that downstream users
+//! (and the `examples/` and `tests/` trees) can depend on a single crate:
+//!
+//! ```
+//! use umpa::prelude::*;
+//! ```
+//!
+//! The workspace reproduces *Deveci, Kaya, Uçar, Çatalyürek: "Fast and
+//! high quality topology-aware task mapping", IPDPS 2015*. See DESIGN.md
+//! for the crate inventory and EXPERIMENTS.md for the reproduced tables
+//! and figures.
+
+#![forbid(unsafe_code)]
+
+pub use umpa_analysis as analysis;
+pub use umpa_core as core;
+pub use umpa_ds as ds;
+pub use umpa_graph as graph;
+pub use umpa_matgen as matgen;
+pub use umpa_netsim as netsim;
+pub use umpa_partition as partition;
+pub use umpa_topology as topology;
+
+/// Commonly used items, importable with a single `use umpa::prelude::*`.
+pub mod prelude {
+    pub use umpa_core::prelude::*;
+    pub use umpa_graph::prelude::*;
+    pub use umpa_matgen::prelude::*;
+    pub use umpa_netsim::prelude::*;
+    pub use umpa_partition::prelude::*;
+    pub use umpa_topology::prelude::*;
+}

@@ -1,0 +1,119 @@
+//! Generality tests: the mapping algorithms on non-default machines —
+//! meshes (no wraparound), 5-D tori, heterogeneous node capacities and
+//! heterogeneous allocations. Section III of the paper claims the
+//! WH-minimizing algorithms "can be applied to various topologies";
+//! these tests hold it to that.
+
+use umpa::core::mapping::validate_mapping;
+use umpa::prelude::*;
+
+fn ring_tasks(n: u32, vol: f64) -> TaskGraph {
+    TaskGraph::from_messages(n as usize, (0..n).map(|i| (i, (i + 1) % n, vol)), None)
+}
+
+#[test]
+fn all_mappers_work_on_a_mesh() {
+    let machine = MachineConfig::small_mesh(&[6, 6], 1, 2).build();
+    let alloc = Allocation::generate(&machine, &AllocSpec::sparse(8, 4));
+    let tg = ring_tasks(16, 3.0);
+    let cfg = PipelineConfig::default();
+    for kind in MapperKind::all() {
+        let out = map_tasks(&tg, &machine, &alloc, kind, &cfg);
+        validate_mapping(&tg, &alloc, &out.fine_mapping)
+            .unwrap_or_else(|e| panic!("{} on mesh: {e}", kind.name()));
+        let m = evaluate(&tg, &machine, &out.fine_mapping);
+        let sum: f64 = m.msg_congestion.iter().sum();
+        assert!((m.th - sum).abs() < 1e-9, "{} mesh TH identity", kind.name());
+    }
+}
+
+#[test]
+fn mesh_distances_penalize_corner_to_corner() {
+    let mesh = MachineConfig::small_mesh(&[8, 8], 1, 1).build();
+    let torus = MachineConfig::small(&[8, 8], 1, 1).build();
+    let corner_a = 0u32;
+    let corner_b = (mesh.num_nodes() - 1) as u32;
+    assert_eq!(mesh.hops(corner_a, corner_b), 14);
+    assert_eq!(torus.hops(corner_a, corner_b), 2);
+}
+
+#[test]
+fn five_dimensional_torus_end_to_end() {
+    let machine = MachineConfig::small(&[3, 3, 3, 2, 2], 1, 4).build();
+    let alloc = Allocation::generate(&machine, &AllocSpec::sparse(16, 6));
+    let tg = ring_tasks(64, 2.0);
+    let cfg = PipelineConfig::default();
+    let ug = map_tasks(&tg, &machine, &alloc, MapperKind::Greedy, &cfg);
+    let uwh = map_tasks(&tg, &machine, &alloc, MapperKind::GreedyWh, &cfg);
+    validate_mapping(&tg, &alloc, &ug.fine_mapping).unwrap();
+    validate_mapping(&tg, &alloc, &uwh.fine_mapping).unwrap();
+    let wh_ug = evaluate(&tg, &machine, &ug.fine_mapping).wh;
+    let wh_uwh = evaluate(&tg, &machine, &uwh.fine_mapping).wh;
+    assert!(wh_uwh <= wh_ug + 1e-9);
+}
+
+#[test]
+fn heterogeneous_node_capacities_flow_through_the_pipeline() {
+    let machine = MachineConfig::small(&[4, 4], 1, 8).build();
+    let mut alloc = Allocation::generate(&machine, &AllocSpec::contiguous(4));
+    // One fat node, three thin ones: 8 + 4 + 2 + 2 = 16 procs.
+    alloc.set_procs(vec![8, 4, 2, 2]);
+    let tg = ring_tasks(16, 1.0);
+    let cfg = PipelineConfig::default();
+    for kind in [
+        MapperKind::Def,
+        MapperKind::Greedy,
+        MapperKind::GreedyWh,
+        MapperKind::GreedyMc,
+    ] {
+        let out = map_tasks(&tg, &machine, &alloc, kind, &cfg);
+        validate_mapping(&tg, &alloc, &out.fine_mapping)
+            .unwrap_or_else(|e| panic!("{} heterogeneous: {e}", kind.name()));
+    }
+}
+
+#[test]
+fn undirected_link_mode_metrics_are_consistent() {
+    let mut cfg = MachineConfig::small(&[6], 1, 1);
+    cfg.link_mode = LinkMode::Undirected;
+    let machine = cfg.build();
+    let tg = TaskGraph::from_messages(2, [(0, 1, 2.0), (1, 0, 2.0)], None);
+    let m = evaluate(&tg, &machine, &[0, 1]);
+    // Opposing messages share the single undirected link: MMC = 2.
+    assert_eq!(m.mmc, 2.0);
+    assert_eq!(m.used_links, 1);
+    let sum: f64 = m.msg_congestion.iter().sum();
+    assert!((m.th - sum).abs() < 1e-9);
+}
+
+#[test]
+fn contiguous_vs_sparse_allocations_change_def_quality() {
+    let machine = MachineConfig::small(&[8, 8], 1, 1).build();
+    let tg = ring_tasks(16, 1.0);
+    let cfg = PipelineConfig::default();
+    let cont = Allocation::generate(&machine, &AllocSpec::contiguous(16));
+    let frag = Allocation::generate(
+        &machine,
+        &AllocSpec {
+            num_nodes: 16,
+            background_occupancy: 0.6,
+            fragment_len: 2,
+            ordering: NodeOrdering::Serpentine,
+            seed: 3,
+        },
+    );
+    let wh_cont = {
+        let out = map_tasks(&tg, &machine, &cont, MapperKind::Def, &cfg);
+        evaluate(&tg, &machine, &out.fine_mapping).wh
+    };
+    let wh_frag = {
+        let out = map_tasks(&tg, &machine, &frag, MapperKind::Def, &cfg);
+        evaluate(&tg, &machine, &out.fine_mapping).wh
+    };
+    // Fragmentation hurts the curve-following default placement — the
+    // premise of the whole paper.
+    assert!(
+        wh_frag > wh_cont,
+        "fragmented DEF WH {wh_frag} should exceed contiguous {wh_cont}"
+    );
+}
