@@ -71,8 +71,7 @@ impl Matrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols);
         let mut y = vec![0.0; self.rows];
-        for c in 0..self.cols {
-            let xc = x[c];
+        for (c, &xc) in x.iter().enumerate() {
             if xc != 0.0 {
                 for (r, yv) in y.iter_mut().enumerate() {
                     *yv += self.at(r, c) * xc;
@@ -100,12 +99,7 @@ fn ls_on_subset(a: &Matrix, b: &[f64], subset: &[usize]) -> Vec<f64> {
     let mut atb = vec![0.0f64; k];
     for (i, &ci) in subset.iter().enumerate() {
         for (j, &cj) in subset.iter().enumerate() {
-            ata[i * k + j] = a
-                .col(ci)
-                .iter()
-                .zip(a.col(cj))
-                .map(|(x, y)| x * y)
-                .sum();
+            ata[i * k + j] = a.col(ci).iter().zip(a.col(cj)).map(|(x, y)| x * y).sum();
         }
         atb[i] = a.col(ci).iter().zip(b).map(|(x, y)| x * y).sum();
     }
@@ -268,11 +262,7 @@ mod tests {
     #[test]
     fn clips_negative_coefficients_to_zero() {
         // b = c0 − c1 : best nonnegative fit puts weight on c0 only.
-        let a = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 1.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
         let b = vec![1.0, -1.0, 0.0];
         let x = nnls(&a, &b);
         assert!(x[1].abs() < 1e-9, "{x:?}");
@@ -314,11 +304,7 @@ mod tests {
     #[test]
     fn handles_collinear_columns() {
         // Duplicate columns must not blow up the solve.
-        let a = Matrix::from_rows(&[
-            vec![1.0, 1.0],
-            vec![2.0, 2.0],
-            vec![3.0, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
         let b = vec![1.0, 2.0, 3.0];
         let x = nnls(&a, &b);
         let ax = a.mul_vec(&x);

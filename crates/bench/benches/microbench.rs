@@ -1,8 +1,11 @@
-//! Criterion microbenchmarks: the building blocks whose complexity the
-//! paper analyzes (routing, BFS, heap ops, metric evaluation) and the
+//! Microbenchmarks: the building blocks whose complexity the paper
+//! analyzes (routing, BFS, heap ops, metric evaluation) and the
 //! end-to-end mappers of Figure 3.
+//!
+//! Criterion is unavailable offline; this uses the `umpa_bench::timing`
+//! harness (`cargo bench -p umpa-bench`). Pass `--fast` for a smoke run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use umpa_bench::timing::{bench_ns, print_samples, BenchOpts, Sample};
 use umpa_core::prelude::*;
 use umpa_graph::{Bfs, TaskGraph};
 use umpa_matgen::spmv::spmv_task_graph;
@@ -13,69 +16,61 @@ fn machine() -> Machine {
     MachineConfig::hopper().build()
 }
 
-fn bench_routing(c: &mut Criterion) {
+fn bench_routing(opts: &BenchOpts, out: &mut Vec<Sample>) {
     let m = machine();
     let pairs: Vec<(u32, u32)> = (0..256u32)
         .map(|i| (i * 13 % m.num_nodes() as u32, i * 97 % m.num_nodes() as u32))
         .collect();
-    c.bench_function("torus_route_256_pairs", |b| {
-        let mut scratch = Vec::new();
-        let mut links = Vec::new();
-        b.iter(|| {
-            let mut total = 0usize;
-            for &(x, y) in &pairs {
-                links.clear();
-                m.route_links(x, y, &mut scratch, &mut links);
-                total += links.len();
-            }
-            std::hint::black_box(total)
-        })
-    });
-    c.bench_function("torus_distance_256_pairs", |b| {
-        b.iter(|| {
-            let mut total = 0u32;
-            for &(x, y) in &pairs {
-                total += m.hops(x, y);
-            }
-            std::hint::black_box(total)
-        })
-    });
+    let mut scratch = Vec::new();
+    let mut links = Vec::new();
+    out.push(bench_ns("torus_route_256_pairs", opts, || {
+        let mut total = 0usize;
+        for &(x, y) in &pairs {
+            links.clear();
+            m.route_links(x, y, &mut scratch, &mut links);
+            total += links.len();
+        }
+        total
+    }));
+    out.push(bench_ns("torus_distance_256_pairs", opts, || {
+        let mut total = 0u32;
+        for &(x, y) in &pairs {
+            total += m.hops(x, y);
+        }
+        total
+    }));
 }
 
-fn bench_bfs(c: &mut Criterion) {
+fn bench_bfs(opts: &BenchOpts, out: &mut Vec<Sample>) {
     let m = machine();
     let g = m.router_graph();
-    c.bench_function("router_graph_full_bfs", |b| {
-        let mut bfs = Bfs::new(g.num_vertices());
-        b.iter(|| {
-            bfs.start([0u32]);
-            let mut count = 0usize;
-            while bfs.next(g).is_some() {
-                count += 1;
-            }
-            std::hint::black_box(count)
-        })
-    });
+    let mut bfs = Bfs::new(g.num_vertices());
+    out.push(bench_ns("router_graph_full_bfs", opts, || {
+        bfs.start([0u32]);
+        let mut count = 0usize;
+        while bfs.next(g).is_some() {
+            count += 1;
+        }
+        count
+    }));
 }
 
-fn bench_heap(c: &mut Criterion) {
+fn bench_heap(opts: &BenchOpts, out: &mut Vec<Sample>) {
     use umpa_ds::IndexedMaxHeap;
-    c.bench_function("indexed_heap_10k_mixed_ops", |b| {
-        b.iter(|| {
-            let mut h = IndexedMaxHeap::new(10_000);
-            for i in 0..10_000u32 {
-                h.push(i, f64::from(i * 2654435761 % 10_000));
-            }
-            for i in 0..5_000u32 {
-                h.change_key(i, f64::from(i % 97));
-            }
-            let mut sum = 0.0;
-            while let Some((_, k)) = h.pop() {
-                sum += k;
-            }
-            std::hint::black_box(sum)
-        })
-    });
+    out.push(bench_ns("indexed_heap_10k_mixed_ops", opts, || {
+        let mut h = IndexedMaxHeap::new(10_000);
+        for i in 0..10_000u32 {
+            h.push(i, f64::from(i * 2654435761 % 10_000));
+        }
+        for i in 0..5_000u32 {
+            h.change_key(i, f64::from(i % 97));
+        }
+        let mut sum = 0.0;
+        while let Some((_, k)) = h.pop() {
+            sum += k;
+        }
+        sum
+    }));
 }
 
 /// Shared fixture: a PATOH-partitioned stencil task graph.
@@ -88,58 +83,54 @@ fn fixture(parts: usize) -> (Machine, Allocation, TaskGraph) {
     (m, alloc, tg)
 }
 
-fn bench_metrics(c: &mut Criterion) {
+fn bench_metrics(opts: &BenchOpts, out: &mut Vec<Sample>) {
     let (m, alloc, tg) = fixture(256);
     let cfg = PipelineConfig::default();
-    let out = map_tasks(&tg, &m, &alloc, MapperKind::Greedy, &cfg);
-    c.bench_function("evaluate_metrics_256_tasks", |b| {
-        b.iter(|| std::hint::black_box(evaluate(&tg, &m, &out.fine_mapping).wh))
-    });
+    let mapped = map_tasks(&tg, &m, &alloc, MapperKind::Greedy, &cfg);
+    out.push(bench_ns("evaluate_metrics_256_tasks", opts, || {
+        evaluate(&tg, &m, &mapped.fine_mapping).wh
+    }));
 }
 
-fn bench_mappers(c: &mut Criterion) {
+fn bench_mappers(opts: &BenchOpts, out: &mut Vec<Sample>) {
     // Figure 3's measurement: wall time per mapping algorithm.
-    let mut group = c.benchmark_group("mappers_fig3");
-    group.sample_size(10);
     for parts in [128usize, 256] {
         let (m, alloc, tg) = fixture(parts);
         let cfg = PipelineConfig::default();
         for kind in MapperKind::all() {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), parts),
-                &parts,
-                |b, _| {
-                    b.iter(|| {
-                        std::hint::black_box(
-                            map_tasks(&tg, &m, &alloc, kind, &cfg).fine_mapping.len(),
-                        )
-                    })
-                },
-            );
+            out.push(bench_ns(
+                &format!("mappers_fig3/{}/{parts}", kind.name()),
+                opts,
+                || map_tasks(&tg, &m, &alloc, kind, &cfg).fine_mapping.len(),
+            ));
         }
     }
-    group.finish();
 }
 
-fn bench_partitioner(c: &mut Criterion) {
+fn bench_partitioner(opts: &BenchOpts, out: &mut Vec<Sample>) {
     let a = umpa_matgen::gen::stencil2d(64, 64, umpa_matgen::gen::Stencil2D::FivePoint);
-    let mut group = c.benchmark_group("partitioner");
-    group.sample_size(10);
     for kind in [PartitionerKind::Scotch, PartitionerKind::Patoh] {
-        group.bench_function(kind.name(), |b| {
-            b.iter(|| std::hint::black_box(kind.partition_matrix(&a, 64, 7).len()))
-        });
+        out.push(bench_ns(
+            &format!("partitioner/{}", kind.name()),
+            opts,
+            || kind.partition_matrix(&a, 64, 7).len(),
+        ));
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_routing,
-    bench_bfs,
-    bench_heap,
-    bench_metrics,
-    bench_mappers,
-    bench_partitioner
-);
-criterion_main!(benches);
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let opts = if fast {
+        BenchOpts::fast()
+    } else {
+        BenchOpts::default()
+    };
+    let mut out = Vec::new();
+    bench_routing(&opts, &mut out);
+    bench_bfs(&opts, &mut out);
+    bench_heap(&opts, &mut out);
+    bench_metrics(&opts, &mut out);
+    bench_mappers(&opts, &mut out);
+    bench_partitioner(&opts, &mut out);
+    print_samples(&out);
+}

@@ -28,10 +28,7 @@ fn main() {
                     .map(|kind| {
                         let part = kind.partition_matrix(&a, parts, 42);
                         let tg = spmv_task_graph(&a, &part, parts);
-                        CommStats::from_task_graph(
-                            &tg,
-                            &partition_loads(&a, &part, parts),
-                        )
+                        CommStats::from_task_graph(&tg, &partition_loads(&a, &part, parts))
                     })
                     .collect()
             })

@@ -40,9 +40,8 @@ fn main() {
                         let runs: Vec<(FullMetrics, f64)> = mappers
                             .iter()
                             .map(|&kind| {
-                                let (out, m) = umpa_bench::run_mapper(
-                                    &fine, &machine, &alloc, kind, &cfg,
-                                );
+                                let (out, m) =
+                                    umpa_bench::run_mapper(&fine, &machine, &alloc, kind, &cfg);
                                 (m, out.elapsed.as_secs_f64())
                             })
                             .collect();
@@ -77,10 +76,7 @@ fn main() {
                 fmt2(gmean_of(2)),
                 fmt2(gmean_of(3)),
             ]);
-            let mean_t: Vec<f64> = cases
-                .iter()
-                .map(|(_, t)| t[mi].max(1e-6))
-                .collect();
+            let mean_t: Vec<f64> = cases.iter().map(|(_, t)| t[mi].max(1e-6)).collect();
             times.row(vec![
                 parts.to_string(),
                 mapper.name().to_string(),

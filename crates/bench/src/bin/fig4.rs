@@ -26,12 +26,7 @@ fn mappers() -> [MapperKind; 6] {
     ]
 }
 
-fn run_workload(
-    name: &str,
-    a: &SparsePattern,
-    msg_scale: f64,
-    scale: &ExpScale,
-) -> Table {
+fn run_workload(name: &str, a: &SparsePattern, msg_scale: f64, scale: &ExpScale) -> Table {
     let machine = scale.machine();
     let parts = scale.timing_parts;
     let alloc = scale.allocation(&machine, parts, scale.alloc_seeds[0]);
@@ -63,8 +58,7 @@ fn run_workload(
             mappers()
                 .iter()
                 .map(|&mk| {
-                    let (out, m) =
-                        umpa_bench::run_mapper(&fine, &machine, &alloc, mk, &cfg);
+                    let (out, m) = umpa_bench::run_mapper(&fine, &machine, &alloc, mk, &cfg);
                     let t = comm_only_time(&machine, &fine, &out.fine_mapping, &app);
                     let _ = &m;
                     Cell {
@@ -84,15 +78,7 @@ fn run_workload(
         .position(|k| *k == PartitionerKind::Patoh)
         .unwrap();
     let base = &cells[patoh][0];
-    let mut table = Table::new(&[
-        "partitioner",
-        "mapper",
-        "time",
-        "std",
-        "WH",
-        "MMC",
-        "MC",
-    ]);
+    let mut table = Table::new(&["partitioner", "mapper", "time", "std", "WH", "MMC", "MC"]);
     for (ki, kind) in kinds.iter().enumerate() {
         for (mi, mk) in mappers().iter().enumerate() {
             let c = &cells[ki][mi];
@@ -107,9 +93,7 @@ fn run_workload(
             ]);
         }
     }
-    println!(
-        "\nFigure 4 ({name}) — comm-only times & metrics normalized to DEF on PATOH\n"
-    );
+    println!("\nFigure 4 ({name}) — comm-only times & metrics normalized to DEF on PATOH\n");
     table.emit(&format!("fig4_comm_only_{name}"));
     table
 }

@@ -52,16 +52,8 @@ fn main() {
             mappers
                 .iter()
                 .map(|&mk| {
-                    let (out, m) =
-                        umpa_bench::run_mapper(&fine, &machine, &alloc, mk, &cfg);
-                    let t = spmv_time(
-                        &machine,
-                        &fine,
-                        &out.fine_mapping,
-                        &loads,
-                        iterations,
-                        &app,
-                    );
+                    let (out, m) = umpa_bench::run_mapper(&fine, &machine, &alloc, mk, &cfg);
+                    let t = spmv_time(&machine, &fine, &out.fine_mapping, &loads, iterations, &app);
                     Cell {
                         time: t.mean_us,
                         std: t.std_us,
@@ -78,15 +70,7 @@ fn main() {
         .position(|k| *k == PartitionerKind::Patoh)
         .unwrap();
     let base = &cells[patoh][0];
-    let mut table = Table::new(&[
-        "partitioner",
-        "mapper",
-        "time",
-        "std",
-        "TH",
-        "MMC",
-        "MC",
-    ]);
+    let mut table = Table::new(&["partitioner", "mapper", "time", "std", "TH", "MMC", "MC"]);
     for (ki, kind) in kinds.iter().enumerate() {
         for (mi, mk) in mappers.iter().enumerate() {
             let c = &cells[ki][mi];

@@ -1,0 +1,228 @@
+//! Perf tracker: times the mapping engine's hot paths and the batched
+//! `map_many` throughput, then emits `BENCH_mapping.json` so subsequent
+//! PRs have a perf trajectory to regress against.
+//!
+//! Measured (median ns/op over warm scratch — the steady-state serving
+//! path):
+//!
+//! * `greedy` — Algorithm 1 through [`greedy_map_into`];
+//! * `wh_refine` — Algorithm 2 from a fresh greedy mapping each op;
+//! * `cong_refine` — Algorithm 3 (volume) from a fresh greedy mapping;
+//! * `map_many/batch{1,32,256}` — full pipeline requests per second
+//!   through the batched API, plus the sequential reference and the
+//!   parallel speedup when the `parallel` feature is on.
+//!
+//! Usage: `cargo run --release -p umpa-bench --bin perf [--preset tiny]
+//! [--out PATH]`. The `tiny` preset is the CI smoke configuration.
+
+use umpa_bench::timing::{bench_ns, fmt_ns, print_samples, to_json, BenchOpts, Sample};
+use umpa_core::cong_refine::{congestion_refine_scratch, CongRefineConfig};
+use umpa_core::greedy::{greedy_map_into, GreedyConfig};
+use umpa_core::pipeline::{map_many, map_many_seq, MapRequest, MapperKind, PipelineConfig};
+use umpa_core::scratch::MapperScratch;
+use umpa_core::wh_refine::{wh_refine_scratch, WhRefineConfig};
+use umpa_graph::TaskGraph;
+use umpa_matgen::gen::{stencil2d, Stencil2D};
+use umpa_matgen::spmv::spmv_task_graph;
+use umpa_partition::PartitionerKind;
+use umpa_topology::{AllocSpec, Allocation, Machine, MachineConfig};
+
+struct Preset {
+    name: &'static str,
+    /// Stencil grid edge (tasks = edge²).
+    grid: usize,
+    /// Parts = fine tasks of the pipeline benchmarks.
+    parts: usize,
+    /// Allocated nodes.
+    nodes: usize,
+    /// `map_many` batch sizes.
+    batches: &'static [usize],
+    opts: BenchOpts,
+}
+
+impl Preset {
+    fn tiny() -> Self {
+        Self {
+            name: "tiny",
+            grid: 16,
+            parts: 32,
+            nodes: 8,
+            batches: &[1, 8, 32],
+            opts: BenchOpts::fast(),
+        }
+    }
+
+    fn default() -> Self {
+        Self {
+            name: "default",
+            grid: 64,
+            parts: 256,
+            nodes: 16,
+            batches: &[1, 32, 256],
+            opts: BenchOpts::default(),
+        }
+    }
+
+    fn machine(&self) -> Machine {
+        if self.name == "tiny" {
+            MachineConfig::small(&[4, 4], 1, 4).build()
+        } else {
+            MachineConfig::hopper().build()
+        }
+    }
+}
+
+/// The engine-level fixture: a partitioned SpMV task graph and an
+/// allocation sized so roughly `procs_per_node` tasks share a node.
+fn fixture(preset: &Preset) -> (Machine, Allocation, TaskGraph) {
+    let machine = preset.machine();
+    let a = stencil2d(preset.grid, preset.grid, Stencil2D::FivePoint);
+    let part = PartitionerKind::Patoh.partition_matrix(&a, preset.parts, 42);
+    let tg = spmv_task_graph(&a, &part, preset.parts);
+    let alloc = Allocation::generate(&machine, &AllocSpec::sparse(preset.nodes, 11));
+    (machine, alloc, tg)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let preset = if args.iter().any(|a| a == "--tiny") {
+        Preset::tiny()
+    } else if let Some(w) = args.windows(2).find(|w| w[0] == "--preset") {
+        match w[1].as_str() {
+            "tiny" => Preset::tiny(),
+            "default" => Preset::default(),
+            other => {
+                eprintln!("perf: unknown preset {other:?} (expected: tiny, default)");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        Preset::default()
+    };
+    let out_path = args
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "BENCH_mapping.json".to_string());
+    eprintln!(
+        "perf [{}]: grid {}x{}, {} parts, {} nodes",
+        preset.name, preset.grid, preset.grid, preset.parts, preset.nodes
+    );
+
+    let (machine, alloc, tg) = fixture(&preset);
+    let greedy_cfg = GreedyConfig::default();
+    let wh_cfg = WhRefineConfig::default();
+    let mc_cfg = CongRefineConfig::volume();
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+
+    // --- Engine primitives, warm scratch -----------------------------
+    let mut scratch = MapperScratch::new();
+    let mut mapping: Vec<u32> = Vec::new();
+    samples.push(bench_ns("greedy", &preset.opts, || {
+        greedy_map_into(
+            &tg,
+            &machine,
+            &alloc,
+            &greedy_cfg,
+            &mut scratch.greedy,
+            &mut mapping,
+        )
+    }));
+    // Refinements start from a fresh greedy mapping each op (refining a
+    // fixed point is a no-op and would flatter the numbers).
+    greedy_map_into(
+        &tg,
+        &machine,
+        &alloc,
+        &greedy_cfg,
+        &mut scratch.greedy,
+        &mut mapping,
+    );
+    let base = mapping.clone();
+    samples.push(bench_ns("wh_refine", &preset.opts, || {
+        mapping.copy_from_slice(&base);
+        wh_refine_scratch(
+            &tg,
+            &machine,
+            &alloc,
+            &mut mapping,
+            &wh_cfg,
+            &mut scratch.wh,
+        )
+    }));
+    samples.push(bench_ns("cong_refine", &preset.opts, || {
+        mapping.copy_from_slice(&base);
+        congestion_refine_scratch(
+            &tg,
+            &machine,
+            &alloc,
+            &mut mapping,
+            &mc_cfg,
+            &mut scratch.cong,
+        )
+    }));
+
+    // --- Batched serving throughput ----------------------------------
+    let cfg = PipelineConfig::default();
+    for &batch in preset.batches {
+        let requests: Vec<MapRequest<'_>> = (0..batch)
+            .map(|i| MapRequest {
+                tasks: &tg,
+                machine: &machine,
+                alloc: &alloc,
+                kind: match i % 3 {
+                    0 => MapperKind::Greedy,
+                    1 => MapperKind::GreedyWh,
+                    _ => MapperKind::GreedyMc,
+                },
+                cfg: &cfg,
+            })
+            .collect();
+        let s = bench_ns(&format!("map_many/batch{batch}"), &preset.opts, || {
+            map_many(&requests)
+        });
+        let batched_ns = s.median_ns;
+        let per_req = batched_ns / batch as f64;
+        metrics.push((format!("map_many_batch{batch}_ns_per_request"), per_req));
+        metrics.push((
+            format!("map_many_batch{batch}_requests_per_sec"),
+            1e9 / per_req,
+        ));
+        samples.push(s);
+        // The sequential reference for the largest batch gives the
+        // parallel speedup number the acceptance gate tracks.
+        if batch == *preset.batches.last().unwrap() {
+            let seq = bench_ns(&format!("map_many_seq/batch{batch}"), &preset.opts, || {
+                map_many_seq(&requests)
+            });
+            let speedup = seq.median_ns / batched_ns;
+            metrics.push((format!("map_many_batch{batch}_parallel_speedup"), speedup));
+            eprintln!(
+                "map_many batch {batch}: {} vs sequential {} → speedup {speedup:.2}x",
+                fmt_ns(batched_ns),
+                fmt_ns(seq.median_ns)
+            );
+            samples.push(seq);
+        }
+    }
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    metrics.push(("threads".to_string(), threads as f64));
+    // Report the engine's actual mode — feature unification can enable
+    // umpa-core/parallel without this binary's own feature flag.
+    metrics.push((
+        "parallel_feature".to_string(),
+        f64::from(u8::from(umpa_core::PARALLEL_ENABLED)),
+    ));
+
+    print_samples(&samples);
+    let json = to_json(&samples, &metrics);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("perf: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

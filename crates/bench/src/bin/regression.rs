@@ -37,9 +37,8 @@ fn gather(scale: &ExpScale, spmv: bool) -> (Vec<[f64; 14]>, Vec<f64>) {
                     MapperKind::all()
                         .into_iter()
                         .map(|mk| {
-                            let (out, metrics) = umpa_bench::run_mapper(
-                                &fine, &machine, &alloc, mk, &cfg,
-                            );
+                            let (out, metrics) =
+                                umpa_bench::run_mapper(&fine, &machine, &alloc, mk, &cfg);
                             let app = AppConfig {
                                 des: DesConfig {
                                     scale: if spmv { 1.0 } else { 4096.0 },
@@ -51,18 +50,10 @@ fn gather(scale: &ExpScale, spmv: bool) -> (Vec<[f64; 14]>, Vec<f64>) {
                                 ..AppConfig::default()
                             };
                             let t = if spmv {
-                                spmv_time(
-                                    &machine,
-                                    &fine,
-                                    &out.fine_mapping,
-                                    &loads,
-                                    500,
-                                    &app,
-                                )
-                                .mean_us
-                            } else {
-                                comm_only_time(&machine, &fine, &out.fine_mapping, &app)
+                                spmv_time(&machine, &fine, &out.fine_mapping, &loads, 500, &app)
                                     .mean_us
+                            } else {
+                                comm_only_time(&machine, &fine, &out.fine_mapping, &app).mean_us
                             };
                             ((metrics.row(), t), ())
                         })
@@ -81,8 +72,7 @@ fn analyze(name: &str, rows: &[[f64; 14]], times: &[f64]) {
     standardize_columns(&mut v);
     // Standardize t as well so coefficients are comparable.
     let mean_t = times.iter().sum::<f64>() / times.len() as f64;
-    let sd_t = (times.iter().map(|t| (t - mean_t).powi(2)).sum::<f64>()
-        / times.len() as f64)
+    let sd_t = (times.iter().map(|t| (t - mean_t).powi(2)).sum::<f64>() / times.len() as f64)
         .sqrt()
         .max(1e-12);
     let t_std: Vec<f64> = times.iter().map(|t| (t - mean_t) / sd_t).collect();

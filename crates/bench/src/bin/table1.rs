@@ -58,65 +58,58 @@ fn main() {
     let scale = ExpScale::from_args();
     eprintln!("table1 [{}]: summary sweep", scale.label);
     let machine = scale.machine();
-    let part_counts = [
-        scale.timing_parts,
-        (scale.timing_parts * 2).min(16384),
-    ];
+    let part_counts = [scale.timing_parts, (scale.timing_parts * 2).min(16384)];
     let seeds = &scale.alloc_seeds[..2.min(scale.alloc_seeds.len())];
     let cage = umpa_matgen::dataset::cage15_like(scale.matrix_scale);
     let rgg = umpa_matgen::dataset::rgg_like(scale.matrix_scale);
 
     // One closure per application kind returning per-mapper times.
-    let run_case = |a: &umpa_matgen::SparsePattern,
-                    parts: usize,
-                    seed: u64,
-                    app_kind: &str|
-     -> Vec<f64> {
-        let part = PartitionerKind::Patoh.partition_matrix(a, parts, 42);
-        let fine = spmv_task_graph(a, &part, parts);
-        let loads = partition_loads(a, &part, parts);
-        let alloc = scale.allocation(&machine, parts, seed);
-        let cfg = PipelineConfig::default();
-        MAPPERS
-            .par_iter()
-            .map(|&mk| {
-                let (out, _) = umpa_bench::run_mapper(&fine, &machine, &alloc, mk, &cfg);
-                match app_kind {
-                    "spmv" => {
-                        let app = AppConfig {
-                            des: DesConfig {
-                                noise: 0.02,
-                                seed: 3,
-                                ..DesConfig::default()
-                            },
-                            repetitions: scale.repetitions,
-                            ..AppConfig::default()
-                        };
-                        spmv_time(&machine, &fine, &out.fine_mapping, &loads, 500, &app)
-                            .mean_us
+    let run_case =
+        |a: &umpa_matgen::SparsePattern, parts: usize, seed: u64, app_kind: &str| -> Vec<f64> {
+            let part = PartitionerKind::Patoh.partition_matrix(a, parts, 42);
+            let fine = spmv_task_graph(a, &part, parts);
+            let loads = partition_loads(a, &part, parts);
+            let alloc = scale.allocation(&machine, parts, seed);
+            let cfg = PipelineConfig::default();
+            MAPPERS
+                .par_iter()
+                .map(|&mk| {
+                    let (out, _) = umpa_bench::run_mapper(&fine, &machine, &alloc, mk, &cfg);
+                    match app_kind {
+                        "spmv" => {
+                            let app = AppConfig {
+                                des: DesConfig {
+                                    noise: 0.02,
+                                    seed: 3,
+                                    ..DesConfig::default()
+                                },
+                                repetitions: scale.repetitions,
+                                ..AppConfig::default()
+                            };
+                            spmv_time(&machine, &fine, &out.fine_mapping, &loads, 500, &app).mean_us
+                        }
+                        _ => {
+                            let msg_scale = if app_kind == "comm_cage" {
+                                4096.0
+                            } else {
+                                262_144.0
+                            };
+                            let app = AppConfig {
+                                des: DesConfig {
+                                    scale: msg_scale,
+                                    noise: 0.02,
+                                    seed: 3,
+                                    ..DesConfig::default()
+                                },
+                                repetitions: scale.repetitions,
+                                ..AppConfig::default()
+                            };
+                            comm_only_time(&machine, &fine, &out.fine_mapping, &app).mean_us
+                        }
                     }
-                    _ => {
-                        let msg_scale = if app_kind == "comm_cage" {
-                            4096.0
-                        } else {
-                            262_144.0
-                        };
-                        let app = AppConfig {
-                            des: DesConfig {
-                                scale: msg_scale,
-                                noise: 0.02,
-                                seed: 3,
-                                ..DesConfig::default()
-                            },
-                            repetitions: scale.repetitions,
-                            ..AppConfig::default()
-                        };
-                        comm_only_time(&machine, &fine, &out.fine_mapping, &app).mean_us
-                    }
-                }
-            })
-            .collect()
-    };
+                })
+                .collect()
+        };
 
     let mut table = Table::new(&[
         "app", "parts", "alloc", "DEF", "TMAP", "UG", "UWH", "UMC", "UMMC",

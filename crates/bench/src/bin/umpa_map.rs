@@ -213,7 +213,11 @@ fn main() {
     println!("mapper {} (vs DEF):", kind.name());
     println!("  TH  = {:>12.0}   ({:.2}x)", m.th, m.th / md.th.max(1.0));
     println!("  WH  = {:>12.0}   ({:.2}x)", m.wh, m.wh / md.wh.max(1.0));
-    println!("  MMC = {:>12.0}   ({:.2}x)", m.mmc, m.mmc / md.mmc.max(1.0));
+    println!(
+        "  MMC = {:>12.0}   ({:.2}x)",
+        m.mmc,
+        m.mmc / md.mmc.max(1.0)
+    );
     println!("  MC  = {:>12.2}   ({:.2}x)", m.mc, m.mc / md.mc.max(1e-9));
     println!("  mapping time: {:.3} s", out.elapsed.as_secs_f64());
     if let Some(path) = &args.out {

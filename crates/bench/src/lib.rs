@@ -19,6 +19,8 @@
 //! paper scale); the default suits a laptop. Results go to `results/`
 //! as CSV next to the pretty table on stdout.
 
+pub mod timing;
+
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -60,10 +62,7 @@ impl ExpScale {
             Self::default()
         };
         if let Some(spec) = args.iter().find_map(|a| a.strip_prefix("--parts=")) {
-            let parts: Vec<usize> = spec
-                .split(',')
-                .filter_map(|p| p.parse().ok())
-                .collect();
+            let parts: Vec<usize> = spec.split(',').filter_map(|p| p.parse().ok()).collect();
             if !parts.is_empty() {
                 scale.timing_parts = *parts.iter().max().unwrap();
                 scale.parts = parts;
@@ -86,6 +85,7 @@ impl ExpScale {
     }
 
     /// Laptop default.
+    #[allow(clippy::should_implement_trait)]
     pub fn default() -> Self {
         Self {
             matrix_scale: Scale::Small,
@@ -171,15 +171,15 @@ pub struct FullMetrics {
 impl FullMetrics {
     /// Column labels, in the paper's Section IV-E order.
     pub const LABELS: [&'static str; 14] = [
-        "MSV", "TV", "MSM", "TM", "WH", "TH", "MC", "MMC", "AC", "AMC", "ICV", "ICM",
-        "MNRV", "MNRM",
+        "MSV", "TV", "MSM", "TM", "WH", "TH", "MC", "MMC", "AC", "AMC", "ICV", "ICM", "MNRV",
+        "MNRM",
     ];
 
     /// The metrics as a row in `LABELS` order.
     pub fn row(&self) -> [f64; 14] {
         [
-            self.msv, self.tv, self.msm, self.tm, self.wh, self.th, self.mc, self.mmc,
-            self.ac, self.amc, self.icv, self.icm, self.mnrv, self.mnrm,
+            self.msv, self.tv, self.msm, self.tm, self.wh, self.th, self.mc, self.mmc, self.ac,
+            self.amc, self.icv, self.icm, self.mnrv, self.mnrm,
         ]
     }
 
@@ -370,12 +370,7 @@ mod tests {
         let alloc = Allocation::generate(&machine, &AllocSpec::contiguous(2));
         let tg = TaskGraph::from_messages(4, [(0, 2, 3.0), (1, 3, 2.0), (0, 1, 9.0)], None);
         // Tasks 0,1 on node 0; 2,3 on node 1.
-        let mapping = vec![
-            alloc.node(0),
-            alloc.node(0),
-            alloc.node(1),
-            alloc.node(1),
-        ];
+        let mapping = vec![alloc.node(0), alloc.node(0), alloc.node(1), alloc.node(1)];
         let fm = FullMetrics::compute(&tg, &machine, &mapping);
         assert_eq!(fm.tv, 14.0);
         assert_eq!(fm.icv, 5.0); // 0->1 message stays on-node

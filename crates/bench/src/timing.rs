@@ -1,0 +1,194 @@
+//! Minimal timing harness (criterion is unavailable offline).
+//!
+//! Each benchmark auto-calibrates an inner batch size so one timed
+//! sample lasts at least `min_batch`, takes `samples` samples, and
+//! reports the **median** ns per operation — robust to scheduler noise
+//! without criterion's statistical machinery. The `perf` binary
+//! serializes these samples into `BENCH_mapping.json` so successive PRs
+//! have a perf trajectory to regress against.
+
+use std::time::{Duration, Instant};
+
+/// One benchmark measurement.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Benchmark name (stable across PRs — the JSON key).
+    pub name: String,
+    /// Median nanoseconds per operation.
+    pub median_ns: f64,
+    /// Minimum observed ns/op (best case, for reference).
+    pub min_ns: f64,
+    /// Inner iterations per timed sample.
+    pub batch: u64,
+    /// Number of timed samples taken.
+    pub samples: usize,
+}
+
+/// Harness knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchOpts {
+    /// Target minimum duration of one timed sample.
+    pub min_batch: Duration,
+    /// Timed samples per benchmark.
+    pub samples: usize,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        Self {
+            min_batch: Duration::from_millis(20),
+            samples: 15,
+        }
+    }
+}
+
+impl BenchOpts {
+    /// CI-sized: fast smoke numbers, still real measurements.
+    pub fn fast() -> Self {
+        Self {
+            min_batch: Duration::from_millis(2),
+            samples: 5,
+        }
+    }
+}
+
+/// Times `f`, auto-calibrating the batch size; returns the sample.
+///
+/// `f` should perform one operation and return something consumable by
+/// [`std::hint::black_box`] so the optimizer cannot elide the work.
+pub fn bench_ns<R>(name: &str, opts: &BenchOpts, mut f: impl FnMut() -> R) -> Sample {
+    // Calibrate: grow the batch until one batch exceeds min_batch.
+    let mut batch: u64 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        let dt = t.elapsed();
+        if dt >= opts.min_batch || batch >= 1 << 30 {
+            break;
+        }
+        // Aim slightly past the target to converge in few steps.
+        let scale = opts.min_batch.as_secs_f64() / dt.as_secs_f64().max(1e-9);
+        batch = (batch as f64 * (scale * 1.3).max(2.0)).ceil() as u64;
+    }
+    let mut per_op: Vec<f64> = (0..opts.samples)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            t.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    per_op.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median_ns = per_op[per_op.len() / 2];
+    Sample {
+        name: name.to_string(),
+        median_ns,
+        min_ns: per_op[0],
+        batch,
+        samples: per_op.len(),
+    }
+}
+
+/// Renders samples as a stdout table.
+pub fn print_samples(samples: &[Sample]) {
+    let w = samples
+        .iter()
+        .map(|s| s.name.len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    println!(
+        "{:w$}  {:>14}  {:>14}  {:>8}",
+        "name", "median", "min", "batch"
+    );
+    for s in samples {
+        println!(
+            "{:w$}  {:>14}  {:>14}  {:>8}",
+            s.name,
+            fmt_ns(s.median_ns),
+            fmt_ns(s.min_ns),
+            s.batch
+        );
+    }
+}
+
+/// Human-readable nanoseconds.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Serializes samples (plus free-form extra numeric metrics) as a JSON
+/// object — hand-rolled, since serde is unavailable offline.
+pub fn to_json(samples: &[Sample], extras: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n  \"benchmarks\": {\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"median_ns\": {:.1}, \"min_ns\": {:.1}, \"batch\": {}, \"samples\": {}}}{}\n",
+            s.name,
+            s.median_ns,
+            s.min_ns,
+            s.batch,
+            s.samples,
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }");
+    if !extras.is_empty() {
+        out.push_str(",\n  \"metrics\": {\n");
+        for (i, (k, v)) in extras.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{k}\": {v:.4}{}\n",
+                if i + 1 < extras.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  }");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something_positive() {
+        let opts = BenchOpts {
+            min_batch: Duration::from_micros(50),
+            samples: 3,
+        };
+        let s = bench_ns("spin", &opts, || {
+            (0..100u64).map(std::hint::black_box).sum::<u64>()
+        });
+        assert!(s.median_ns > 0.0);
+        assert!(s.min_ns <= s.median_ns);
+        assert!(s.batch >= 1);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let s = Sample {
+            name: "x".into(),
+            median_ns: 12.5,
+            min_ns: 10.0,
+            batch: 8,
+            samples: 3,
+        };
+        let j = to_json(&[s], &[("speedup".into(), 2.0)]);
+        assert!(j.contains("\"x\""));
+        assert!(j.contains("\"median_ns\": 12.5"));
+        assert!(j.contains("\"speedup\": 2.0000"));
+        assert!(j.trim_end().ends_with('}'));
+    }
+}

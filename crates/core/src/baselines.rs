@@ -64,22 +64,12 @@ enum NodeSplit {
 }
 
 /// LibTopoMap-like mapping (recursive graph bipartitioning variant).
-pub fn tmap_mapping(
-    tg: &TaskGraph,
-    machine: &Machine,
-    alloc: &Allocation,
-    seed: u64,
-) -> Vec<u32> {
+pub fn tmap_mapping(tg: &TaskGraph, machine: &Machine, alloc: &Allocation, seed: u64) -> Vec<u32> {
     dual_recursive(tg, machine, alloc, NodeSplit::Geometric, seed)
 }
 
 /// Scotch-like dual recursive bipartitioning mapping.
-pub fn smap_mapping(
-    tg: &TaskGraph,
-    machine: &Machine,
-    alloc: &Allocation,
-    seed: u64,
-) -> Vec<u32> {
+pub fn smap_mapping(tg: &TaskGraph, machine: &Machine, alloc: &Allocation, seed: u64) -> Vec<u32> {
     dual_recursive(tg, machine, alloc, NodeSplit::TwoCenter, seed)
 }
 
@@ -94,7 +84,15 @@ fn dual_recursive(
     let tasks: Vec<u32> = (0..tg.num_tasks() as u32).collect();
     let slots: Vec<u32> = (0..alloc.num_nodes() as u32).collect();
     recurse(
-        tg, machine, alloc, split, seed, tasks, slots, &mut mapping, 1,
+        tg,
+        machine,
+        alloc,
+        split,
+        seed,
+        tasks,
+        slots,
+        &mut mapping,
+        1,
     );
     debug_assert!(mapping.iter().all(|&n| n != u32::MAX));
     mapping
@@ -127,9 +125,7 @@ fn recurse(
         NodeSplit::Geometric => geometric_split(machine, alloc, &slots),
         NodeSplit::TwoCenter => two_center_split(machine, alloc, &slots),
     };
-    let cap = |ss: &[u32]| -> f64 {
-        ss.iter().map(|&s| f64::from(alloc.procs(s as usize))).sum()
-    };
+    let cap = |ss: &[u32]| -> f64 { ss.iter().map(|&s| f64::from(alloc.procs(s as usize))).sum() };
     let (cap1, cap2) = (cap(&s1), cap(&s2));
     // -- Split the task set proportionally by min-cut bisection.
     let sub = tg.symmetric().induced_subgraph(&tasks);
@@ -197,19 +193,10 @@ fn enforce_capacity(sub: &umpa_graph::Graph, side: &mut [u8], cap1: f64, cap2: f
             .max_by(|&a, &b| {
                 let gain = |v: usize| -> f64 {
                     sub.edges(v as u32)
-                        .map(|(n, wgt)| {
-                            if side[n as usize] == over {
-                                -wgt
-                            } else {
-                                wgt
-                            }
-                        })
+                        .map(|(n, wgt)| if side[n as usize] == over { -wgt } else { wgt })
                         .sum()
                 };
-                gain(a)
-                    .partial_cmp(&gain(b))
-                    .unwrap()
-                    .then(b.cmp(&a))
+                gain(a).partial_cmp(&gain(b)).unwrap().then(b.cmp(&a))
             })
             .expect("overloaded side cannot be empty");
         side[best] = 1 - over;
@@ -217,11 +204,7 @@ fn enforce_capacity(sub: &umpa_graph::Graph, side: &mut [u8], cap1: f64, cap2: f
 }
 
 /// Median cut along the coordinate with the widest spread.
-fn geometric_split(
-    machine: &Machine,
-    alloc: &Allocation,
-    slots: &[u32],
-) -> (Vec<u32>, Vec<u32>) {
+fn geometric_split(machine: &Machine, alloc: &Allocation, slots: &[u32]) -> (Vec<u32>, Vec<u32>) {
     let nd = machine.torus().ndims();
     let coord = |slot: u32, d: usize| {
         machine
@@ -248,8 +231,8 @@ fn geometric_split(
     let mut order: Vec<u32> = slots.to_vec();
     order.sort_by_key(|&s| {
         let mut key = [0u32; 8];
-        for d in 0..nd {
-            key[d] = coord(s, (best_dim + d) % nd);
+        for (d, k) in key.iter_mut().take(nd).enumerate() {
+            *k = coord(s, (best_dim + d) % nd);
         }
         (key, s)
     });
@@ -257,11 +240,7 @@ fn geometric_split(
 }
 
 /// Farthest-pair two-center split.
-fn two_center_split(
-    machine: &Machine,
-    alloc: &Allocation,
-    slots: &[u32],
-) -> (Vec<u32>, Vec<u32>) {
+fn two_center_split(machine: &Machine, alloc: &Allocation, slots: &[u32]) -> (Vec<u32>, Vec<u32>) {
     let node = |s: u32| alloc.node(s as usize);
     let far_from = |a: u32| -> u32 {
         *slots
@@ -347,11 +326,7 @@ mod tests {
     #[test]
     fn smap_produces_valid_mappings() {
         let (m, alloc) = setup(8, 1);
-        let tg = TaskGraph::from_messages(
-            8,
-            (0..8u32).map(|i| (i, (i + 3) % 8, 1.0)),
-            None,
-        );
+        let tg = TaskGraph::from_messages(8, (0..8u32).map(|i| (i, (i + 3) % 8, 1.0)), None);
         let mapping = smap_mapping(&tg, &m, &alloc, 5);
         validate_mapping(&tg, &alloc, &mapping).unwrap();
     }
@@ -384,11 +359,7 @@ mod tests {
     #[test]
     fn multi_task_nodes_respect_capacity() {
         let (m, alloc) = setup(4, 2);
-        let tg = TaskGraph::from_messages(
-            8,
-            (0..8u32).map(|i| (i, (i + 1) % 8, 1.0)),
-            None,
-        );
+        let tg = TaskGraph::from_messages(8, (0..8u32).map(|i| (i, (i + 1) % 8, 1.0)), None);
         for f in [tmap_mapping, smap_mapping] {
             let mapping = f(&tg, &m, &alloc, 2);
             validate_mapping(&tg, &alloc, &mapping).unwrap();
@@ -413,6 +384,9 @@ mod tests {
             .map(|&s| m.torus().coord(m.router_of(alloc.node(s as usize)), 0))
             .min()
             .unwrap();
-        assert!(max_x1 <= min_x2 + 1, "x ranges overlap: {max_x1} vs {min_x2}");
+        assert!(
+            max_x1 <= min_x2 + 1,
+            "x ranges overlap: {max_x1} vs {min_x2}"
+        );
     }
 }

@@ -5,8 +5,9 @@
 //! * `congHeap` holds every link keyed by its congestion — volume/bw
 //!   for the `MC` variant, message count for `MMC`;
 //! * `commTasks[e]` registers the tasks whose messages traverse link
-//!   `e` (the paper stores them in a red-black `std::set`; a `BTreeSet`
-//!   here);
+//!   `e` (the paper stores them in a red-black `std::set`; a reusable
+//!   sorted-vector set here — same ascending iteration order, zero
+//!   steady-state allocation);
 //! * each round peeks the most congested link `e_mc` and, for each of
 //!   its tasks, probes swap partners in BFS order from the task's
 //!   neighbors' nodes (minimal WH damage); a **virtual swap**
@@ -17,13 +18,17 @@
 //!   after `Δ` fruitless probes the task is abandoned, and when the
 //!   most congested link yields no accepted swap at all the algorithm
 //!   stops (the paper's termination rule).
+//!
+//! All per-run buffers live in a reusable [`CongScratch`]; a warm
+//! scratch makes repeated refinements allocation-free apart from
+//! `commTasks` growth beyond its high-water mark (DESIGN.md §8).
 
-use std::collections::BTreeSet;
-
-use umpa_ds::IndexedMaxHeap;
+use umpa_ds::{IndexedMaxHeap, SlotBuckets};
 use umpa_graph::{Bfs, TaskGraph};
 use umpa_topology::routing::Hop;
 use umpa_topology::{Allocation, Machine};
+
+use crate::mapping::fits;
 
 /// Which congestion is being minimized.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -66,6 +71,71 @@ impl CongRefineConfig {
     }
 }
 
+/// Per-link task sets: sorted vectors with reusable storage. Iteration
+/// is ascending by task id, matching the `BTreeSet` the paper's
+/// `commTasks` was previously modeled with.
+#[derive(Default)]
+struct LinkTaskSets {
+    sets: Vec<Vec<u32>>,
+}
+
+impl LinkTaskSets {
+    /// Clears every set and guarantees `n` of them, reusing inner
+    /// vector capacities.
+    fn reset(&mut self, n: usize) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        if n > self.sets.len() {
+            self.sets.resize_with(n, Vec::new);
+        }
+    }
+
+    fn insert(&mut self, link: usize, t: u32) {
+        let v = &mut self.sets[link];
+        if let Err(pos) = v.binary_search(&t) {
+            v.insert(pos, t);
+        }
+    }
+
+    fn remove(&mut self, link: usize, t: u32) {
+        let v = &mut self.sets[link];
+        if let Ok(pos) = v.binary_search(&t) {
+            v.remove(pos);
+        }
+    }
+
+    fn get(&self, link: usize) -> &[u32] {
+        &self.sets[link]
+    }
+}
+
+/// Reusable buffers for one congestion-refinement run.
+#[derive(Default)]
+pub struct CongScratch {
+    heap: IndexedMaxHeap,
+    traffic: Vec<f64>,
+    inv_cost: Vec<f64>,
+    comm_tasks: LinkTaskSets,
+    buckets: SlotBuckets,
+    free: Vec<f64>,
+    bfs: Bfs,
+    hops: Vec<Hop>,
+    links: Vec<u32>,
+    edges: Vec<(u32, u32, f64)>,
+    deltas: Vec<(u32, f64)>,
+    tasks: Vec<u32>,
+    residents: Vec<u32>,
+    sources: Vec<u32>,
+}
+
+impl CongScratch {
+    /// Creates an empty scratch; buffers are sized on first run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Refines `mapping` in place; returns the final `(max, avg)`
 /// congestion in the chosen kind's units.
 ///
@@ -80,7 +150,21 @@ pub fn congestion_refine(
     mapping: &mut [u32],
     cfg: &CongRefineConfig,
 ) -> (f64, f64) {
-    let mut state = CongState::new(tg, machine, alloc, mapping, cfg.kind);
+    let mut scratch = CongScratch::new();
+    congestion_refine_scratch(tg, machine, alloc, mapping, cfg, &mut scratch)
+}
+
+/// Scratch-reusing form of [`congestion_refine`]; allocation-free once
+/// `scratch` is warm.
+pub fn congestion_refine_scratch(
+    tg: &TaskGraph,
+    machine: &Machine,
+    alloc: &Allocation,
+    mapping: &mut [u32],
+    cfg: &CongRefineConfig,
+    scratch: &mut CongScratch,
+) -> (f64, f64) {
+    let mut state = CongState::new(tg, machine, alloc, mapping, cfg.kind, scratch);
     let mut moves = 0u32;
     'outer: while moves < cfg.max_moves {
         let Some((emc, top_key)) = state.heap.peek() else {
@@ -89,8 +173,15 @@ pub fn congestion_refine(
         if top_key <= 0.0 {
             break; // no congestion at all
         }
-        let tasks: Vec<u32> = state.comm_tasks[emc as usize].iter().copied().collect();
-        for tmc in tasks {
+        // Snapshot: try_improve_task edits the registry mid-scan.
+        state.tasks.clear();
+        let emc = emc as usize;
+        for i in 0..state.comm_tasks.get(emc).len() {
+            let t = state.comm_tasks.get(emc)[i];
+            state.tasks.push(t);
+        }
+        for i in 0..state.tasks.len() {
+            let tmc = state.tasks[i];
             if state.try_improve_task(tmc, cfg.delta) {
                 moves += 1;
                 continue 'outer;
@@ -101,7 +192,8 @@ pub fn congestion_refine(
     (state.current_max(), state.current_avg())
 }
 
-/// Incrementally maintained congestion state.
+/// Incrementally maintained congestion state, borrowing all buffers
+/// from a [`CongScratch`].
 struct CongState<'a> {
     tg: &'a TaskGraph,
     machine: &'a Machine,
@@ -109,18 +201,23 @@ struct CongState<'a> {
     mapping: &'a mut [u32],
     kind: CongestionKind,
     /// Per-link congestion key (volume/bw or message count).
-    heap: IndexedMaxHeap,
-    traffic: Vec<f64>,
+    heap: &'a mut IndexedMaxHeap,
+    traffic: &'a mut Vec<f64>,
     /// 1/bw (volume kind) or 1 (message kind) per link.
-    inv_cost: Vec<f64>,
-    comm_tasks: Vec<BTreeSet<u32>>,
+    inv_cost: &'a mut Vec<f64>,
+    comm_tasks: &'a mut LinkTaskSets,
     sum_key: f64,
     used_links: usize,
-    tasks_on_slot: Vec<Vec<u32>>,
-    free: Vec<f64>,
-    bfs: Bfs,
-    hop_scratch: Vec<Hop>,
-    link_scratch: Vec<u32>,
+    buckets: &'a mut SlotBuckets,
+    free: &'a mut Vec<f64>,
+    bfs: &'a mut Bfs,
+    hops: &'a mut Vec<Hop>,
+    links: &'a mut Vec<u32>,
+    edges: &'a mut Vec<(u32, u32, f64)>,
+    deltas: &'a mut Vec<(u32, f64)>,
+    tasks: &'a mut Vec<u32>,
+    residents: &'a mut Vec<u32>,
+    sources: &'a mut Vec<u32>,
 }
 
 impl<'a> CongState<'a> {
@@ -130,64 +227,86 @@ impl<'a> CongState<'a> {
         alloc: &'a Allocation,
         mapping: &'a mut [u32],
         kind: CongestionKind,
+        scratch: &'a mut CongScratch,
     ) -> Self {
+        let CongScratch {
+            heap,
+            traffic,
+            inv_cost,
+            comm_tasks,
+            buckets,
+            free,
+            bfs,
+            hops,
+            links,
+            edges,
+            deltas,
+            tasks,
+            residents,
+            sources,
+        } = scratch;
         let nl = machine.num_links();
-        let inv_cost: Vec<f64> = (0..nl as u32)
-            .map(|l| match kind {
-                CongestionKind::Volume => 1.0 / machine.link_bandwidth(l),
-                CongestionKind::Messages => 1.0,
-            })
-            .collect();
-        let mut tasks_on_slot = vec![Vec::new(); alloc.num_nodes()];
-        let mut free: Vec<f64> = (0..alloc.num_nodes())
-            .map(|s| f64::from(alloc.procs(s)))
-            .collect();
+        inv_cost.clear();
+        inv_cost.extend((0..nl as u32).map(|l| match kind {
+            CongestionKind::Volume => 1.0 / machine.link_bandwidth(l),
+            CongestionKind::Messages => 1.0,
+        }));
+        buckets.reset(alloc.num_nodes(), tg.num_tasks());
+        free.clear();
+        free.extend((0..alloc.num_nodes()).map(|s| f64::from(alloc.procs(s))));
         for (t, &node) in mapping.iter().enumerate() {
             let slot = alloc.slot_of(node).expect("mapping must be feasible") as usize;
-            tasks_on_slot[slot].push(t as u32);
+            buckets.insert(slot, t as u32);
             free[slot] -= tg.task_weight(t as u32);
         }
+        traffic.clear();
+        traffic.resize(nl, 0.0);
+        comm_tasks.reset(nl);
+        heap.reset(nl);
+        bfs.ensure(machine.num_routers());
         let mut s = Self {
             tg,
             machine,
             alloc,
             mapping,
             kind,
-            heap: IndexedMaxHeap::new(nl),
-            traffic: vec![0.0; nl],
+            heap,
+            traffic,
             inv_cost,
-            comm_tasks: vec![BTreeSet::new(); nl],
+            comm_tasks,
             sum_key: 0.0,
             used_links: 0,
-            tasks_on_slot,
+            buckets,
             free,
-            bfs: Bfs::new(machine.num_routers()),
-            hop_scratch: Vec::new(),
-            link_scratch: Vec::new(),
+            bfs,
+            hops,
+            links,
+            edges,
+            deltas,
+            tasks,
+            residents,
+            sources,
         };
         // Initial routing of every message (INITCONG).
         for (src, dst, c) in s.tg.messages() {
             let weight = s.edge_weight(c);
             let (a, b) = (s.mapping[src as usize], s.mapping[dst as usize]);
-            s.link_scratch.clear();
-            let mut hops = std::mem::take(&mut s.hop_scratch);
-            let mut links = std::mem::take(&mut s.link_scratch);
-            s.machine.route_links(a, b, &mut hops, &mut links);
-            for &l in &links {
-                let l = l as usize;
+            s.links.clear();
+            s.machine.route_links(a, b, s.hops, s.links);
+            for i in 0..s.links.len() {
+                let l = s.links[i] as usize;
                 if s.traffic[l] == 0.0 {
                     s.used_links += 1;
                 }
                 s.traffic[l] += weight;
                 s.sum_key += weight * s.inv_cost[l];
-                s.comm_tasks[l].insert(src);
-                s.comm_tasks[l].insert(dst);
+                s.comm_tasks.insert(l, src);
+                s.comm_tasks.insert(l, dst);
             }
-            s.hop_scratch = hops;
-            s.link_scratch = links;
         }
         for l in 0..nl as u32 {
-            s.heap.push(l, s.traffic[l as usize] * s.inv_cost[l as usize]);
+            s.heap
+                .push(l, s.traffic[l as usize] * s.inv_cost[l as usize]);
         }
         s
     }
@@ -215,88 +334,79 @@ impl<'a> CongState<'a> {
         }
     }
 
-    /// Directed message edges incident to `t1` (and `t2` if given),
-    /// deduplicated.
-    fn affected_edges(&self, t1: u32, t2: Option<u32>) -> Vec<(u32, u32, f64)> {
-        let mut out: Vec<(u32, u32, f64)> = Vec::new();
-        let push = |s: u32, d: u32, c: f64, out: &mut Vec<(u32, u32, f64)>| {
+    /// Collects the directed message edges incident to `t1` (and `t2`
+    /// if given), deduplicated, into `self.edges`.
+    fn collect_affected_edges(&mut self, t1: u32, t2: Option<u32>) {
+        self.edges.clear();
+        fn push(out: &mut Vec<(u32, u32, f64)>, s: u32, d: u32, c: f64) {
             if !out.iter().any(|&(a, b, _)| a == s && b == d) {
                 out.push((s, d, c));
             }
-        };
+        }
         for t in std::iter::once(t1).chain(t2) {
             for (d, c) in self.tg.out_edges(t) {
-                push(t, d, c, &mut out);
+                push(self.edges, t, d, c);
             }
             for (sr, c) in self.tg.in_edges(t) {
-                push(sr, t, c, &mut out);
+                push(self.edges, sr, t, c);
             }
         }
-        out
     }
 
-    /// Accumulates per-link traffic deltas for relocating `t1 → node2`
-    /// (and `t2 → node1` if swapping).
-    fn deltas_for(
-        &mut self,
-        t1: u32,
-        t2: Option<u32>,
-        node2: u32,
-        edges: &[(u32, u32, f64)],
-    ) -> Vec<(u32, f64)> {
+    /// Accumulates per-link traffic deltas into `self.deltas` for
+    /// relocating `t1 → node2` (and `t2 → node1` if swapping), over the
+    /// edge set collected by [`collect_affected_edges`].
+    fn collect_deltas(&mut self, t1: u32, t2: Option<u32>, node2: u32) {
         let node1 = self.mapping[t1 as usize];
-        let mut deltas: Vec<(u32, f64)> = Vec::new();
-        let add = |link: u32, d: f64, deltas: &mut Vec<(u32, f64)>| {
+        self.deltas.clear();
+        fn add(deltas: &mut Vec<(u32, f64)>, link: u32, d: f64) {
             match deltas.iter_mut().find(|e| e.0 == link) {
                 Some(e) => e.1 += d,
                 None => deltas.push((link, d)),
             }
-        };
+        }
         // Old routes (current mapping) …
-        for &(s, d, c) in edges {
+        for i in 0..self.edges.len() {
+            let (s, d, c) = self.edges[i];
             let w = self.edge_weight(c);
             let (a, b) = (self.mapping[s as usize], self.mapping[d as usize]);
-            let mut hops = std::mem::take(&mut self.hop_scratch);
-            let mut links = std::mem::take(&mut self.link_scratch);
-            links.clear();
-            self.machine.route_links(a, b, &mut hops, &mut links);
-            for &l in &links {
-                add(l, -w, &mut deltas);
+            self.links.clear();
+            self.machine.route_links(a, b, self.hops, self.links);
+            for j in 0..self.links.len() {
+                add(self.deltas, self.links[j], -w);
             }
-            self.hop_scratch = hops;
-            self.link_scratch = links;
         }
         // … and new routes under the virtual relocation.
-        let node_of = |t: u32, mapping: &[u32]| -> u32 {
-            if t == t1 {
-                node2
-            } else if Some(t) == t2 {
-                node1
-            } else {
-                mapping[t as usize]
-            }
-        };
-        for &(s, d, c) in edges {
+        for i in 0..self.edges.len() {
+            let (s, d, c) = self.edges[i];
             let w = self.edge_weight(c);
-            let (a, b) = (node_of(s, self.mapping), node_of(d, self.mapping));
-            let mut hops = std::mem::take(&mut self.hop_scratch);
-            let mut links = std::mem::take(&mut self.link_scratch);
-            links.clear();
-            self.machine.route_links(a, b, &mut hops, &mut links);
-            for &l in &links {
-                add(l, w, &mut deltas);
+            let node_of = |t: u32| -> u32 {
+                if t == t1 {
+                    node2
+                } else if Some(t) == t2 {
+                    node1
+                } else {
+                    self.mapping[t as usize]
+                }
+            };
+            let (a, b) = (node_of(s), node_of(d));
+            self.links.clear();
+            self.machine.route_links(a, b, self.hops, self.links);
+            for j in 0..self.links.len() {
+                add(self.deltas, self.links[j], w);
             }
-            self.hop_scratch = hops;
-            self.link_scratch = links;
         }
-        deltas.retain(|&(_, d)| d != 0.0);
-        deltas
+        self.deltas.retain(|&(_, d)| d != 0.0);
     }
 
-    /// Applies traffic `deltas` to the heap/sums; returns `(mc, ac)`
-    /// after. Call with negated deltas to roll back.
-    fn apply_deltas(&mut self, deltas: &[(u32, f64)]) -> (f64, f64) {
-        for &(l, d) in deltas {
+    /// Applies `self.deltas` (negated if `negate`) to the heap/sums;
+    /// returns `(mc, ac)` after. Apply-then-negate restores the
+    /// original state exactly.
+    fn apply_deltas(&mut self, negate: bool) -> (f64, f64) {
+        let sign = if negate { -1.0 } else { 1.0 };
+        for i in 0..self.deltas.len() {
+            let (l, raw) = self.deltas[i];
+            let d = sign * raw;
             let li = l as usize;
             let before = self.traffic[li];
             let after = before + d;
@@ -307,32 +417,62 @@ impl<'a> CongState<'a> {
             }
             self.traffic[li] = if after.abs() < 1e-12 { 0.0 } else { after };
             self.sum_key += d * self.inv_cost[li];
-            self.heap.change_key(l, self.traffic[li] * self.inv_cost[li]);
+            self.heap
+                .change_key(l, self.traffic[li] * self.inv_cost[li]);
         }
         (self.current_max(), self.current_avg())
     }
 
-    /// Updates `commTasks` membership for the endpoints of `edges`
-    /// before (`remove = true`) or after a committed relocation.
-    fn update_comm_tasks(&mut self, edges: &[(u32, u32, f64)], remove: bool) {
-        for &(s, d, _) in edges {
+    /// Updates `commTasks` membership for the endpoints of the
+    /// collected edges before (`remove = true`) or after a committed
+    /// relocation.
+    fn update_comm_tasks(&mut self, remove: bool) {
+        for i in 0..self.edges.len() {
+            let (s, d, _) = self.edges[i];
             let (a, b) = (self.mapping[s as usize], self.mapping[d as usize]);
-            let mut hops = std::mem::take(&mut self.hop_scratch);
-            let mut links = std::mem::take(&mut self.link_scratch);
-            links.clear();
-            self.machine.route_links(a, b, &mut hops, &mut links);
-            for &l in &links {
+            self.links.clear();
+            self.machine.route_links(a, b, self.hops, self.links);
+            for j in 0..self.links.len() {
+                let l = self.links[j] as usize;
                 if remove {
-                    self.comm_tasks[l as usize].remove(&s);
-                    self.comm_tasks[l as usize].remove(&d);
+                    self.comm_tasks.remove(l, s);
+                    self.comm_tasks.remove(l, d);
                 } else {
-                    self.comm_tasks[l as usize].insert(s);
-                    self.comm_tasks[l as usize].insert(d);
+                    self.comm_tasks.insert(l, s);
+                    self.comm_tasks.insert(l, d);
                 }
             }
-            self.hop_scratch = hops;
-            self.link_scratch = links;
         }
+    }
+
+    /// Probes the swap/move of `tmc` with `t2` on `node2`; commits and
+    /// returns `true` on an (MC, AC) improvement, rolls back otherwise.
+    fn probe(
+        &mut self,
+        tmc: u32,
+        t2: Option<u32>,
+        node1: u32,
+        node2: u32,
+        mc: f64,
+        ac: f64,
+    ) -> bool {
+        self.collect_affected_edges(tmc, t2);
+        self.collect_deltas(tmc, t2, node2);
+        let (new_mc, new_ac) = self.apply_deltas(false);
+        let improves = new_mc < mc - 1e-12 || (new_mc <= mc + 1e-12 && new_ac < ac - 1e-12);
+        if improves {
+            // Commit: fix commTasks (old routes removed with the
+            // *pre-move* mapping), then move tasks.
+            self.apply_deltas(true);
+            self.update_comm_tasks(true);
+            self.apply_deltas(false);
+            self.relocate(tmc, t2, node1, node2);
+            self.update_comm_tasks(false);
+            return true;
+        }
+        // Roll back the virtual swap.
+        self.apply_deltas(true);
+        false
     }
 
     /// Probes up to `delta` BFS-ordered swap candidates for `tmc`;
@@ -340,21 +480,18 @@ impl<'a> CongState<'a> {
     fn try_improve_task(&mut self, tmc: u32, delta: usize) -> bool {
         let node1 = self.mapping[tmc as usize];
         let w1 = self.tg.task_weight(tmc);
-        let sources: Vec<u32> = self
-            .tg
-            .symmetric()
-            .neighbors(tmc)
-            .iter()
-            .map(|&nb| self.machine.router_of(self.mapping[nb as usize]))
-            .collect();
-        if sources.is_empty() {
+        self.sources.clear();
+        for &nb in self.tg.symmetric().neighbors(tmc) {
+            self.sources
+                .push(self.machine.router_of(self.mapping[nb as usize]));
+        }
+        if self.sources.is_empty() {
             return false;
         }
         let (mc, ac) = (self.current_max(), self.current_avg());
-        self.bfs.start(sources);
+        self.bfs.start(self.sources.iter().copied());
         let mut evaluated = 0usize;
-        let machine = self.machine;
-        while let Some(ev) = self.bfs.next(machine.router_graph()) {
+        while let Some(ev) = self.bfs.next(self.machine.router_graph()) {
             for node2 in self.machine.nodes_of_router(ev.vertex) {
                 if node2 == node1 {
                     continue;
@@ -366,44 +503,25 @@ impl<'a> CongState<'a> {
                 let slot1 = self.alloc.slot_of(node1).unwrap() as usize;
                 // Candidates: each resident task (swap), then a pure
                 // move onto free capacity.
-                let mut candidates: Vec<Option<u32>> = self.tasks_on_slot[slot2]
-                    .iter()
-                    .copied()
-                    .map(Some)
-                    .collect();
-                if self.free[slot2] + 1e-9 >= w1 {
-                    candidates.push(None);
-                }
-                for t2 in candidates {
-                    if let Some(t) = t2 {
-                        let w2 = self.tg.task_weight(t);
-                        if self.free[slot2] + w2 + 1e-9 < w1
-                            || self.free[slot1] + w1 + 1e-9 < w2
-                        {
-                            continue;
-                        }
+                self.buckets.collect_into(slot2, self.residents);
+                for i in 0..self.residents.len() {
+                    let t = self.residents[i];
+                    let w2 = self.tg.task_weight(t);
+                    if !fits(self.free[slot2] + w2, w1) || !fits(self.free[slot1] + w1, w2) {
+                        continue;
                     }
-                    let edges = self.affected_edges(tmc, t2);
-                    let deltas = self.deltas_for(tmc, t2, node2, &edges);
-                    let (new_mc, new_ac) = self.apply_deltas(&deltas);
-                    let improves = new_mc < mc - 1e-12
-                        || (new_mc <= mc + 1e-12 && new_ac < ac - 1e-12);
-                    if improves {
-                        // Commit: fix commTasks (old routes removed with
-                        // the *pre-move* mapping), then move tasks.
-                        let rollback: Vec<(u32, f64)> =
-                            deltas.iter().map(|&(l, d)| (l, -d)).collect();
-                        self.apply_deltas(&rollback);
-                        self.update_comm_tasks(&edges, true);
-                        self.apply_deltas(&deltas);
-                        self.relocate(tmc, t2, node1, node2);
-                        self.update_comm_tasks(&edges, false);
+                    if self.probe(tmc, Some(t), node1, node2, mc, ac) {
                         return true;
                     }
-                    // Roll back the virtual swap.
-                    let rollback: Vec<(u32, f64)> =
-                        deltas.iter().map(|&(l, d)| (l, -d)).collect();
-                    self.apply_deltas(&rollback);
+                    evaluated += 1;
+                    if evaluated >= delta {
+                        return false;
+                    }
+                }
+                if fits(self.free[slot2], w1) {
+                    if self.probe(tmc, None, node1, node2, mc, ac) {
+                        return true;
+                    }
                     evaluated += 1;
                     if evaluated >= delta {
                         return false;
@@ -419,15 +537,13 @@ impl<'a> CongState<'a> {
         let slot2 = self.alloc.slot_of(node2).unwrap() as usize;
         let w1 = self.tg.task_weight(t1);
         self.mapping[t1 as usize] = node2;
-        self.tasks_on_slot[slot1].retain(|&x| x != t1);
-        self.tasks_on_slot[slot2].push(t1);
+        self.buckets.relocate(slot1, slot2, t1);
         self.free[slot1] += w1;
         self.free[slot2] -= w1;
         if let Some(t) = t2 {
             let w2 = self.tg.task_weight(t);
             self.mapping[t as usize] = node1;
-            self.tasks_on_slot[slot2].retain(|&x| x != t);
-            self.tasks_on_slot[slot1].push(t);
+            self.buckets.relocate(slot2, slot1, t);
             self.free[slot2] += w2;
             self.free[slot1] -= w2;
         }
@@ -451,20 +567,11 @@ mod tests {
         let alloc = Allocation::generate(&m, &AllocSpec::contiguous(6));
         // Three messages all crossing the 2-3 boundary when placed
         // consecutively, plus slack nodes to move to.
-        let tg = TaskGraph::from_messages(
-            6,
-            [(0, 3, 4.0), (1, 4, 4.0), (2, 5, 4.0)],
-            None,
-        );
+        let tg = TaskGraph::from_messages(6, [(0, 3, 4.0), (1, 4, 4.0), (2, 5, 4.0)], None);
         let mut mapping: Vec<u32> = (0..6usize).map(|t| alloc.node(t)).collect();
         let before = evaluate(&tg, &m, &mapping);
-        let (mc, _ac) = congestion_refine(
-            &tg,
-            &m,
-            &alloc,
-            &mut mapping,
-            &CongRefineConfig::volume(),
-        );
+        let (mc, _ac) =
+            congestion_refine(&tg, &m, &alloc, &mut mapping, &CongRefineConfig::volume());
         let after = evaluate(&tg, &m, &mapping);
         assert!(mc <= before.mc + 1e-9);
         assert!(
@@ -489,13 +596,8 @@ mod tests {
             );
             let mut mapping: Vec<u32> = (0..8usize).map(|t| alloc.node(t)).collect();
             let before = evaluate(&tg, &m, &mapping);
-            let (mc, ac) = congestion_refine(
-                &tg,
-                &m,
-                &alloc,
-                &mut mapping,
-                &CongRefineConfig::volume(),
-            );
+            let (mc, ac) =
+                congestion_refine(&tg, &m, &alloc, &mut mapping, &CongRefineConfig::volume());
             let after = evaluate(&tg, &m, &mapping);
             assert!(after.mc <= before.mc + 1e-9, "seed {seed}");
             assert!((after.mc - mc).abs() < 1e-9, "seed {seed}: mc mismatch");
@@ -505,23 +607,42 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_runs() {
+        let m = MachineConfig::small(&[4, 4], 1, 1).build();
+        let tg = TaskGraph::from_messages(
+            8,
+            (0..8u32).flat_map(|i| [(i, (i + 1) % 8, 2.0), (i, (i + 4) % 8, 1.0)]),
+            None,
+        );
+        let mut scratch = CongScratch::new();
+        for seed in 0..6u64 {
+            let alloc = Allocation::generate(&m, &AllocSpec::sparse(8, seed));
+            let base: Vec<u32> = (0..8usize).map(|t| alloc.node(t)).collect();
+            let mut warm = base.clone();
+            let mut fresh = base.clone();
+            let warm_out = congestion_refine_scratch(
+                &tg,
+                &m,
+                &alloc,
+                &mut warm,
+                &CongRefineConfig::volume(),
+                &mut scratch,
+            );
+            let fresh_out =
+                congestion_refine(&tg, &m, &alloc, &mut fresh, &CongRefineConfig::volume());
+            assert_eq!(warm, fresh, "seed {seed}: warm scratch diverged");
+            assert_eq!(warm_out, fresh_out, "seed {seed}");
+        }
+    }
+
+    #[test]
     fn message_variant_reduces_mmc() {
         let m = line_machine(8);
         let alloc = Allocation::generate(&m, &AllocSpec::contiguous(6));
-        let tg = TaskGraph::from_messages(
-            6,
-            [(0, 3, 1.0), (1, 4, 1.0), (2, 5, 1.0)],
-            None,
-        );
+        let tg = TaskGraph::from_messages(6, [(0, 3, 1.0), (1, 4, 1.0), (2, 5, 1.0)], None);
         let mut mapping: Vec<u32> = (0..6usize).map(|t| alloc.node(t)).collect();
         let before = evaluate(&tg, &m, &mapping);
-        congestion_refine(
-            &tg,
-            &m,
-            &alloc,
-            &mut mapping,
-            &CongRefineConfig::messages(),
-        );
+        congestion_refine(&tg, &m, &alloc, &mut mapping, &CongRefineConfig::messages());
         let after = evaluate(&tg, &m, &mapping);
         assert!(after.mmc <= before.mmc + 1e-9);
         validate_mapping(&tg, &alloc, &mapping).unwrap();
@@ -539,13 +660,8 @@ mod tests {
         let alloc2 = Allocation::generate(&m2, &AllocSpec::contiguous(2));
         let mut mapping = vec![alloc2.node(0), alloc2.node(1)];
         // Both nodes share router 0 → no traffic.
-        let (mc, ac) = congestion_refine(
-            &tg,
-            &m2,
-            &alloc2,
-            &mut mapping,
-            &CongRefineConfig::volume(),
-        );
+        let (mc, ac) =
+            congestion_refine(&tg, &m2, &alloc2, &mut mapping, &CongRefineConfig::volume());
         assert_eq!((mc, ac), (0.0, 0.0));
         let _ = (m, alloc);
     }
@@ -556,7 +672,13 @@ mod tests {
         let alloc = Allocation::generate(&m, &AllocSpec::contiguous(3));
         let tg = TaskGraph::from_messages(
             5,
-            [(0, 1, 2.0), (1, 2, 2.0), (2, 3, 2.0), (3, 4, 2.0), (4, 0, 2.0)],
+            [
+                (0, 1, 2.0),
+                (1, 2, 2.0),
+                (2, 3, 2.0),
+                (3, 4, 2.0),
+                (4, 0, 2.0),
+            ],
             None,
         );
         let mut mapping = vec![

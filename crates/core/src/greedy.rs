@@ -21,10 +21,18 @@
 //! mapping with the lower WH is returned. `NBFS` here counts far seeds
 //! placed *in addition to* `t_MSRV` (see DESIGN.md — the paper's
 //! pseudocode makes 0 and 1 coincide if `t_MSRV` counts as mapped).
+//!
+//! All per-run buffers live in a reusable [`GreedyScratch`]; a warm
+//! scratch makes repeated runs allocation-free (DESIGN.md §8). With the
+//! `parallel` feature, [`greedy_map`] evaluates its `NBFS` candidates on
+//! worker threads and reduces deterministically (lowest WH, ties toward
+//! the lower candidate index — identical to the sequential scan).
 
 use umpa_ds::IndexedMaxHeap;
 use umpa_graph::{Bfs, TaskGraph};
 use umpa_topology::{Allocation, Machine};
+
+use crate::mapping::fits;
 
 /// Configuration of the greedy mapper.
 #[derive(Clone, Debug)]
@@ -49,13 +57,37 @@ impl Default for GreedyConfig {
     }
 }
 
+/// Reusable buffers for one greedy run — BFS workspaces, the `conn`
+/// heap, capacity vectors and the candidate/best mapping buffers. All
+/// sized lazily on first use and reused (allocation-free once warm).
+#[derive(Default)]
+pub struct GreedyScratch {
+    /// Working mapping of the current candidate run.
+    mapping: Vec<u32>,
+    /// Best mapping across candidate runs.
+    best: Vec<u32>,
+    free: Vec<f64>,
+    nonempty_slots: Vec<u32>,
+    slot_nonempty: Vec<bool>,
+    conn: IndexedMaxHeap,
+    bfs_tasks: Bfs,
+    bfs_routers: Bfs,
+    sources: Vec<u32>,
+    heavy: Vec<u32>,
+}
+
+impl GreedyScratch {
+    /// Creates an empty scratch; buffers are sized on first run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Weighted hops of a mapping, computed arithmetically (O(1) torus
 /// distances — no routing).
 pub fn weighted_hops(tg: &TaskGraph, machine: &Machine, mapping: &[u32]) -> f64 {
     tg.messages()
-        .map(|(s, t, c)| {
-            f64::from(machine.hops(mapping[s as usize], mapping[t as usize])) * c
-        })
+        .map(|(s, t, c)| f64::from(machine.hops(mapping[s as usize], mapping[t as usize])) * c)
         .sum()
 }
 
@@ -68,6 +100,11 @@ pub fn total_hops(tg: &TaskGraph, machine: &Machine, mapping: &[u32]) -> f64 {
 
 /// Runs Algorithm 1 for every `NBFS` in the config and returns the
 /// mapping with the lowest WH.
+///
+/// With the `parallel` feature and more than one candidate, the runs
+/// execute on worker threads; the reduction (lowest WH, ties toward the
+/// lower candidate index) makes the result bit-identical to the
+/// sequential path.
 pub fn greedy_map(
     tg: &TaskGraph,
     machine: &Machine,
@@ -75,15 +112,66 @@ pub fn greedy_map(
     cfg: &GreedyConfig,
 ) -> Vec<u32> {
     assert!(!cfg.nbfs_candidates.is_empty());
-    let mut best: Option<(f64, Vec<u32>)> = None;
+    #[cfg(feature = "parallel")]
+    if cfg.nbfs_candidates.len() > 1 {
+        use rayon::prelude::*;
+        let runs: Vec<(f64, Vec<u32>)> = cfg
+            .nbfs_candidates
+            .par_iter()
+            .map(|&nbfs| {
+                let mut scratch = GreedyScratch::new();
+                let wh = run_greedy(
+                    tg,
+                    machine,
+                    alloc,
+                    nbfs,
+                    cfg.heavy_first_fraction,
+                    &mut scratch,
+                );
+                (wh, std::mem::take(&mut scratch.mapping))
+            })
+            .collect();
+        // Deterministic reduction: strict `<` over the candidate order ==
+        // "lowest WH wins, ties toward the lower index".
+        let mut best = 0;
+        for i in 1..runs.len() {
+            if runs[i].0 < runs[best].0 {
+                best = i;
+            }
+        }
+        return runs.into_iter().nth(best).unwrap().1;
+    }
+    let mut scratch = GreedyScratch::new();
+    let mut out = Vec::new();
+    greedy_map_into(tg, machine, alloc, cfg, &mut scratch, &mut out);
+    out
+}
+
+/// Scratch-reusing form of [`greedy_map`]: writes the winning mapping
+/// into `out` and returns its WH. Allocation-free once `scratch` and
+/// `out` are warm. Always evaluates candidates sequentially (the
+/// parallel path needs one scratch per worker — see
+/// [`map_many`](crate::pipeline::map_many)).
+pub fn greedy_map_into(
+    tg: &TaskGraph,
+    machine: &Machine,
+    alloc: &Allocation,
+    cfg: &GreedyConfig,
+    scratch: &mut GreedyScratch,
+    out: &mut Vec<u32>,
+) -> f64 {
+    assert!(!cfg.nbfs_candidates.is_empty());
+    let mut best_wh = f64::INFINITY;
     for &nbfs in &cfg.nbfs_candidates {
-        let mapping = run_greedy(tg, machine, alloc, nbfs, cfg.heavy_first_fraction);
-        let wh = weighted_hops(tg, machine, &mapping);
-        if best.as_ref().is_none_or(|(bw, _)| wh < *bw) {
-            best = Some((wh, mapping));
+        let wh = run_greedy(tg, machine, alloc, nbfs, cfg.heavy_first_fraction, scratch);
+        if wh < best_wh {
+            best_wh = wh;
+            std::mem::swap(&mut scratch.best, &mut scratch.mapping);
         }
     }
-    best.unwrap().1
+    out.clear();
+    out.extend_from_slice(&scratch.best);
+    best_wh
 }
 
 /// Runs Algorithm 1 with a fixed number of far seeds (default
@@ -94,20 +182,25 @@ pub fn greedy_map_with(
     alloc: &Allocation,
     nbfs: u32,
 ) -> Vec<u32> {
-    run_greedy(tg, machine, alloc, nbfs, 0.5)
+    let mut scratch = GreedyScratch::new();
+    run_greedy(tg, machine, alloc, nbfs, 0.5, &mut scratch);
+    std::mem::take(&mut scratch.mapping)
 }
 
+/// One full greedy run; leaves the mapping in `scratch.mapping` and
+/// returns its WH.
 fn run_greedy(
     tg: &TaskGraph,
     machine: &Machine,
     alloc: &Allocation,
     nbfs: u32,
     heavy_first_fraction: f64,
-) -> Vec<u32> {
+    scratch: &mut GreedyScratch,
+) -> f64 {
     let n = tg.num_tasks();
-    let mut state = State::new(tg, machine, alloc);
+    let mut state = State::new(tg, machine, alloc, scratch);
     if n == 0 {
-        return Vec::new();
+        return 0.0;
     }
     let total_weight: f64 = (0..n as u32).map(|t| tg.task_weight(t)).sum();
     assert!(
@@ -123,16 +216,21 @@ fn run_greedy(
     if non_uniform {
         let max_cap = f64::from(*caps.iter().max().unwrap());
         let threshold = heavy_first_fraction * max_cap;
-        let mut heavy: Vec<u32> = (0..n as u32)
-            .filter(|&t| tg.task_weight(t) > threshold)
-            .collect();
-        heavy.sort_by(|&a, &b| {
+        state.heavy.clear();
+        state
+            .heavy
+            .extend((0..n as u32).filter(|&t| tg.task_weight(t) > threshold));
+        // Unstable sort: in-place (keeps the warm-scratch path
+        // allocation-free); the id tiebreak makes the order total, so
+        // the result is identical to a stable sort.
+        state.heavy.sort_unstable_by(|&a, &b| {
             tg.task_weight(b)
                 .partial_cmp(&tg.task_weight(a))
                 .unwrap()
                 .then(a.cmp(&b))
         });
-        for t in heavy {
+        for i in 0..state.heavy.len() {
+            let t = state.heavy[i];
             let node = state.best_node_for(t);
             state.place(t, node);
         }
@@ -143,12 +241,9 @@ fn run_greedy(
     if !state.is_mapped(t0) {
         let w0 = tg.task_weight(t0);
         let first_slot = (0..alloc.num_nodes())
-            .filter(|&s| state.free[s] + 1e-9 >= w0)
+            .filter(|&s| fits(state.free[s], w0))
             .max_by(|&a, &b| {
-                alloc
-                    .procs(a)
-                    .cmp(&alloc.procs(b))
-                    .then(b.cmp(&a)) // prefer the earlier slot on ties
+                alloc.procs(a).cmp(&alloc.procs(b)).then(b.cmp(&a)) // prefer the earlier slot on ties
             })
             .expect("allocation has room for t0 by the weight invariant");
         state.place(t0, alloc.node(first_slot));
@@ -164,39 +259,74 @@ fn run_greedy(
         let node = state.best_node_for(tbest);
         state.place(tbest, node);
     }
-    state.mapping
+    weighted_hops(tg, machine, state.mapping)
 }
 
-/// Working state of one greedy run.
+/// Working state of one greedy run, borrowing all buffers from a
+/// [`GreedyScratch`].
 struct State<'a> {
     tg: &'a TaskGraph,
     machine: &'a Machine,
     alloc: &'a Allocation,
-    mapping: Vec<u32>,
-    free: Vec<f64>,
-    nonempty_slots: Vec<u32>,
-    slot_nonempty: Vec<bool>,
-    conn: IndexedMaxHeap,
-    bfs_tasks: Bfs,
-    bfs_routers: Bfs,
+    mapping: &'a mut Vec<u32>,
+    free: &'a mut Vec<f64>,
+    nonempty_slots: &'a mut Vec<u32>,
+    slot_nonempty: &'a mut Vec<bool>,
+    conn: &'a mut IndexedMaxHeap,
+    bfs_tasks: &'a mut Bfs,
+    bfs_routers: &'a mut Bfs,
+    sources: &'a mut Vec<u32>,
+    heavy: &'a mut Vec<u32>,
     mapped_count: usize,
 }
 
 impl<'a> State<'a> {
-    fn new(tg: &'a TaskGraph, machine: &'a Machine, alloc: &'a Allocation) -> Self {
+    fn new(
+        tg: &'a TaskGraph,
+        machine: &'a Machine,
+        alloc: &'a Allocation,
+        scratch: &'a mut GreedyScratch,
+    ) -> Self {
+        let GreedyScratch {
+            mapping,
+            best: _,
+            free,
+            nonempty_slots,
+            slot_nonempty,
+            conn,
+            bfs_tasks,
+            bfs_routers,
+            sources,
+            heavy,
+        } = scratch;
+        let n_tasks = tg.num_tasks();
+        let n_slots = alloc.num_nodes();
+        mapping.clear();
+        mapping.resize(n_tasks, u32::MAX);
+        free.clear();
+        free.extend((0..n_slots).map(|s| f64::from(alloc.procs(s))));
+        nonempty_slots.clear();
+        nonempty_slots.reserve(n_slots);
+        slot_nonempty.clear();
+        slot_nonempty.resize(n_slots, false);
+        conn.reset(n_tasks);
+        bfs_tasks.ensure(n_tasks);
+        bfs_routers.ensure(machine.num_routers());
+        sources.clear();
+        sources.reserve(n_tasks.max(machine.num_routers()));
         Self {
             tg,
             machine,
             alloc,
-            mapping: vec![u32::MAX; tg.num_tasks()],
-            free: (0..alloc.num_nodes())
-                .map(|s| f64::from(alloc.procs(s)))
-                .collect(),
-            nonempty_slots: Vec::new(),
-            slot_nonempty: vec![false; alloc.num_nodes()],
-            conn: IndexedMaxHeap::new(tg.num_tasks()),
-            bfs_tasks: Bfs::new(tg.num_tasks()),
-            bfs_routers: Bfs::new(machine.num_routers()),
+            mapping,
+            free,
+            nonempty_slots,
+            slot_nonempty,
+            conn,
+            bfs_tasks,
+            bfs_routers,
+            sources,
+            heavy,
             mapped_count: 0,
         }
     }
@@ -211,7 +341,7 @@ impl<'a> State<'a> {
     fn place(&mut self, t: u32, node: u32) {
         debug_assert!(!self.is_mapped(t));
         let slot = self.alloc.slot_of(node).expect("node not allocated") as usize;
-        debug_assert!(self.free[slot] + 1e-9 >= self.tg.task_weight(t));
+        debug_assert!(fits(self.free[slot], self.tg.task_weight(t)));
         self.mapping[t as usize] = node;
         self.free[slot] -= self.tg.task_weight(t);
         if !self.slot_nonempty[slot] {
@@ -255,10 +385,13 @@ impl<'a> State<'a> {
     /// in unreached components are "infinitely far": the max-SRV one of
     /// those wins outright (the paper's disconnected rule).
     fn farthest_unmapped_task(&mut self) -> u32 {
-        let sources: Vec<u32> = (0..self.tg.num_tasks() as u32)
-            .filter(|&t| self.is_mapped(t))
-            .collect();
-        self.bfs_tasks.start(sources);
+        self.sources.clear();
+        for t in 0..self.tg.num_tasks() as u32 {
+            if self.mapping[t as usize] != u32::MAX {
+                self.sources.push(t);
+            }
+        }
+        self.bfs_tasks.start(self.sources.iter().copied());
         let mut best: Option<(u32, u32)> = None; // (level, task)
         while let Some(ev) = self.bfs_tasks.next(self.tg.symmetric()) {
             if self.is_mapped(ev.vertex) {
@@ -315,15 +448,14 @@ impl<'a> State<'a> {
             return self.farthest_free_node(w);
         }
         // Multi-source BFS from the routers hosting t's mapped neighbors.
-        let sources: Vec<u32> = self
-            .tg
-            .symmetric()
-            .neighbors(t)
-            .iter()
-            .filter(|&&n| self.is_mapped(n))
-            .map(|&n| self.machine.router_of(self.mapping[n as usize]))
-            .collect();
-        self.bfs_routers.start(sources);
+        self.sources.clear();
+        for &n in self.tg.symmetric().neighbors(t) {
+            if self.mapping[n as usize] != u32::MAX {
+                self.sources
+                    .push(self.machine.router_of(self.mapping[n as usize]));
+            }
+        }
+        self.bfs_routers.start(self.sources.iter().copied());
         let mut best: Option<(f64, u32)> = None;
         let mut hit_level: Option<u32> = None;
         while let Some(ev) = self.bfs_routers.next(self.machine.router_graph()) {
@@ -337,7 +469,7 @@ impl<'a> State<'a> {
                 let Some(slot) = self.alloc.slot_of(node) else {
                     continue;
                 };
-                if self.free[slot as usize] + 1e-9 < w {
+                if !fits(self.free[slot as usize], w) {
                     continue;
                 }
                 hit_level = Some(ev.level);
@@ -359,23 +491,24 @@ impl<'a> State<'a> {
         if self.nonempty_slots.is_empty() {
             // No placement context at all: first feasible slot.
             let slot = (0..self.alloc.num_nodes())
-                .find(|&s| self.free[s] + 1e-9 >= w)
+                .find(|&s| fits(self.free[s], w))
                 .expect("allocation has free capacity");
             return self.alloc.node(slot);
         }
-        let sources: Vec<u32> = self
-            .nonempty_slots
-            .iter()
-            .map(|&s| self.machine.router_of(self.alloc.node(s as usize)))
-            .collect();
-        self.bfs_routers.start(sources);
+        self.sources.clear();
+        for i in 0..self.nonempty_slots.len() {
+            let s = self.nonempty_slots[i];
+            self.sources
+                .push(self.machine.router_of(self.alloc.node(s as usize)));
+        }
+        self.bfs_routers.start(self.sources.iter().copied());
         let mut best: Option<(u32, u32)> = None; // (level, node)
         while let Some(ev) = self.bfs_routers.next(self.machine.router_graph()) {
             for node in self.machine.nodes_of_router(ev.vertex) {
                 let Some(slot) = self.alloc.slot_of(node) else {
                     continue;
                 };
-                if self.free[slot as usize] + 1e-9 < w {
+                if !fits(self.free[slot as usize], w) {
                     continue;
                 }
                 // Keep only the first candidate of the deepest level.
@@ -401,11 +534,7 @@ mod tests {
 
     /// A 4-task chain with one heavy hub.
     fn chain() -> TaskGraph {
-        TaskGraph::from_messages(
-            4,
-            [(0, 1, 10.0), (1, 2, 10.0), (2, 3, 10.0)],
-            None,
-        )
+        TaskGraph::from_messages(4, [(0, 1, 10.0), (1, 2, 10.0), (2, 3, 10.0)], None)
     }
 
     #[test]
@@ -447,9 +576,7 @@ mod tests {
         let greedy = greedy_map(&tg, &m, &alloc, &GreedyConfig::default());
         // Adversarial placement: tasks in allocation order but shifted
         // by half the ring (pairs far apart).
-        let adversarial: Vec<u32> = (0..8usize)
-            .map(|t| alloc.node((t * 5) % 8))
-            .collect();
+        let adversarial: Vec<u32> = (0..8usize).map(|t| alloc.node((t * 5) % 8)).collect();
         let g_wh = weighted_hops(&tg, &m, &greedy);
         let a_wh = weighted_hops(&tg, &m, &adversarial);
         assert!(g_wh <= a_wh, "greedy {g_wh} vs adversarial {a_wh}");
@@ -459,11 +586,7 @@ mod tests {
     fn respects_multi_task_capacity() {
         let m = MachineConfig::small(&[4, 4], 1, 4).build();
         let alloc = umpa_topology::Allocation::generate(&m, &AllocSpec::contiguous(2));
-        let tg = TaskGraph::from_messages(
-            8,
-            (0..7u32).map(|i| (i, i + 1, 1.0)),
-            None,
-        );
+        let tg = TaskGraph::from_messages(8, (0..7u32).map(|i| (i, i + 1, 1.0)), None);
         let mapping = greedy_map(&tg, &m, &alloc, &GreedyConfig::default());
         validate_mapping(&tg, &alloc, &mapping).unwrap();
     }
@@ -532,8 +655,32 @@ mod tests {
         );
         let w0 = weighted_hops(&tg, &m, &greedy_map_with(&tg, &m, &alloc, 0));
         let w1 = weighted_hops(&tg, &m, &greedy_map_with(&tg, &m, &alloc, 1));
-        let combined = weighted_hops(&tg, &m, &greedy_map(&tg, &m, &alloc, &GreedyConfig::default()));
+        let combined = weighted_hops(
+            &tg,
+            &m,
+            &greedy_map(&tg, &m, &alloc, &GreedyConfig::default()),
+        );
         assert!((combined - w0.min(w1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_runs() {
+        let m = machine();
+        let tg = TaskGraph::from_messages(
+            8,
+            (0..8u32).flat_map(|i| [(i, (i + 1) % 8, 2.0), (i, (i + 4) % 8, 1.0)]),
+            None,
+        );
+        let cfg = GreedyConfig::default();
+        let mut scratch = GreedyScratch::new();
+        let mut out = Vec::new();
+        // Different allocations back to back through one warm scratch.
+        for seed in 0..6u64 {
+            let alloc = umpa_topology::Allocation::generate(&m, &AllocSpec::sparse(8, seed));
+            greedy_map_into(&tg, &m, &alloc, &cfg, &mut scratch, &mut out);
+            let fresh = greedy_map(&tg, &m, &alloc, &cfg);
+            assert_eq!(out, fresh, "seed {seed}: warm scratch diverged");
+        }
     }
 
     #[test]

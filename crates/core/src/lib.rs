@@ -29,21 +29,34 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Whether this build of the engine was compiled with the `parallel`
+/// feature (thread-pooled `map_many`, NBFS candidates, portfolio).
+/// Exposed so downstream tools (e.g. the perf tracker) report the
+/// engine's actual mode rather than their own feature flags.
+pub const PARALLEL_ENABLED: bool = cfg!(feature = "parallel");
+
 pub mod baselines;
 pub mod cong_refine;
 pub mod greedy;
 pub mod mapping;
 pub mod metrics;
 pub mod pipeline;
+pub mod scratch;
 pub mod wh_refine;
 
 pub use baselines::{def_mapping, smap_mapping, tmap_mapping};
-pub use cong_refine::{congestion_refine, CongRefineConfig, CongestionKind};
-pub use greedy::{greedy_map, GreedyConfig};
-pub use mapping::validate_mapping;
+pub use cong_refine::{
+    congestion_refine, congestion_refine_scratch, CongRefineConfig, CongScratch, CongestionKind,
+};
+pub use greedy::{greedy_map, greedy_map_into, GreedyConfig, GreedyScratch};
+pub use mapping::{fits, validate_mapping, CAPACITY_EPS};
 pub use metrics::{evaluate, MetricsReport};
-pub use pipeline::{map_tasks, MapperKind, MappingOutcome, PipelineConfig};
-pub use wh_refine::{wh_refine, WhRefineConfig};
+pub use pipeline::{
+    map_many, map_many_seq, map_portfolio, map_tasks, map_tasks_with, MapRequest, MapperKind,
+    MappingOutcome, PipelineConfig,
+};
+pub use scratch::MapperScratch;
+pub use wh_refine::{wh_refine, wh_refine_scratch, WhRefineConfig, WhScratch};
 
 /// Commonly used items.
 pub mod prelude {
@@ -51,6 +64,10 @@ pub mod prelude {
     pub use crate::cong_refine::{congestion_refine, CongRefineConfig, CongestionKind};
     pub use crate::greedy::{greedy_map, GreedyConfig};
     pub use crate::metrics::{evaluate, MetricsReport};
-    pub use crate::pipeline::{map_tasks, MapperKind, MappingOutcome, PipelineConfig};
+    pub use crate::pipeline::{
+        map_many, map_many_seq, map_portfolio, map_tasks, map_tasks_with, MapRequest, MapperKind,
+        MappingOutcome, PipelineConfig,
+    };
+    pub use crate::scratch::MapperScratch;
     pub use crate::wh_refine::{wh_refine, WhRefineConfig};
 }

@@ -9,6 +9,22 @@
 use umpa_graph::TaskGraph;
 use umpa_topology::Allocation;
 
+/// Absolute tolerance of every capacity comparison in the mapping
+/// engine. Task weights and node capacities are small integers (or sums
+/// of them) represented as `f64`, so repeated increment/decrement can
+/// drift by ULPs; comparisons allow this much slack so a task that
+/// exactly fills a node still "fits". Centralized here so the tolerance
+/// cannot drift between call sites.
+pub const CAPACITY_EPS: f64 = 1e-9;
+
+/// Whether a task of `weight` fits in `free` remaining capacity, under
+/// the engine-wide [`CAPACITY_EPS`] tolerance. For swap feasibility
+/// pass `free + departing_weight`.
+#[inline]
+pub fn fits(free: f64, weight: f64) -> bool {
+    free + CAPACITY_EPS >= weight
+}
+
 /// Why a mapping is infeasible.
 #[derive(Clone, Debug, PartialEq)]
 pub enum MappingError {
@@ -84,12 +100,12 @@ pub fn validate_mapping(
             }
         }
     }
-    for slot in 0..alloc.num_nodes() {
+    for (slot, &slot_load) in load.iter().enumerate() {
         let cap = f64::from(alloc.procs(slot));
-        if load[slot] > cap + 1e-9 {
+        if !fits(cap, slot_load) {
             return Err(MappingError::OverCapacity {
                 node: alloc.node(slot),
-                load: load[slot],
+                load: slot_load,
                 capacity: cap,
             });
         }

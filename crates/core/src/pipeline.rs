@@ -13,6 +13,12 @@
 //! mapping-algorithm time, with the partitioning phase shared by all
 //! methods (and the refinement variants' time including the `UG` run
 //! they start from).
+//!
+//! Serving shape: [`map_tasks_with`] threads a warm [`MapperScratch`]
+//! through phase 2 so its hot path is allocation-free, and [`map_many`]
+//! batches requests — sequentially through one scratch, or (with the
+//! `parallel` feature) across a per-worker scratch pool with outputs in
+//! request order, bit-identical to the sequential path.
 
 use std::time::{Duration, Instant};
 
@@ -21,10 +27,11 @@ use umpa_partition::{fix_balance, recursive_bisection, MlConfig};
 use umpa_topology::{Allocation, Machine};
 
 use crate::baselines::{def_groups, def_mapping, smap_mapping, tmap_mapping};
-use crate::cong_refine::{congestion_refine, CongRefineConfig};
-use crate::greedy::{greedy_map, GreedyConfig};
+use crate::cong_refine::{congestion_refine_scratch, CongRefineConfig};
+use crate::greedy::{greedy_map_into, GreedyConfig};
 use crate::metrics::evaluate;
-use crate::wh_refine::{wh_refine, WhRefineConfig};
+use crate::scratch::MapperScratch;
+use crate::wh_refine::{wh_refine_scratch, WhRefineConfig};
 
 /// The seven mapping algorithms of Figure 2, in the paper's order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -126,11 +133,7 @@ pub struct MappingOutcome {
 
 /// Phase 1: groups the fine tasks into `|Va|` node groups with exact
 /// balance (recursive bisection + one FM balance iteration).
-pub fn group_tasks(
-    fine: &TaskGraph,
-    alloc: &Allocation,
-    ml: &MlConfig,
-) -> Vec<u32> {
+pub fn group_tasks(fine: &TaskGraph, alloc: &Allocation, ml: &MlConfig) -> Vec<u32> {
     let targets: Vec<f64> = (0..alloc.num_nodes())
         .map(|s| f64::from(alloc.procs(s)))
         .collect();
@@ -174,6 +177,21 @@ pub fn map_tasks(
     kind: MapperKind,
     cfg: &PipelineConfig,
 ) -> MappingOutcome {
+    map_tasks_with(fine, machine, alloc, kind, cfg, &mut MapperScratch::new())
+}
+
+/// [`map_tasks`] with a caller-owned [`MapperScratch`]: phase 2 (the
+/// timed mapping algorithm) reuses the scratch's buffers and performs
+/// no heap allocations once the scratch is warm — the steady-state
+/// serving path. Results are bit-identical to [`map_tasks`].
+pub fn map_tasks_with(
+    fine: &TaskGraph,
+    machine: &Machine,
+    alloc: &Allocation,
+    kind: MapperKind,
+    cfg: &PipelineConfig,
+    scratch: &mut MapperScratch,
+) -> MappingOutcome {
     if kind == MapperKind::Def {
         let start = Instant::now();
         let fine_mapping = def_mapping(fine, alloc);
@@ -189,10 +207,12 @@ pub fn map_tasks(
     let group_of = group_tasks(fine, alloc, &cfg.ml);
     let n_groups = alloc.num_nodes();
     let coarse_vol = fine.group_quotient(&group_of, n_groups, false);
-    // Phase 2 — the mapper under test.
+    // Phase 2 — the mapper under test. The greedy family runs through
+    // the scratch (allocation-free once warm); the TMAP/SMAP baselines
+    // allocate internally, as the systems they model do.
     let start = Instant::now();
     let mut tmap_fell_back = false;
-    let coarse_mapping: Vec<u32> = match kind {
+    match kind {
         MapperKind::Def => unreachable!(),
         MapperKind::Tmap => {
             let candidate = tmap_mapping(&coarse_vol, machine, alloc, cfg.seed);
@@ -203,7 +223,8 @@ pub fn map_tasks(
             let cand_mc = evaluate(fine, machine, &fine_candidate).mc;
             let def_mc = evaluate(fine, machine, &def).mc;
             if cand_mc < def_mc {
-                candidate
+                scratch.coarse.clear();
+                scratch.coarse.extend_from_slice(&candidate);
             } else {
                 tmap_fell_back = true;
                 let elapsed = start.elapsed();
@@ -215,31 +236,90 @@ pub fn map_tasks(
                 };
             }
         }
-        MapperKind::Smap => smap_mapping(&coarse_vol, machine, alloc, cfg.seed),
-        MapperKind::Greedy => greedy_map(&coarse_vol, machine, alloc, &cfg.greedy),
+        MapperKind::Smap => {
+            let m = smap_mapping(&coarse_vol, machine, alloc, cfg.seed);
+            scratch.coarse.clear();
+            scratch.coarse.extend_from_slice(&m);
+        }
+        MapperKind::Greedy => {
+            greedy_map_into(
+                &coarse_vol,
+                machine,
+                alloc,
+                &cfg.greedy,
+                &mut scratch.greedy,
+                &mut scratch.coarse,
+            );
+        }
         MapperKind::GreedyWh => {
-            let mut m = greedy_map(&coarse_vol, machine, alloc, &cfg.greedy);
-            wh_refine(&coarse_vol, machine, alloc, &mut m, &cfg.wh);
-            m
+            greedy_map_into(
+                &coarse_vol,
+                machine,
+                alloc,
+                &cfg.greedy,
+                &mut scratch.greedy,
+                &mut scratch.coarse,
+            );
+            wh_refine_scratch(
+                &coarse_vol,
+                machine,
+                alloc,
+                &mut scratch.coarse,
+                &cfg.wh,
+                &mut scratch.wh,
+            );
         }
         MapperKind::GreedyMc => {
-            let mut m = greedy_map(&coarse_vol, machine, alloc, &cfg.greedy);
-            congestion_refine(&coarse_vol, machine, alloc, &mut m, &cfg.cong_volume);
-            m
+            greedy_map_into(
+                &coarse_vol,
+                machine,
+                alloc,
+                &cfg.greedy,
+                &mut scratch.greedy,
+                &mut scratch.coarse,
+            );
+            congestion_refine_scratch(
+                &coarse_vol,
+                machine,
+                alloc,
+                &mut scratch.coarse,
+                &cfg.cong_volume,
+                &mut scratch.cong,
+            );
         }
         MapperKind::GreedyMmc => {
-            let mut m = greedy_map(&coarse_vol, machine, alloc, &cfg.greedy);
+            greedy_map_into(
+                &coarse_vol,
+                machine,
+                alloc,
+                &cfg.greedy,
+                &mut scratch.greedy,
+                &mut scratch.coarse,
+            );
             let coarse_cnt = fine.group_quotient(&group_of, n_groups, true);
-            congestion_refine(&coarse_cnt, machine, alloc, &mut m, &cfg.cong_messages);
-            m
+            congestion_refine_scratch(
+                &coarse_cnt,
+                machine,
+                alloc,
+                &mut scratch.coarse,
+                &cfg.cong_messages,
+                &mut scratch.cong,
+            );
         }
     };
-    let mut fine_mapping = compose(&group_of, &coarse_mapping);
+    let mut fine_mapping = compose(&group_of, &scratch.coarse);
     if cfg.fine_wh_refine && kind == MapperKind::GreedyWh {
         // §III-B fine-level refinement: swap individual tasks between
         // nodes. WH can only improve; internode volume may grow (the
         // reason the paper keeps this off by default).
-        wh_refine(fine, machine, alloc, &mut fine_mapping, &cfg.wh);
+        wh_refine_scratch(
+            fine,
+            machine,
+            alloc,
+            &mut fine_mapping,
+            &cfg.wh,
+            &mut scratch.wh,
+        );
     }
     let elapsed = start.elapsed();
     MappingOutcome {
@@ -247,6 +327,104 @@ pub fn map_tasks(
         group_of,
         elapsed,
         tmap_fell_back,
+    }
+}
+
+/// One mapping request for the batched [`map_many`] API. Borrows its
+/// inputs so a serving layer can share one machine/topology across a
+/// whole batch.
+#[derive(Clone, Copy)]
+pub struct MapRequest<'a> {
+    /// The fine task graph to map.
+    pub tasks: &'a TaskGraph,
+    /// Target machine.
+    pub machine: &'a Machine,
+    /// Allocated nodes.
+    pub alloc: &'a Allocation,
+    /// Mapping algorithm to run.
+    pub kind: MapperKind,
+    /// Pipeline configuration.
+    pub cfg: &'a PipelineConfig,
+}
+
+/// Maps a batch of independent requests, amortizing scratch buffers
+/// across the batch. Outputs are in request order.
+///
+/// Without the `parallel` feature (or for a single request) the batch
+/// runs sequentially through one warm [`MapperScratch`]. With it, the
+/// batch is split into one contiguous chunk per worker, each worker
+/// owning one scratch — requests are independent and every scratch is
+/// fully reset per request, so the mappings are **bit-identical** to
+/// the sequential path; only wall-clock changes.
+pub fn map_many(requests: &[MapRequest<'_>]) -> Vec<MappingOutcome> {
+    #[cfg(feature = "parallel")]
+    if requests.len() > 1 {
+        use rayon::prelude::*;
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let chunk = requests.len().div_ceil(workers);
+        let nested: Vec<Vec<MappingOutcome>> = requests
+            .par_chunks(chunk)
+            .map(|part| {
+                let mut scratch = MapperScratch::new();
+                part.iter()
+                    .map(|r| {
+                        map_tasks_with(r.tasks, r.machine, r.alloc, r.kind, r.cfg, &mut scratch)
+                    })
+                    .collect()
+            })
+            .collect();
+        return nested.into_iter().flatten().collect();
+    }
+    map_many_seq(requests)
+}
+
+/// Always-sequential form of [`map_many`] (one scratch, request order).
+/// The reference the parallel path is tested against.
+pub fn map_many_seq(requests: &[MapRequest<'_>]) -> Vec<MappingOutcome> {
+    let mut scratch = MapperScratch::new();
+    requests
+        .iter()
+        .map(|r| map_tasks_with(r.tasks, r.machine, r.alloc, r.kind, r.cfg, &mut scratch))
+        .collect()
+}
+
+/// Runs the full seven-mapper portfolio on one problem, in Figure 2's
+/// order. With the `parallel` feature the mappers run concurrently
+/// (one scratch each); outputs stay in portfolio order either way.
+pub fn map_portfolio(
+    fine: &TaskGraph,
+    machine: &Machine,
+    alloc: &Allocation,
+    cfg: &PipelineConfig,
+) -> Vec<(MapperKind, MappingOutcome)> {
+    let kinds = MapperKind::all();
+    #[cfg(feature = "parallel")]
+    {
+        use rayon::prelude::*;
+        kinds
+            .par_iter()
+            .map(|&kind| {
+                (
+                    kind,
+                    map_tasks_with(fine, machine, alloc, kind, cfg, &mut MapperScratch::new()),
+                )
+            })
+            .collect()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        let mut scratch = MapperScratch::new();
+        kinds
+            .iter()
+            .map(|&kind| {
+                (
+                    kind,
+                    map_tasks_with(fine, machine, alloc, kind, cfg, &mut scratch),
+                )
+            })
+            .collect()
     }
 }
 

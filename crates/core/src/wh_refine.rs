@@ -13,12 +13,18 @@
 //!   keys of both tasks' neighborhoods are refreshed;
 //! * a pass ends when the heap empties; the next pass runs only if the
 //!   previous one improved WH by more than 0.5 % (paper's threshold).
+//!
+//! All per-run buffers (heap, BFS workspace, slot residency) live in a
+//! reusable [`WhScratch`]; a warm scratch makes repeated refinements
+//! allocation-free (DESIGN.md §8). Slot residency uses the flat
+//! [`SlotBuckets`] registry — O(1) task moves instead of `Vec::retain`.
 
-use umpa_ds::IndexedMaxHeap;
+use umpa_ds::{IndexedMaxHeap, SlotBuckets};
 use umpa_graph::{Bfs, TaskGraph};
 use umpa_topology::{Allocation, Machine};
 
 use crate::greedy::weighted_hops;
+use crate::mapping::fits;
 
 /// Configuration of the WH refinement.
 #[derive(Clone, Copy, Debug)]
@@ -41,6 +47,24 @@ impl Default for WhRefineConfig {
     }
 }
 
+/// Reusable buffers for one refinement run.
+#[derive(Default)]
+pub struct WhScratch {
+    buckets: SlotBuckets,
+    free: Vec<f64>,
+    heap: IndexedMaxHeap,
+    bfs: Bfs,
+    residents: Vec<u32>,
+    sources: Vec<u32>,
+}
+
+impl WhScratch {
+    /// Creates an empty scratch; buffers are sized on first run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Refines `mapping` in place to lower WH; returns the final WH.
 pub fn wh_refine(
     tg: &TaskGraph,
@@ -49,8 +73,22 @@ pub fn wh_refine(
     mapping: &mut [u32],
     cfg: &WhRefineConfig,
 ) -> f64 {
+    let mut scratch = WhScratch::new();
+    wh_refine_scratch(tg, machine, alloc, mapping, cfg, &mut scratch)
+}
+
+/// Scratch-reusing form of [`wh_refine`]; allocation-free once
+/// `scratch` is warm.
+pub fn wh_refine_scratch(
+    tg: &TaskGraph,
+    machine: &Machine,
+    alloc: &Allocation,
+    mapping: &mut [u32],
+    cfg: &WhRefineConfig,
+    scratch: &mut WhScratch,
+) -> f64 {
     assert_eq!(mapping.len(), tg.num_tasks());
-    let mut r = Refiner::new(tg, machine, alloc, mapping);
+    let mut r = Refiner::new(tg, machine, alloc, mapping, scratch);
     let mut wh = weighted_hops(tg, machine, r.mapping);
     for _ in 0..cfg.max_passes {
         let improved = r.run_pass(cfg.delta);
@@ -73,11 +111,14 @@ struct Refiner<'a> {
     machine: &'a Machine,
     alloc: &'a Allocation,
     mapping: &'a mut [u32],
-    /// Tasks hosted by each allocation slot.
-    tasks_on_slot: Vec<Vec<u32>>,
+    /// Tasks hosted by each allocation slot (flat registry).
+    buckets: &'a mut SlotBuckets,
     /// Free capacity per slot.
-    free: Vec<f64>,
-    bfs: Bfs,
+    free: &'a mut Vec<f64>,
+    heap: &'a mut IndexedMaxHeap,
+    bfs: &'a mut Bfs,
+    residents: &'a mut Vec<u32>,
+    sources: &'a mut Vec<u32>,
 }
 
 impl<'a> Refiner<'a> {
@@ -86,24 +127,37 @@ impl<'a> Refiner<'a> {
         machine: &'a Machine,
         alloc: &'a Allocation,
         mapping: &'a mut [u32],
+        scratch: &'a mut WhScratch,
     ) -> Self {
-        let mut tasks_on_slot = vec![Vec::new(); alloc.num_nodes()];
-        let mut free: Vec<f64> = (0..alloc.num_nodes())
-            .map(|s| f64::from(alloc.procs(s)))
-            .collect();
+        let WhScratch {
+            buckets,
+            free,
+            heap,
+            bfs,
+            residents,
+            sources,
+        } = scratch;
+        buckets.reset(alloc.num_nodes(), tg.num_tasks());
+        free.clear();
+        free.extend((0..alloc.num_nodes()).map(|s| f64::from(alloc.procs(s))));
         for (t, &node) in mapping.iter().enumerate() {
             let slot = alloc.slot_of(node).expect("mapping must be feasible") as usize;
-            tasks_on_slot[slot].push(t as u32);
+            buckets.insert(slot, t as u32);
             free[slot] -= tg.task_weight(t as u32);
         }
+        heap.reset(tg.num_tasks());
+        bfs.ensure(machine.num_routers());
         Self {
             tg,
             machine,
             alloc,
             mapping,
-            tasks_on_slot,
+            buckets,
             free,
-            bfs: Bfs::new(machine.num_routers()),
+            heap,
+            bfs,
+            residents,
+            sources,
         }
     }
 
@@ -146,29 +200,36 @@ impl<'a> Refiner<'a> {
         let slot2 = self.alloc.slot_of(node2).unwrap() as usize;
         let w1 = self.tg.task_weight(t1);
         self.mapping[t1 as usize] = node2;
-        self.tasks_on_slot[slot1].retain(|&x| x != t1);
-        self.tasks_on_slot[slot2].push(t1);
+        self.buckets.relocate(slot1, slot2, t1);
         self.free[slot1] += w1;
         self.free[slot2] -= w1;
         if let Some(t) = t2 {
             let w2 = self.tg.task_weight(t);
             self.mapping[t as usize] = node1;
-            self.tasks_on_slot[slot2].retain(|&x| x != t);
-            self.tasks_on_slot[slot1].push(t);
+            self.buckets.relocate(slot2, slot1, t);
             self.free[slot2] += w2;
             self.free[slot1] -= w2;
+        }
+    }
+
+    /// Refreshes `task`'s heap key if still enqueued.
+    fn refresh(&mut self, task: u32) {
+        if self.heap.contains(task) {
+            let key = self.task_wh(task);
+            self.heap.change_key(task, key);
         }
     }
 
     /// One refinement pass; returns the total WH improvement achieved.
     fn run_pass(&mut self, delta: usize) -> f64 {
         let n = self.tg.num_tasks();
-        let mut heap = IndexedMaxHeap::new(n);
+        self.heap.reset(n);
         for t in 0..n as u32 {
-            heap.push(t, self.task_wh(t));
+            let key = self.task_wh(t);
+            self.heap.push(t, key);
         }
         let mut pass_gain = 0.0;
-        while let Some((twh, key)) = heap.pop() {
+        while let Some((twh, key)) = self.heap.pop() {
             if key <= 0.0 {
                 // Remaining tasks incur no WH; nothing to gain.
                 break;
@@ -177,19 +238,16 @@ impl<'a> Refiner<'a> {
                 pass_gain += gain;
                 self.commit(twh, t2, node2);
                 // Refresh heap keys of both neighborhoods (+ partner).
-                let refresh = |task: u32, heap: &mut IndexedMaxHeap, s: &Self| {
-                    if heap.contains(task) {
-                        heap.change_key(task, s.task_wh(task));
-                    }
-                };
                 if let Some(t) = t2 {
-                    refresh(t, &mut heap, self);
-                    for &u in self.tg.symmetric().neighbors(t) {
-                        refresh(u, &mut heap, self);
+                    self.refresh(t);
+                    for i in 0..self.tg.symmetric().neighbors(t).len() {
+                        let u = self.tg.symmetric().neighbors(t)[i];
+                        self.refresh(u);
                     }
                 }
-                for &u in self.tg.symmetric().neighbors(twh) {
-                    refresh(u, &mut heap, self);
+                for i in 0..self.tg.symmetric().neighbors(twh).len() {
+                    let u = self.tg.symmetric().neighbors(twh)[i];
+                    self.refresh(u);
                 }
             }
         }
@@ -201,24 +259,18 @@ impl<'a> Refiner<'a> {
     fn find_swap(&mut self, twh: u32, delta: usize) -> Option<(f64, Option<u32>, u32)> {
         let node1 = self.mapping[twh as usize];
         let w1 = self.tg.task_weight(twh);
-        let sources: Vec<u32> = self
-            .tg
-            .symmetric()
-            .neighbors(twh)
-            .iter()
-            .map(|&nb| self.machine.router_of(self.mapping[nb as usize]))
-            .collect();
-        if sources.is_empty() {
+        self.sources.clear();
+        for &nb in self.tg.symmetric().neighbors(twh) {
+            self.sources
+                .push(self.machine.router_of(self.mapping[nb as usize]));
+        }
+        if self.sources.is_empty() {
             return None; // no neighbors → its WH is 0 anyway
         }
-        self.bfs.start(sources);
+        self.bfs.start(self.sources.iter().copied());
         let mut evaluated = 0usize;
-        // The borrow checker dislikes iterating self.bfs while calling
-        // &mut self methods; pull events into a small loop instead.
         loop {
-            let Some(ev) = self.bfs.next(self.machine.router_graph()) else {
-                return None;
-            };
+            let ev = self.bfs.next(self.machine.router_graph())?;
             for node2 in self.machine.nodes_of_router(ev.vertex) {
                 if node2 == node1 {
                     continue;
@@ -229,13 +281,13 @@ impl<'a> Refiner<'a> {
                 let slot2 = slot2 as usize;
                 // Swap candidates: every task on the node, plus a pure
                 // move when the free capacity admits t_wh.
-                let resident: Vec<u32> = self.tasks_on_slot[slot2].clone();
-                for &t2 in &resident {
+                self.buckets.collect_into(slot2, self.residents);
+                for i in 0..self.residents.len() {
+                    let t2 = self.residents[i];
                     // Capacity check for the exchange.
                     let w2 = self.tg.task_weight(t2);
                     let slot1 = self.alloc.slot_of(node1).unwrap() as usize;
-                    if self.free[slot2] + w2 + 1e-9 < w1 || self.free[slot1] + w1 + 1e-9 < w2
-                    {
+                    if !fits(self.free[slot2] + w2, w1) || !fits(self.free[slot1] + w1, w2) {
                         continue;
                     }
                     let gain = self.swap_gain(twh, Some(t2), node2);
@@ -247,7 +299,7 @@ impl<'a> Refiner<'a> {
                         return None;
                     }
                 }
-                if self.free[slot2] + 1e-9 >= w1 {
+                if fits(self.free[slot2], w1) {
                     let gain = self.swap_gain(twh, None, node2);
                     evaluated += 1;
                     if gain > 1e-9 {
@@ -291,15 +343,37 @@ mod tests {
     fn never_worsens_wh() {
         let m = MachineConfig::small(&[4, 4], 1, 1).build();
         for seed in 0..4u64 {
-            let alloc =
-                umpa_topology::Allocation::generate(&m, &AllocSpec::sparse(8, seed));
+            let alloc = umpa_topology::Allocation::generate(&m, &AllocSpec::sparse(8, seed));
             let tg = ring_tg(8);
             let mut mapping = greedy_map(&tg, &m, &alloc, &GreedyConfig::default());
             let before = weighted_hops(&tg, &m, &mapping);
-            let after =
-                wh_refine(&tg, &m, &alloc, &mut mapping, &WhRefineConfig::default());
+            let after = wh_refine(&tg, &m, &alloc, &mut mapping, &WhRefineConfig::default());
             assert!(after <= before + 1e-9, "seed {seed}: {before} -> {after}");
             validate_mapping(&tg, &alloc, &mapping).unwrap();
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_runs() {
+        let m = MachineConfig::small(&[4, 4], 1, 1).build();
+        let tg = ring_tg(8);
+        let mut scratch = WhScratch::new();
+        for seed in 0..6u64 {
+            let alloc = umpa_topology::Allocation::generate(&m, &AllocSpec::sparse(8, seed));
+            let base = greedy_map(&tg, &m, &alloc, &GreedyConfig::default());
+            let mut warm = base.clone();
+            let mut fresh = base.clone();
+            let wh_warm = wh_refine_scratch(
+                &tg,
+                &m,
+                &alloc,
+                &mut warm,
+                &WhRefineConfig::default(),
+                &mut scratch,
+            );
+            let wh_fresh = wh_refine(&tg, &m, &alloc, &mut fresh, &WhRefineConfig::default());
+            assert_eq!(warm, fresh, "seed {seed}: warm scratch diverged");
+            assert_eq!(wh_warm, wh_fresh);
         }
     }
 
@@ -323,9 +397,7 @@ mod tests {
         let alloc = umpa_topology::Allocation::generate(&m, &AllocSpec::sparse(10, 2));
         let tg = TaskGraph::from_messages(
             10,
-            (0..10u32).flat_map(|i| {
-                [(i, (i + 1) % 10, 1.0), (i, (i + 3) % 10, 0.5)]
-            }),
+            (0..10u32).flat_map(|i| [(i, (i + 1) % 10, 1.0), (i, (i + 3) % 10, 0.5)]),
             None,
         );
         let base = greedy_map(&tg, &m, &alloc, &GreedyConfig::default());
@@ -352,12 +424,7 @@ mod tests {
         let alloc = umpa_topology::Allocation::generate(&m, &AllocSpec::contiguous(3));
         let tg = TaskGraph::from_messages(4, [(0, 1, 5.0), (2, 3, 5.0)], None);
         // Bad start: 0 and 1 split across far nodes.
-        let mut mapping = vec![
-            alloc.node(0),
-            alloc.node(2),
-            alloc.node(1),
-            alloc.node(1),
-        ];
+        let mut mapping = vec![alloc.node(0), alloc.node(2), alloc.node(1), alloc.node(1)];
         let after = wh_refine(&tg, &m, &alloc, &mut mapping, &WhRefineConfig::default());
         // 0 and 1 should end co-located (or adjacent at worst).
         assert!(after <= 5.0, "WH after refine = {after}");

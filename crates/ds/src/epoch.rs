@@ -47,6 +47,25 @@ impl EpochMarker {
         };
     }
 
+    /// Grows the marker to cover ids `0..len` (never shrinks), keeping
+    /// current marks. New ids arrive unmarked: stamps start at 0 and the
+    /// epoch is always ≥ 1.
+    pub fn ensure_len(&mut self, len: usize) {
+        if len > self.stamp.len() {
+            self.stamp.resize(len, 0);
+        }
+    }
+
+    /// Test-only override of the internal epoch counter, so the
+    /// `u32::MAX` wraparound path is reachable without four billion
+    /// `reset` calls. Existing marks at the old epoch are invalidated
+    /// unless the new epoch equals it.
+    #[doc(hidden)]
+    pub fn force_epoch(&mut self, epoch: u32) {
+        assert!(epoch >= 1, "epoch 0 would alias freshly zeroed stamps");
+        self.epoch = epoch;
+    }
+
     /// Marks `id`; returns whether it was already marked this epoch.
     #[inline]
     pub fn mark(&mut self, id: usize) -> bool {
@@ -84,6 +103,43 @@ mod tests {
         assert!(!m.is_marked(0));
         assert!(!m.is_marked(4));
         assert!(!m.mark(0));
+    }
+
+    #[test]
+    fn wraparound_triggers_the_full_clear() {
+        // Regression for the documented u32::MAX wraparound: `reset`
+        // must fall back to a full clear so stale stamps from ancient
+        // epochs cannot alias the recycled epoch value 1.
+        let mut m = EpochMarker::new(4);
+        m.mark(0); // stamp[0] = 1 — the epoch value reused after wrap
+        m.force_epoch(u32::MAX);
+        m.mark(2); // stamp[2] = u32::MAX
+        assert!(m.is_marked(2));
+        m.reset(); // checked_add overflows → fill(0), epoch = 1
+                   // Nothing marked: neither the pre-wrap stamp at u32::MAX nor
+                   // the ancient stamp equal to the recycled epoch 1.
+        for id in 0..4 {
+            assert!(!m.is_marked(id), "stale stamp aliased id {id} after wrap");
+        }
+        // The marker remains fully functional post-wrap.
+        assert!(!m.mark(0));
+        assert!(m.mark(0));
+        m.reset();
+        assert!(!m.is_marked(0));
+    }
+
+    #[test]
+    fn ensure_len_grows_without_false_marks() {
+        let mut m = EpochMarker::new(2);
+        m.mark(1);
+        m.ensure_len(6);
+        assert_eq!(m.len(), 6);
+        assert!(m.is_marked(1));
+        for id in 2..6 {
+            assert!(!m.is_marked(id));
+        }
+        m.ensure_len(3); // never shrinks
+        assert_eq!(m.len(), 6);
     }
 
     #[test]

@@ -39,6 +39,13 @@ pub struct IndexedMaxHeap {
     key: Vec<f64>,
 }
 
+impl Default for IndexedMaxHeap {
+    /// An empty zero-capacity heap; grow it with [`reset`](Self::reset).
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
 impl IndexedMaxHeap {
     /// Creates an empty heap able to hold ids `0..capacity`.
     pub fn new(capacity: usize) -> Self {
@@ -172,6 +179,19 @@ impl IndexedMaxHeap {
         self.heap.clear();
     }
 
+    /// Empties the heap and guarantees room for ids `0..capacity`,
+    /// reusing the existing allocations whenever they are large enough.
+    /// The workhorse of the scratch-reuse architecture: a warm heap
+    /// serves any number of runs without touching the allocator.
+    pub fn reset(&mut self, capacity: usize) {
+        self.clear();
+        if capacity > self.pos.len() {
+            self.pos.resize(capacity, ABSENT);
+            self.key.resize(capacity, 0.0);
+            self.heap.reserve(capacity);
+        }
+    }
+
     /// Iterates `(id, key)` pairs in unspecified (heap) order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
         self.heap.iter().map(move |&id| (id, self.key[id as usize]))
@@ -188,12 +208,7 @@ impl IndexedMaxHeap {
         while at > 0 {
             let parent = (at - 1) / 2;
             let (c, p) = (self.heap[at], self.heap[parent]);
-            if Self::before(
-                self.key[c as usize],
-                c,
-                self.key[p as usize],
-                p,
-            ) {
+            if Self::before(self.key[c as usize], c, self.key[p as usize], p) {
                 self.heap.swap(at, parent);
                 self.pos[c as usize] = parent as u32;
                 self.pos[p as usize] = at as u32;
@@ -215,22 +230,12 @@ impl IndexedMaxHeap {
             let mut best = l;
             if r < n {
                 let (lid, rid) = (self.heap[l], self.heap[r]);
-                if Self::before(
-                    self.key[rid as usize],
-                    rid,
-                    self.key[lid as usize],
-                    lid,
-                ) {
+                if Self::before(self.key[rid as usize], rid, self.key[lid as usize], lid) {
                     best = r;
                 }
             }
             let (cid, bid) = (self.heap[at], self.heap[best]);
-            if Self::before(
-                self.key[bid as usize],
-                bid,
-                self.key[cid as usize],
-                cid,
-            ) {
+            if Self::before(self.key[bid as usize], bid, self.key[cid as usize], cid) {
                 self.heap.swap(at, best);
                 self.pos[cid as usize] = best as u32;
                 self.pos[bid as usize] = at as u32;
@@ -249,21 +254,12 @@ impl IndexedMaxHeap {
             if i > 0 {
                 let p = self.heap[(i - 1) / 2];
                 assert!(
-                    !Self::before(
-                        self.key[id as usize],
-                        id,
-                        self.key[p as usize],
-                        p
-                    ),
+                    !Self::before(self.key[id as usize], id, self.key[p as usize], p),
                     "heap order violated at index {i}"
                 );
             }
         }
-        let present = self
-            .pos
-            .iter()
-            .filter(|&&p| p != ABSENT)
-            .count();
+        let present = self.pos.iter().filter(|&&p| p != ABSENT).count();
         assert_eq!(present, self.heap.len(), "pos table leaks entries");
     }
 }

@@ -1,7 +1,12 @@
 //! Property test: `IndexedMaxHeap` against a `BTreeMap` reference model
 //! under arbitrary operation sequences (the DESIGN.md §7 invariant).
+//!
+//! `proptest` is unavailable offline; the operation sequences are drawn
+//! from the workspace's seeded ChaCha8 generator instead — 256
+//! deterministic cases of up to 120 operations over 16 ids.
 
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use std::collections::BTreeMap;
 use umpa_ds::IndexedMaxHeap;
 
@@ -14,14 +19,14 @@ enum Op {
     Remove(u32),
 }
 
-fn op_strategy(ids: u32) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..ids, 0u32..1000).prop_map(|(i, k)| Op::Push(i, k)),
-        Just(Op::Pop),
-        (0..ids, 0u32..1000).prop_map(|(i, k)| Op::ChangeKey(i, k)),
-        (0..ids, -50i32..50).prop_map(|(i, d)| Op::AddToKey(i, d)),
-        (0..ids).prop_map(Op::Remove),
-    ]
+fn random_op(rng: &mut ChaCha8Rng, ids: u32) -> Op {
+    match rng.gen_range(0..5u32) {
+        0 => Op::Push(rng.gen_range(0..ids), rng.gen_range(0..1000u32)),
+        1 => Op::Pop,
+        2 => Op::ChangeKey(rng.gen_range(0..ids), rng.gen_range(0..1000u32)),
+        3 => Op::AddToKey(rng.gen_range(0..ids), rng.gen_range(-50..50i32)),
+        _ => Op::Remove(rng.gen_range(0..ids)),
+    }
 }
 
 /// Reference model: id → key map; max = (highest key, lowest id).
@@ -35,33 +40,32 @@ impl Model {
         self.map
             .iter()
             .max_by(|a, b| {
-                a.1.partial_cmp(b.1)
-                    .unwrap()
-                    .then(b.0.cmp(a.0)) // ties → smaller id first
+                a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(a.0)) // ties → smaller id first
             })
             .map(|(&i, &k)| (i, k))
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn heap_matches_reference_model(ops in prop::collection::vec(op_strategy(16), 1..120)) {
+#[test]
+fn heap_matches_reference_model() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x4EA9);
+    for case in 0..256 {
+        let n_ops = rng.gen_range(1..120usize);
         let mut heap = IndexedMaxHeap::new(16);
         let mut model = Model::default();
-        for op in ops {
+        for step in 0..n_ops {
+            let op = random_op(&mut rng, 16);
             match op {
                 Op::Push(i, k) => {
-                    if !model.map.contains_key(&i) {
+                    model.map.entry(i).or_insert_with(|| {
                         heap.push(i, f64::from(k));
-                        model.map.insert(i, f64::from(k));
-                    }
+                        f64::from(k)
+                    });
                 }
                 Op::Pop => {
                     let got = heap.pop();
                     let want = model.max();
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want, "case {case} step {step}");
                     if let Some((i, _)) = want {
                         model.map.remove(&i);
                     }
@@ -79,12 +83,12 @@ proptest! {
                 Op::Remove(i) => {
                     let got = heap.remove(i);
                     let want = model.map.remove(&i);
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want, "case {case} step {step}");
                 }
             }
             // Continuous agreement on size and top.
-            prop_assert_eq!(heap.len(), model.map.len());
-            prop_assert_eq!(heap.peek(), model.max());
+            assert_eq!(heap.len(), model.map.len(), "case {case} step {step}");
+            assert_eq!(heap.peek(), model.max(), "case {case} step {step}");
             heap.assert_invariants();
         }
     }

@@ -26,6 +26,13 @@ pub struct Bfs {
     visited: EpochMarker,
 }
 
+impl Default for Bfs {
+    /// An empty workspace; grow it with [`ensure`](Self::ensure).
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
 impl Bfs {
     /// Creates a workspace for graphs with up to `n` vertices.
     pub fn new(n: usize) -> Self {
@@ -33,6 +40,16 @@ impl Bfs {
             queue: Vec::with_capacity(n),
             head: 0,
             visited: EpochMarker::new(n),
+        }
+    }
+
+    /// Grows the workspace to cover graphs with up to `n` vertices
+    /// (never shrinks); allocation-free when already large enough. Lets
+    /// one warm engine serve machines and task graphs of any size.
+    pub fn ensure(&mut self, n: usize) {
+        self.visited.ensure_len(n);
+        if self.queue.capacity() < n {
+            self.queue.reserve(n - self.queue.len());
         }
     }
 
@@ -118,7 +135,9 @@ mod tests {
     /// 0-1-2-3 path plus isolated 4.
     fn path4() -> Graph {
         let mut b = GraphBuilder::new(5);
-        b.add_edge(0, 1, 1.0).add_edge(1, 2, 1.0).add_edge(2, 3, 1.0);
+        b.add_edge(0, 1, 1.0)
+            .add_edge(1, 2, 1.0)
+            .add_edge(2, 3, 1.0);
         b.build_symmetric()
     }
 

@@ -69,8 +69,12 @@ mod tests {
     #[test]
     fn splits_two_triangles_and_isolated() {
         let mut b = GraphBuilder::new(7);
-        b.add_edge(0, 1, 1.0).add_edge(1, 2, 1.0).add_edge(2, 0, 1.0);
-        b.add_edge(3, 4, 1.0).add_edge(4, 5, 1.0).add_edge(5, 3, 1.0);
+        b.add_edge(0, 1, 1.0)
+            .add_edge(1, 2, 1.0)
+            .add_edge(2, 0, 1.0);
+        b.add_edge(3, 4, 1.0)
+            .add_edge(4, 5, 1.0)
+            .add_edge(5, 3, 1.0);
         let g = b.build_symmetric();
         let c = connected_components(&g);
         assert_eq!(c.count, 3);

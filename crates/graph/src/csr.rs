@@ -18,12 +18,7 @@ pub struct Graph {
 impl Graph {
     /// Builds directly from CSR arrays. `xadj.len() == vwgt.len() + 1`,
     /// `adj.len() == ewgt.len() == xadj[last]`.
-    pub fn from_csr(
-        xadj: Vec<usize>,
-        adj: Vec<u32>,
-        ewgt: Vec<f64>,
-        vwgt: Vec<f64>,
-    ) -> Self {
+    pub fn from_csr(xadj: Vec<usize>, adj: Vec<u32>, ewgt: Vec<f64>, vwgt: Vec<f64>) -> Self {
         assert_eq!(xadj.len(), vwgt.len() + 1, "xadj/vwgt length mismatch");
         assert_eq!(adj.len(), ewgt.len(), "adj/ewgt length mismatch");
         assert_eq!(*xadj.last().unwrap(), adj.len(), "xadj end mismatch");
@@ -208,9 +203,8 @@ impl GraphBuilder {
     fn build_inner(&self, symmetrize: bool) -> Graph {
         let n = self.n;
         // Collect (possibly mirrored) edges, drop self-loops.
-        let mut triplets: Vec<(u32, u32, f64)> = Vec::with_capacity(
-            self.edges.len() * if symmetrize { 2 } else { 1 },
-        );
+        let mut triplets: Vec<(u32, u32, f64)> =
+            Vec::with_capacity(self.edges.len() * if symmetrize { 2 } else { 1 });
         for &(u, v, w) in &self.edges {
             if u == v {
                 continue;
@@ -221,7 +215,7 @@ impl GraphBuilder {
             }
         }
         // Sort then merge duplicates.
-        triplets.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        triplets.sort_unstable_by_key(|a| (a.0, a.1));
         let mut xadj = vec![0usize; n + 1];
         let mut adj = Vec::with_capacity(triplets.len());
         let mut ewgt = Vec::with_capacity(triplets.len());
@@ -252,7 +246,9 @@ mod tests {
 
     fn triangle() -> GraphBuilder {
         let mut b = GraphBuilder::new(3);
-        b.add_edge(0, 1, 2.0).add_edge(1, 2, 3.0).add_edge(2, 0, 4.0);
+        b.add_edge(0, 1, 2.0)
+            .add_edge(1, 2, 3.0)
+            .add_edge(2, 0, 4.0);
         b
     }
 
@@ -270,7 +266,9 @@ mod tests {
     #[test]
     fn symmetric_build_mirrors_and_sums() {
         let mut b = GraphBuilder::new(3);
-        b.add_edge(0, 1, 2.0).add_edge(1, 0, 5.0).add_edge(1, 2, 1.0);
+        b.add_edge(0, 1, 2.0)
+            .add_edge(1, 0, 5.0)
+            .add_edge(1, 2, 1.0);
         let g = b.build_symmetric();
         // 0<->1 combined weight 7, 1<->2 combined weight 1.
         assert_eq!(g.edge_weight_between(0, 1), Some(7.0));
@@ -314,10 +312,7 @@ mod tests {
     fn all_edges_enumerates_everything() {
         let g = triangle().build_directed();
         let edges: Vec<_> = g.all_edges().collect();
-        assert_eq!(
-            edges,
-            vec![(0, 1, 2.0), (1, 2, 3.0), (2, 0, 4.0)]
-        );
+        assert_eq!(edges, vec![(0, 1, 2.0), (1, 2, 3.0), (2, 0, 4.0)]);
     }
 
     #[test]

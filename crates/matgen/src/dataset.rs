@@ -206,7 +206,10 @@ pub fn registry() -> Vec<DatasetEntry> {
             503
         )),
         // -- Fem (2)
-        entry!("fem_sq", Fem, |s| gen::fem_mesh2d(side2(40, s), side2(40, s))),
+        entry!("fem_sq", Fem, |s| gen::fem_mesh2d(
+            side2(40, s),
+            side2(40, s)
+        )),
         entry!("fem_strip", Fem, |s| gen::fem_mesh2d(
             side2(90, s),
             side2(18, s)

@@ -81,8 +81,7 @@ pub fn stencil3d(nx: usize, ny: usize, nz: usize, kind: Stencil3D) -> SparsePatt
                             if !keep {
                                 continue;
                             }
-                            let (tx, ty, tz) =
-                                (x as isize + dx, y as isize + dy, z as isize + dz);
+                            let (tx, ty, tz) = (x as isize + dx, y as isize + dy, z as isize + dz);
                             if tx >= 0
                                 && ty >= 0
                                 && tz >= 0
@@ -157,7 +156,7 @@ pub fn cage_like(n: usize, seed: u64) -> SparsePattern {
     let w2 = w1 * w1;
     let offsets = [1i64, -1, w1, -w1, w2, -w2, w1 + 1, -(w1 + 1)];
     let mut entries: Vec<(u32, u32)> = Vec::with_capacity(n * 19);
-    let window = (4 * w1).max(8) as i64;
+    let window = (4 * w1).max(8);
     for i in 0..n as i64 {
         entries.push((i as u32, i as u32));
         for &o in &offsets {
@@ -364,10 +363,7 @@ mod tests {
     fn cage_like_density_resembles_cage_family() {
         let p = cage_like(4096, 1);
         let avg = p.avg_row_nnz();
-        assert!(
-            (10.0..25.0).contains(&avg),
-            "cage-like avg nnz/row = {avg}"
-        );
+        assert!((10.0..25.0).contains(&avg), "cage-like avg nnz/row = {avg}");
         for (r, c) in p.entries() {
             if r != c {
                 // random couplings symmetrized, structural diagonals not

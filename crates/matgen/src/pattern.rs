@@ -52,8 +52,7 @@ impl SparsePattern {
         assert_eq!(*rowptr.last().unwrap(), colidx.len());
         debug_assert!((0..nrows).all(|r| {
             let row = &colidx[rowptr[r]..rowptr[r + 1]];
-            row.windows(2).all(|w| w[0] < w[1])
-                && row.iter().all(|&c| (c as usize) < ncols)
+            row.windows(2).all(|w| w[0] < w[1]) && row.iter().all(|&c| (c as usize) < ncols)
         }));
         Self {
             nrows,

@@ -70,7 +70,11 @@ impl CommStats {
 /// (scale by the byte width when feeding the simulator).
 pub fn spmv_task_graph(a: &SparsePattern, part: &[u32], num_parts: usize) -> TaskGraph {
     assert_eq!(a.nrows(), part.len(), "partition length != row count");
-    assert_eq!(a.nrows(), a.ncols(), "SpMV comm model needs a square matrix");
+    assert_eq!(
+        a.nrows(),
+        a.ncols(),
+        "SpMV comm model needs a square matrix"
+    );
     let at = a.transpose();
     let mut volumes: HashMap<(u32, u32), f64> = HashMap::new();
     // Scratch: distinct parts seen in the current column.
@@ -154,7 +158,7 @@ mod tests {
     #[test]
     fn single_part_has_no_communication() {
         let a = sample();
-        let tg = spmv_task_graph(&a, &vec![0; 4], 1);
+        let tg = spmv_task_graph(&a, &[0; 4], 1);
         assert_eq!(tg.num_messages(), 0);
         assert_eq!(tg.total_volume(), 0.0);
     }

@@ -58,9 +58,8 @@ pub fn analytic_comm_time(
     let nic_bw = machine.config().nic_bw * 1000.0;
     let nic_term = (0..nt)
         .map(|n| {
-            (task_send[n] / nic_bw + cfg.overhead_us * f64::from(task_send_msgs[n])).max(
-                task_recv[n] / nic_bw + cfg.overhead_us * f64::from(task_recv_msgs[n]),
-            )
+            (task_send[n] / nic_bw + cfg.overhead_us * f64::from(task_send_msgs[n]))
+                .max(task_recv[n] / nic_bw + cfg.overhead_us * f64::from(task_recv_msgs[n]))
         })
         .fold(0.0f64, f64::max);
     let latency_term = machine.path_latency_us(max_hops);
@@ -97,8 +96,7 @@ mod tests {
     #[test]
     fn ranks_congested_placements_worse() {
         let m = MachineConfig::small(&[8], 1, 1).build();
-        let tg =
-            TaskGraph::from_messages(4, [(0, 1, 50_000.0), (2, 3, 50_000.0)], None);
+        let tg = TaskGraph::from_messages(4, [(0, 1, 50_000.0), (2, 3, 50_000.0)], None);
         let cfg = DesConfig::default();
         let disjoint = analytic_comm_time(&m, &tg, &[0, 1, 4, 5], &cfg);
         let shared = analytic_comm_time(&m, &tg, &[0, 2, 1, 3], &cfg);

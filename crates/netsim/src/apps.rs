@@ -117,11 +117,8 @@ mod tests {
 
     fn setup() -> (Machine, TaskGraph, Vec<u32>) {
         let m = MachineConfig::small(&[8], 1, 1).build();
-        let tg = TaskGraph::from_messages(
-            4,
-            [(0, 1, 1000.0), (1, 2, 1000.0), (2, 3, 1000.0)],
-            None,
-        );
+        let tg =
+            TaskGraph::from_messages(4, [(0, 1, 1000.0), (1, 2, 1000.0), (2, 3, 1000.0)], None);
         (m, tg, vec![0, 1, 2, 3])
     }
 
@@ -157,8 +154,8 @@ mod tests {
     fn spmv_includes_compute_term() {
         let (m, tg, mapping) = setup();
         let cfg = AppConfig::default();
-        let light = spmv_time(&m, &tg, &mapping, &vec![0.0; 4], 10, &cfg);
-        let heavy = spmv_time(&m, &tg, &mapping, &vec![1.0e6; 4], 10, &cfg);
+        let light = spmv_time(&m, &tg, &mapping, &[0.0; 4], 10, &cfg);
+        let heavy = spmv_time(&m, &tg, &mapping, &[1.0e6; 4], 10, &cfg);
         assert!(heavy.mean_us > light.mean_us + 10.0 * 1.0e6 * cfg.us_per_nnz * 0.99);
     }
 

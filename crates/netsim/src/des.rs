@@ -118,12 +118,7 @@ impl Servers {
 /// let far = simulate(&machine, &tg, &[0, 4], &DesConfig::default());
 /// assert!(far.makespan_us > near.makespan_us);
 /// ```
-pub fn simulate(
-    machine: &Machine,
-    tg: &TaskGraph,
-    mapping: &[u32],
-    cfg: &DesConfig,
-) -> DesResult {
+pub fn simulate(machine: &Machine, tg: &TaskGraph, mapping: &[u32], cfg: &DesConfig) -> DesResult {
     assert_eq!(mapping.len(), tg.num_tasks());
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let mut jitter = move |base: f64| -> f64 {
@@ -136,7 +131,7 @@ pub fn simulate(
     // Collect messages sorted by (sender, receiver) for deterministic
     // NIC queueing (MPI ranks post sends in rank order).
     let mut msgs: Vec<(u32, u32, f64)> = tg.messages().collect();
-    msgs.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    msgs.sort_unstable_by_key(|a| (a.0, a.1));
     // Injection/drain serialize per MPI *process* (Gemini FMA gives each
     // process its own injection pipeline; the shared HT link is far
     // faster than the torus links, so the torus — not the NIC — is the
@@ -326,10 +321,7 @@ mod tests {
         let t_one = simulate(&m, &one, &[0, 1], &DesConfig::default()).makespan_us;
         // 10 injections serialize at ≈1 µs overhead each, while the
         // single message pays ≈3.3 µs total — expect ≳3× separation.
-        assert!(
-            t_many > 3.0 * t_one,
-            "many-small {t_many} vs one {t_one}"
-        );
+        assert!(t_many > 3.0 * t_one, "many-small {t_many} vs one {t_one}");
     }
 
     #[test]

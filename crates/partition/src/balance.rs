@@ -17,12 +17,7 @@ use crate::metrics::part_weights;
 /// FM-style iteration: each vertex moves at most once, best-gain first.
 ///
 /// Returns the number of vertices moved.
-pub fn fix_balance(
-    g: &Graph,
-    part: &mut [u32],
-    targets: &[f64],
-    epsilon: f64,
-) -> usize {
+pub fn fix_balance(g: &Graph, part: &mut [u32], targets: &[f64], epsilon: f64) -> usize {
     let n = g.num_vertices();
     let k = targets.len();
     let mut weights = part_weights(g, part, k);
@@ -64,7 +59,11 @@ pub fn fix_balance(
         // conn(from). Consider connected parts first, then any part
         // with room.
         let mut best: Option<(f64, usize)> = None;
-        let consider = |best: &mut Option<(f64, usize)>, to: usize, conn_to: f64, conn_from: f64, weights: &[f64]| {
+        let consider = |best: &mut Option<(f64, usize)>,
+                        to: usize,
+                        conn_to: f64,
+                        conn_from: f64,
+                        weights: &[f64]| {
             if to == from || weights[to] + vw > limit[to] {
                 return;
             }

@@ -40,8 +40,8 @@ impl Default for BisectConfig {
 fn side_weights(g: &Graph, side: &[u8]) -> (f64, f64) {
     let mut wl = 0.0;
     let mut wr = 0.0;
-    for v in 0..g.num_vertices() {
-        if side[v] == 0 {
+    for (v, &s) in side.iter().enumerate() {
+        if s == 0 {
             wl += g.vertex_weight(v as u32);
         } else {
             wr += g.vertex_weight(v as u32);
@@ -106,12 +106,7 @@ fn grow_from(g: &Graph, seed_vertex: u32, target_left: f64) -> Vec<u8> {
 }
 
 /// Initial bisection: best-of-`trials` greedy growths from random seeds.
-pub fn initial_bisection(
-    g: &Graph,
-    target_left: f64,
-    trials: u32,
-    seed: u64,
-) -> Vec<u8> {
+pub fn initial_bisection(g: &Graph, target_left: f64, trials: u32, seed: u64) -> Vec<u8> {
     let n = g.num_vertices();
     assert!(n >= 2, "cannot bisect fewer than two vertices");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -218,7 +213,11 @@ pub fn fm_refine(
                 if locked[u as usize] {
                     continue;
                 }
-                let delta = if side[u as usize] == to { -2.0 * w } else { 2.0 * w };
+                let delta = if side[u as usize] == to {
+                    -2.0 * w
+                } else {
+                    2.0 * w
+                };
                 gain[u as usize] += delta;
                 let h = &mut heaps[side[u as usize] as usize];
                 if h.contains(u) {
@@ -226,9 +225,7 @@ pub fn fm_refine(
                 }
             }
             let state = (overload(wl, wr), running);
-            if state.0 < best.0 - 1e-12
-                || (state.0 <= best.0 + 1e-12 && state.1 < best.1 - 1e-12)
-            {
+            if state.0 < best.0 - 1e-12 || (state.0 <= best.0 + 1e-12 && state.1 < best.1 - 1e-12) {
                 best = state;
                 best_prefix = moves.len();
             }

@@ -46,9 +46,7 @@ pub fn coarsen_step(g: &Graph, seed: u64) -> Option<CoarseLevel> {
             let better = match best {
                 None => true,
                 Some((bu, bw)) => {
-                    w > bw
-                        || (w == bw
-                            && (g.vertex_weight(u), u) < (g.vertex_weight(bu), bu))
+                    w > bw || (w == bw && (g.vertex_weight(u), u) < (g.vertex_weight(bu), bu))
                 }
             };
             if better {
@@ -168,7 +166,9 @@ mod tests {
         // locally lightest choice for *both* endpoints, so whatever the
         // visit order, the heavy-edge rule must never match it.
         let mut b = GraphBuilder::new(3);
-        b.add_edge(0, 1, 1.0).add_edge(0, 2, 10.0).add_edge(1, 2, 5.0);
+        b.add_edge(0, 1, 1.0)
+            .add_edge(0, 2, 10.0)
+            .add_edge(1, 2, 5.0);
         let g = b.build_symmetric();
         for seed in 0..16u64 {
             let lvl = coarsen_step(&g, seed).unwrap();
@@ -185,7 +185,11 @@ mod tests {
         let levels = coarsen_until(&g, 20, 7);
         assert!(!levels.is_empty());
         let last = &levels.last().unwrap().graph;
-        assert!(last.num_vertices() <= 40, "stalled at {}", last.num_vertices());
+        assert!(
+            last.num_vertices() <= 40,
+            "stalled at {}",
+            last.num_vertices()
+        );
         // Weight conserved through all levels.
         assert!((last.total_vertex_weight() - 144.0).abs() < 1e-9);
     }

@@ -288,8 +288,7 @@ impl<'a> CommRefiner<'a> {
                 }
                 let w = 1.0 + self.a.row_nnz(i) as f64;
                 self.objective_vec(objectives, &mut before);
-                for ci in 0..cands.len().min(8) {
-                    let q = cands[ci];
+                for &q in cands.iter().take(8) {
                     if self.loads[q as usize] + w > limits[q as usize] {
                         continue;
                     }
@@ -426,8 +425,8 @@ mod tests {
         let total: f64 = r.loads().iter().sum();
         let targets = vec![total / 2.0; 2];
         r.refine(&[CommObjective::TotalVolume], 4, &targets, 0.05);
-        for p in 0..2 {
-            assert!(r.loads()[p] <= targets[p] * 1.05 + 1e-9);
+        for (load, target) in r.loads().iter().zip(&targets) {
+            assert!(*load <= *target * 1.05 + 1e-9);
         }
     }
 

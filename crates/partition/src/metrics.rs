@@ -32,7 +32,13 @@ pub fn imbalance(g: &Graph, part: &[u32], targets: &[f64]) -> f64 {
     let w = part_weights(g, part, targets.len());
     w.iter()
         .zip(targets)
-        .map(|(&got, &want)| if want > 0.0 { got / want } else { f64::from(u8::from(got > 0.0)) })
+        .map(|(&got, &want)| {
+            if want > 0.0 {
+                got / want
+            } else {
+                f64::from(u8::from(got > 0.0))
+            }
+        })
         .fold(0.0f64, f64::max)
         - 1.0
 }
@@ -49,7 +55,9 @@ mod tests {
 
     fn path() -> Graph {
         let mut b = GraphBuilder::new(4);
-        b.add_edge(0, 1, 1.0).add_edge(1, 2, 5.0).add_edge(2, 3, 1.0);
+        b.add_edge(0, 1, 1.0)
+            .add_edge(1, 2, 5.0)
+            .add_edge(2, 3, 1.0);
         b.build_symmetric()
     }
 

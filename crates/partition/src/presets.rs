@@ -104,9 +104,7 @@ impl PartitionerKind {
             PartitionerKind::Metis => Some((&[TotalVolume], 1)),
             PartitionerKind::Patoh => Some((&[TotalVolume], 3)),
             PartitionerKind::UmpaMV => Some((&[MaxSendVolume, TotalVolume], 3)),
-            PartitionerKind::UmpaMM => {
-                Some((&[MaxSendMessages, TotalMessages, TotalVolume], 3))
-            }
+            PartitionerKind::UmpaMM => Some((&[MaxSendMessages, TotalMessages, TotalVolume], 3)),
             PartitionerKind::UmpaTM => Some((&[TotalMessages, TotalVolume], 3)),
         }
     }

@@ -114,7 +114,15 @@ fn split(
     } else if right.is_empty() && !left.is_empty() {
         right.push(left.pop().unwrap());
     }
-    split(g, &left, &targets[..k_left], first_part, cfg, node_id * 2, part);
+    split(
+        g,
+        &left,
+        &targets[..k_left],
+        first_part,
+        cfg,
+        node_id * 2,
+        part,
+    );
     split(
         g,
         &right,
@@ -198,7 +206,10 @@ mod tests {
         let targets = vec![7.0, 7.0];
         let part = recursive_bisection(&g, &targets, &MlConfig::default());
         let w = part_weights(&g, &part, 2);
-        assert!((w[0] - 7.0).abs() <= 1.5 && (w[1] - 7.0).abs() <= 1.5, "{w:?}");
+        assert!(
+            (w[0] - 7.0).abs() <= 1.5 && (w[1] - 7.0).abs() <= 1.5,
+            "{w:?}"
+        );
     }
 
     #[test]

@@ -73,10 +73,7 @@ impl Allocation {
     pub fn from_nodes(machine: &Machine, nodes: Vec<u32>, procs_per_node: u32) -> Self {
         let mut slot_of = vec![u32::MAX; machine.num_nodes()];
         for (i, &n) in nodes.iter().enumerate() {
-            assert!(
-                slot_of[n as usize] == u32::MAX,
-                "node {n} allocated twice"
-            );
+            assert!(slot_of[n as usize] == u32::MAX, "node {n} allocated twice");
             slot_of[n as usize] = i as u32;
         }
         let procs = vec![procs_per_node; nodes.len()];

@@ -53,7 +53,11 @@ fn serpentine(torus: &Torus) -> Vec<u32> {
         let mut outer = 0u64;
         for d in (0..nd).rev() {
             let c = counter[d];
-            coords[d] = if outer % 2 == 0 { c } else { dims[d] - 1 - c };
+            coords[d] = if outer.is_multiple_of(2) {
+                c
+            } else {
+                dims[d] - 1 - c
+            };
             outer = outer * u64::from(dims[d]) + u64::from(c);
         }
         order.push(torus.router_at(&coords[..nd]));
@@ -113,10 +117,7 @@ mod tests {
         // Row y=0 forward (x = 0,1,2) then row y=1 backward (x = 2,1,0).
         let o = NodeOrdering::Serpentine.router_order(&t);
         let coords: Vec<(u32, u32)> = o.iter().map(|&r| (t.coord(r, 0), t.coord(r, 1))).collect();
-        assert_eq!(
-            coords,
-            vec![(0, 0), (1, 0), (2, 0), (2, 1), (1, 1), (0, 1)]
-        );
+        assert_eq!(coords, vec![(0, 0), (1, 0), (2, 0), (2, 1), (1, 1), (0, 1)]);
     }
 
     #[test]

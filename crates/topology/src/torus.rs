@@ -108,9 +108,9 @@ impl Torus {
     pub fn router_at(&self, coords: &[u32]) -> u32 {
         debug_assert!(coords.len() >= self.ndims());
         let mut r = 0u32;
-        for d in 0..self.ndims() {
-            debug_assert!(coords[d] < self.dims[d]);
-            r += coords[d] * self.strides[d];
+        for ((&c, &dim), &stride) in coords.iter().zip(&self.dims).zip(&self.strides) {
+            debug_assert!(c < dim);
+            r += c * stride;
         }
         r
     }

@@ -14,7 +14,8 @@ fn main() {
     let parts = 64;
     println!(
         "matrix: {}x{} 9-point grid, {} nnz; partitioning into {parts} parts\n",
-        120, 120,
+        120,
+        120,
         a.nnz()
     );
     println!(

@@ -44,7 +44,10 @@ fn main() {
     // 4. Run the full two-phase pipeline for every mapper and print the
     //    paper's four headline metrics.
     let cfg = PipelineConfig::default();
-    println!("\n{:>6}  {:>8} {:>8} {:>6} {:>8}", "mapper", "TH", "WH", "MMC", "MC");
+    println!(
+        "\n{:>6}  {:>8} {:>8} {:>6} {:>8}",
+        "mapper", "TH", "WH", "MMC", "MC"
+    );
     for kind in MapperKind::all() {
         let out = map_tasks(&tasks, &machine, &alloc, kind, &cfg);
         let m = evaluate(&tasks, &machine, &out.fine_mapping);

@@ -53,7 +53,10 @@ fn main() {
             tg.total_volume(),
             tg.num_messages()
         );
-        println!("{:>6} {:>12} {:>10} {:>8}", "mapper", "time/iter", "TH", "MC");
+        println!(
+            "{:>6} {:>12} {:>10} {:>8}",
+            "mapper", "time/iter", "TH", "MC"
+        );
         let mut def_time = None;
         for kind in MapperKind::all() {
             let out = map_tasks(&tg, &machine, &alloc, kind, &cfg);

@@ -1,0 +1,203 @@
+//! Steady-state allocation test for the mapping engine.
+//!
+//! The perf contract of the scratch architecture (DESIGN.md §8): once a
+//! [`MapperScratch`]'s buffers are warm, the phase-2 mapping engine —
+//! greedy growth, WH refinement, congestion refinement — performs
+//! **zero heap allocations**. Verified with a counting global
+//! allocator; this test lives alone in its binary so no other test's
+//! allocations pollute the counter.
+//!
+//! Phase 1 (the METIS-role partitioner, shared by all mappers and
+//! excluded from the paper's timings) builds coarse graphs and still
+//! allocates; the full `map_tasks_with` is therefore checked for a
+//! strict allocation *reduction* against the cold path rather than
+//! zero.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use umpa::core::cong_refine::{congestion_refine_scratch, CongRefineConfig};
+use umpa::core::greedy::{greedy_map_into, GreedyConfig};
+use umpa::core::pipeline::{map_tasks, map_tasks_with, MapperKind, PipelineConfig};
+use umpa::core::scratch::MapperScratch;
+use umpa::core::wh_refine::{wh_refine_scratch, WhRefineConfig};
+use umpa::graph::TaskGraph;
+use umpa::topology::{AllocSpec, Allocation, MachineConfig};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+/// The counter is process-global and libtest runs tests on worker
+/// threads: serialize every measuring test so one test's allocations
+/// never pollute another's window.
+static MEASURE: Mutex<()> = Mutex::new(());
+
+#[test]
+fn warm_scratch_mapping_engine_is_allocation_free() {
+    let _guard = MEASURE.lock().unwrap_or_else(|e| e.into_inner());
+    // A 32-task graph on 8 nodes × 4 procs — the coarse problem the
+    // phase-2 engine sees after grouping.
+    let machine = MachineConfig::small(&[4, 4], 1, 4).build();
+    let alloc = Allocation::generate(&machine, &AllocSpec::sparse(8, 2));
+    let tg = TaskGraph::from_messages(
+        32,
+        (0..32u32).flat_map(|i| [(i, (i + 1) % 32, 4.0), (i, (i + 5) % 32, 1.0)]),
+        None,
+    );
+    let greedy_cfg = GreedyConfig::default();
+    let wh_cfg = WhRefineConfig::default();
+    let mc_cfg = CongRefineConfig::volume();
+    let mut scratch = MapperScratch::new();
+    let mut mapping: Vec<u32> = Vec::new();
+
+    let run = |scratch: &mut MapperScratch, mapping: &mut Vec<u32>| {
+        greedy_map_into(
+            &tg,
+            &machine,
+            &alloc,
+            &greedy_cfg,
+            &mut scratch.greedy,
+            mapping,
+        );
+        wh_refine_scratch(&tg, &machine, &alloc, mapping, &wh_cfg, &mut scratch.wh);
+        congestion_refine_scratch(&tg, &machine, &alloc, mapping, &mc_cfg, &mut scratch.cong);
+    };
+
+    // Warmup: size every buffer to this problem's high-water mark.
+    run(&mut scratch, &mut mapping);
+    run(&mut scratch, &mut mapping);
+    let reference = mapping.clone();
+
+    let before = allocs();
+    for _ in 0..5 {
+        run(&mut scratch, &mut mapping);
+    }
+    let after = allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state mapping engine allocated {} times over 5 warm runs",
+        after - before
+    );
+    // And the warm runs still compute the real thing.
+    assert_eq!(mapping, reference);
+}
+
+#[test]
+fn heavy_first_pre_pass_is_also_allocation_free() {
+    let _guard = MEASURE.lock().unwrap_or_else(|e| e.into_inner());
+    // Non-uniform node capacities with a low heavy threshold drive
+    // every task through the Section III-A heavy-first pre-pass (and
+    // its sort), the one greedy path the uniform test never reaches.
+    let machine = MachineConfig::small(&[4, 4], 1, 8).build();
+    let mut alloc = Allocation::generate(&machine, &AllocSpec::contiguous(8));
+    alloc.set_procs(vec![5, 4, 4, 4, 4, 4, 4, 3]);
+    let tg = TaskGraph::from_messages(
+        32,
+        (0..32u32).flat_map(|i| [(i, (i + 1) % 32, 4.0), (i, (i + 5) % 32, 1.0)]),
+        None,
+    );
+    let greedy_cfg = GreedyConfig {
+        nbfs_candidates: vec![0, 1],
+        // Every unit-weight task exceeds 0.01 × max_cap → all "heavy".
+        heavy_first_fraction: 0.01,
+    };
+    let mut scratch = MapperScratch::new();
+    let mut mapping: Vec<u32> = Vec::new();
+    greedy_map_into(
+        &tg,
+        &machine,
+        &alloc,
+        &greedy_cfg,
+        &mut scratch.greedy,
+        &mut mapping,
+    );
+    let before = allocs();
+    for _ in 0..5 {
+        greedy_map_into(
+            &tg,
+            &machine,
+            &alloc,
+            &greedy_cfg,
+            &mut scratch.greedy,
+            &mut mapping,
+        );
+    }
+    let after = allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "heavy-first greedy path allocated {} times over 5 warm runs",
+        after - before
+    );
+}
+
+#[test]
+fn warm_pipeline_allocates_strictly_less_than_cold() {
+    let _guard = MEASURE.lock().unwrap_or_else(|e| e.into_inner());
+    let machine = MachineConfig::small(&[4, 4], 1, 4).build();
+    let alloc = Allocation::generate(&machine, &AllocSpec::sparse(8, 2));
+    let tg = TaskGraph::from_messages(
+        32,
+        (0..32u32).flat_map(|i| [(i, (i + 1) % 32, 4.0), (i, (i + 5) % 32, 1.0)]),
+        None,
+    );
+    let cfg = PipelineConfig::default();
+    let mut scratch = MapperScratch::new();
+    // Warm the scratch.
+    let warm_out = map_tasks_with(
+        &tg,
+        &machine,
+        &alloc,
+        MapperKind::GreedyWh,
+        &cfg,
+        &mut scratch,
+    );
+
+    let before_cold = allocs();
+    let cold_out = map_tasks(&tg, &machine, &alloc, MapperKind::GreedyWh, &cfg);
+    let cold = allocs() - before_cold;
+
+    let before_warm = allocs();
+    let rewarm_out = map_tasks_with(
+        &tg,
+        &machine,
+        &alloc,
+        MapperKind::GreedyWh,
+        &cfg,
+        &mut scratch,
+    );
+    let warm = allocs() - before_warm;
+
+    assert_eq!(warm_out.fine_mapping, cold_out.fine_mapping);
+    assert_eq!(rewarm_out.fine_mapping, cold_out.fine_mapping);
+    assert!(
+        warm < cold,
+        "warm pipeline should allocate strictly less: warm={warm} cold={cold}"
+    );
+}

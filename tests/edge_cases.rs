@@ -53,13 +53,13 @@ fn exact_fit_allocation_leaves_no_slack() {
     // 8 tasks, 4 nodes × 2 procs: every node must end exactly full.
     let machine = MachineConfig::small(&[4, 4], 1, 2).build();
     let alloc = Allocation::generate(&machine, &AllocSpec::sparse(4, 2));
-    let tg = TaskGraph::from_messages(
-        8,
-        (0..8u32).map(|i| (i, (i + 1) % 8, 1.0)),
-        None,
-    );
+    let tg = TaskGraph::from_messages(8, (0..8u32).map(|i| (i, (i + 1) % 8, 1.0)), None);
     let cfg = PipelineConfig::default();
-    for kind in [MapperKind::Greedy, MapperKind::GreedyWh, MapperKind::GreedyMc] {
+    for kind in [
+        MapperKind::Greedy,
+        MapperKind::GreedyWh,
+        MapperKind::GreedyMc,
+    ] {
         let out = map_tasks(&tg, &machine, &alloc, kind, &cfg);
         let mut per_node = std::collections::HashMap::new();
         for &n in &out.fine_mapping {
@@ -82,11 +82,7 @@ fn one_part_partition_is_trivial() {
 fn matrix_without_diagonal_still_works() {
     // Rows that do not reference their own column exercise the
     // ownership-change corner of the comm refiner.
-    let a = SparsePattern::from_entries(
-        4,
-        4,
-        [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (0, 3)],
-    );
+    let a = SparsePattern::from_entries(4, 4, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (0, 3)]);
     for kind in PartitionerKind::all() {
         let part = kind.partition_matrix(&a, 2, 1);
         let tg = spmv_task_graph(&a, &part, 2);
@@ -110,11 +106,7 @@ fn allocation_covering_the_whole_machine() {
     let machine = MachineConfig::small(&[2, 2], 2, 1).build();
     let alloc = Allocation::generate(&machine, &AllocSpec::contiguous(8));
     assert_eq!(alloc.num_nodes(), machine.num_nodes());
-    let tg = TaskGraph::from_messages(
-        8,
-        (0..8u32).map(|i| (i, (i + 3) % 8, 1.0)),
-        None,
-    );
+    let tg = TaskGraph::from_messages(8, (0..8u32).map(|i| (i, (i + 3) % 8, 1.0)), None);
     let cfg = PipelineConfig::default();
     let out = map_tasks(&tg, &machine, &alloc, MapperKind::GreedyWh, &cfg);
     validate_mapping(&tg, &alloc, &out.fine_mapping).unwrap();
@@ -145,11 +137,7 @@ fn nnls_on_degenerate_inputs() {
 fn single_node_allocation_accepts_everything() {
     let machine = MachineConfig::small(&[4], 1, 8).build();
     let alloc = Allocation::generate(&machine, &AllocSpec::contiguous(1));
-    let tg = TaskGraph::from_messages(
-        8,
-        (0..8u32).map(|i| (i, (i + 1) % 8, 2.0)),
-        None,
-    );
+    let tg = TaskGraph::from_messages(8, (0..8u32).map(|i| (i, (i + 1) % 8, 2.0)), None);
     let cfg = PipelineConfig::default();
     for kind in MapperKind::all() {
         let out = map_tasks(&tg, &machine, &alloc, kind, &cfg);

@@ -23,7 +23,11 @@ fn all_mappers_work_on_a_mesh() {
             .unwrap_or_else(|e| panic!("{} on mesh: {e}", kind.name()));
         let m = evaluate(&tg, &machine, &out.fine_mapping);
         let sum: f64 = m.msg_congestion.iter().sum();
-        assert!((m.th - sum).abs() < 1e-9, "{} mesh TH identity", kind.name());
+        assert!(
+            (m.th - sum).abs() < 1e-9,
+            "{} mesh TH identity",
+            kind.name()
+        );
     }
 }
 

@@ -1,133 +1,204 @@
 //! Property-based tests of the paper's structural invariants.
+//!
+//! `proptest` is unavailable offline, so each property is exercised over
+//! a deterministic family of randomized cases drawn from the workspace's
+//! seeded ChaCha8 generator — same invariants, reproducible inputs.
 
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use umpa::core::greedy::{greedy_map, weighted_hops, GreedyConfig};
 use umpa::core::mapping::validate_mapping;
 use umpa::core::wh_refine::{wh_refine, WhRefineConfig};
 use umpa::prelude::*;
 use umpa::topology::routing;
 
-/// Strategy: random torus dims (2–3 dims, extents 2–6).
-fn torus_dims() -> impl Strategy<Value = Vec<u32>> {
-    prop::collection::vec(2u32..=6, 2..=3)
+/// Random torus dims (2–3 dims, extents 2–6).
+fn torus_dims(rng: &mut ChaCha8Rng) -> Vec<u32> {
+    let ndims = rng.gen_range(2..=3usize);
+    (0..ndims).map(|_| rng.gen_range(2..=6u32)).collect()
 }
 
-/// Strategy: a random directed message list over `n` tasks.
-fn messages(n: u32) -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
-    prop::collection::vec(
-        (0..n, 0..n, 1u32..100).prop_map(|(s, t, v)| (s, t, f64::from(v))),
-        1..40,
-    )
+/// A random directed message list over `n` tasks (1..40 messages).
+fn messages(rng: &mut ChaCha8Rng, n: u32) -> Vec<(u32, u32, f64)> {
+    let m = rng.gen_range(1..40usize);
+    (0..m)
+        .map(|_| {
+            (
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                f64::from(rng.gen_range(1..100u32)),
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn route_length_equals_o1_distance(dims in torus_dims(), a in 0u32..100, b in 0u32..100) {
+#[test]
+fn route_length_equals_o1_distance() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA11CE);
+    for _ in 0..64 {
+        let dims = torus_dims(&mut rng);
         let t = Torus::new(&dims);
         let n = t.num_routers() as u32;
-        let (a, b) = (a % n, b % n);
+        let (a, b) = (rng.gen_range(0..n), rng.gen_range(0..n));
         let route = routing::route_vec(&t, a, b);
-        prop_assert_eq!(route.len() as u32, t.distance(a, b));
+        assert_eq!(route.len() as u32, t.distance(a, b));
         // The route is a contiguous walk ending at b.
         let mut cur = a;
         for h in &route {
-            prop_assert_eq!(h.from, cur);
+            assert_eq!(h.from, cur);
             cur = t.neighbor(cur, h.dim as usize, h.positive);
         }
-        prop_assert_eq!(cur, b);
+        assert_eq!(cur, b);
     }
+}
 
-    #[test]
-    fn torus_distance_is_a_metric(dims in torus_dims(), x in 0u32..200, y in 0u32..200, z in 0u32..200) {
+#[test]
+fn torus_distance_is_a_metric() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xB0B);
+    for _ in 0..64 {
+        let dims = torus_dims(&mut rng);
         let t = Torus::new(&dims);
         let n = t.num_routers() as u32;
-        let (x, y, z) = (x % n, y % n, z % n);
-        prop_assert_eq!(t.distance(x, y), t.distance(y, x));
-        prop_assert_eq!(t.distance(x, x), 0);
-        prop_assert!(t.distance(x, z) <= t.distance(x, y) + t.distance(y, z));
+        let (x, y, z) = (
+            rng.gen_range(0..n),
+            rng.gen_range(0..n),
+            rng.gen_range(0..n),
+        );
+        assert_eq!(t.distance(x, y), t.distance(y, x));
+        assert_eq!(t.distance(x, x), 0);
+        assert!(t.distance(x, z) <= t.distance(x, y) + t.distance(y, z));
     }
+}
 
-    #[test]
-    fn th_equals_sum_of_link_congestion(msgs in messages(12)) {
+#[test]
+fn th_equals_sum_of_link_congestion() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xC0FFEE);
+    for _ in 0..64 {
+        let msgs = messages(&mut rng, 12);
         let machine = MachineConfig::small(&[3, 3, 3], 1, 2).build();
         let alloc = Allocation::generate(&machine, &AllocSpec::contiguous(6));
         let tg = TaskGraph::from_messages(12, msgs, None);
         let mapping: Vec<u32> = (0..12).map(|t| alloc.node(t % 6)).collect();
         let m = evaluate(&tg, &machine, &mapping);
         let sum: f64 = m.msg_congestion.iter().sum();
-        prop_assert!((m.th - sum).abs() < 1e-9);
+        assert!((m.th - sum).abs() < 1e-9);
         // And WH = Σ_e traffic(e) with unit bandwidths.
         let vsum: f64 = m.vol_traffic.iter().sum();
-        prop_assert!((m.wh - vsum).abs() < 1e-9);
+        assert!((m.wh - vsum).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn greedy_mapping_is_always_feasible(msgs in messages(10), seed in 0u64..20) {
+#[test]
+fn greedy_mapping_is_always_feasible() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xD00D);
+    for case in 0..64 {
+        let msgs = messages(&mut rng, 10);
+        let seed = rng.gen_range(0..20u64);
         let machine = MachineConfig::small(&[4, 4], 1, 2).build();
         let alloc = Allocation::generate(&machine, &AllocSpec::sparse(5, seed));
         let tg = TaskGraph::from_messages(10, msgs, None);
         let mapping = greedy_map(&tg, &machine, &alloc, &GreedyConfig::default());
-        prop_assert!(validate_mapping(&tg, &alloc, &mapping).is_ok());
+        assert!(
+            validate_mapping(&tg, &alloc, &mapping).is_ok(),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn wh_refinement_is_monotone(msgs in messages(8), seed in 0u64..10) {
+#[test]
+fn wh_refinement_is_monotone() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xE5);
+    for case in 0..64 {
+        let msgs = messages(&mut rng, 8);
+        let seed = rng.gen_range(0..10u64);
         let machine = MachineConfig::small(&[4, 4], 1, 1).build();
         let alloc = Allocation::generate(&machine, &AllocSpec::sparse(8, seed));
         let tg = TaskGraph::from_messages(8, msgs, None);
         let mut mapping: Vec<u32> = (0..8).map(|t| alloc.node(t)).collect();
         let before = weighted_hops(&tg, &machine, &mapping);
-        let after = wh_refine(&tg, &machine, &alloc, &mut mapping, &WhRefineConfig::default());
-        prop_assert!(after <= before + 1e-9);
-        prop_assert!((weighted_hops(&tg, &machine, &mapping) - after).abs() < 1e-6);
-        prop_assert!(validate_mapping(&tg, &alloc, &mapping).is_ok());
+        let after = wh_refine(
+            &tg,
+            &machine,
+            &alloc,
+            &mut mapping,
+            &WhRefineConfig::default(),
+        );
+        assert!(after <= before + 1e-9, "case {case}");
+        assert!((weighted_hops(&tg, &machine, &mapping) - after).abs() < 1e-6);
+        assert!(validate_mapping(&tg, &alloc, &mapping).is_ok());
     }
+}
 
-    #[test]
-    fn congestion_refinement_never_worsens_mc(msgs in messages(8), seed in 0u64..10) {
-        use umpa::core::cong_refine::{congestion_refine, CongRefineConfig};
+#[test]
+fn congestion_refinement_never_worsens_mc() {
+    use umpa::core::cong_refine::{congestion_refine, CongRefineConfig};
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF00);
+    for case in 0..64 {
+        let msgs = messages(&mut rng, 8);
+        let seed = rng.gen_range(0..10u64);
         let machine = MachineConfig::small(&[4, 4], 1, 1).build();
         let alloc = Allocation::generate(&machine, &AllocSpec::sparse(8, seed));
         let tg = TaskGraph::from_messages(8, msgs, None);
         let mut mapping: Vec<u32> = (0..8).map(|t| alloc.node(t)).collect();
         let before = evaluate(&tg, &machine, &mapping).mc;
-        let (mc, _) = congestion_refine(&tg, &machine, &alloc, &mut mapping, &CongRefineConfig::volume());
+        let (mc, _) = congestion_refine(
+            &tg,
+            &machine,
+            &alloc,
+            &mut mapping,
+            &CongRefineConfig::volume(),
+        );
         let after = evaluate(&tg, &machine, &mapping).mc;
-        prop_assert!(after <= before + 1e-9);
-        prop_assert!((after - mc).abs() < 1e-9, "internal state drifted: {} vs {}", after, mc);
+        assert!(after <= before + 1e-9, "case {case}");
+        assert!(
+            (after - mc).abs() < 1e-9,
+            "case {case}: internal state drifted: {after} vs {mc}"
+        );
     }
+}
 
-    #[test]
-    fn allocations_are_valid_subsets(seed in 0u64..50, n in 2usize..30) {
+#[test]
+fn allocations_are_valid_subsets() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xFACE);
+    for _ in 0..64 {
+        let seed = rng.gen_range(0..50u64);
+        let n = rng.gen_range(2..30usize);
         let machine = MachineConfig::small(&[4, 4, 4], 2, 4).build();
         let alloc = Allocation::generate(&machine, &AllocSpec::sparse(n, seed));
-        prop_assert_eq!(alloc.num_nodes(), n);
+        assert_eq!(alloc.num_nodes(), n);
         let mut seen = std::collections::HashSet::new();
         for &node in alloc.nodes() {
-            prop_assert!((node as usize) < machine.num_nodes());
-            prop_assert!(seen.insert(node));
+            assert!((node as usize) < machine.num_nodes());
+            assert!(seen.insert(node));
         }
     }
+}
 
-    #[test]
-    fn partitioner_respects_part_count(nx in 6usize..14, k in 2usize..9) {
-        use umpa::matgen::gen::{stencil2d, Stencil2D};
+#[test]
+fn partitioner_respects_part_count() {
+    use umpa::matgen::gen::{stencil2d, Stencil2D};
+    let mut rng = ChaCha8Rng::seed_from_u64(0xBEEF);
+    for _ in 0..12 {
+        let nx = rng.gen_range(6..14usize);
+        let k = rng.gen_range(2..9usize);
         let a = stencil2d(nx, nx, Stencil2D::FivePoint);
         let part = PartitionerKind::Patoh.partition_matrix(&a, k, 5);
-        prop_assert_eq!(part.len(), nx * nx);
-        prop_assert!(part.iter().all(|&p| (p as usize) < k));
+        assert_eq!(part.len(), nx * nx);
+        assert!(part.iter().all(|&p| (p as usize) < k));
         // No part is empty (matrices here are connected and large enough).
         let mut counts = vec![0usize; k];
         for &p in &part {
             counts[p as usize] += 1;
         }
-        prop_assert!(counts.iter().all(|&c| c > 0));
+        assert!(counts.iter().all(|&c| c > 0));
     }
+}
 
-    #[test]
-    fn quotient_graph_conserves_cross_volume(msgs in messages(12)) {
+#[test]
+fn quotient_graph_conserves_cross_volume() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xDEAD);
+    for _ in 0..64 {
+        let msgs = messages(&mut rng, 12);
         let tg = TaskGraph::from_messages(12, msgs, None);
         // Arbitrary grouping into 4 groups.
         let groups: Vec<u32> = (0..12u32).map(|t| t % 4).collect();
@@ -137,6 +208,6 @@ proptest! {
             .filter(|(s, t, _)| groups[*s as usize] != groups[*t as usize])
             .map(|(_, _, v)| v)
             .sum();
-        prop_assert!((q.total_volume() - cross).abs() < 1e-9);
+        assert!((q.total_volume() - cross).abs() < 1e-9);
     }
 }

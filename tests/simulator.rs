@@ -47,7 +47,10 @@ fn makespan_at_least_the_critical_path() {
     let lower = m.config().base_latency_us
         + 3.0 * (bytes / (m.link_bandwidth(0) * 1000.0))
         + bytes / (m.config().nic_bw * 1000.0);
-    assert!(t >= lower, "makespan {t} below physical lower bound {lower}");
+    assert!(
+        t >= lower,
+        "makespan {t} below physical lower bound {lower}"
+    );
 }
 
 #[test]
@@ -55,15 +58,11 @@ fn analytic_model_ranks_like_the_des() {
     // Across several mappings of the same pattern, the analytic bound
     // and the DES should agree on the ordering (Spearman-ish check).
     let m = MachineConfig::small(&[4, 4], 1, 1).build();
-    let tg = TaskGraph::from_messages(
-        8,
-        (0..8u32).map(|i| (i, (i + 1) % 8, 20_000.0)),
-        None,
-    );
+    let tg = TaskGraph::from_messages(8, (0..8u32).map(|i| (i, (i + 1) % 8, 20_000.0)), None);
     let mappings: Vec<Vec<u32>> = vec![
-        (0..8).collect(),                       // packed
-        (0..8).map(|t| t * 2).collect(),        // spread
-        vec![0, 5, 10, 15, 3, 6, 9, 12],        // scattered
+        (0..8).collect(),                // packed
+        (0..8).map(|t| t * 2).collect(), // spread
+        vec![0, 5, 10, 15, 3, 6, 9, 12], // scattered
     ];
     let cfg = DesConfig::default();
     let des: Vec<f64> = mappings
@@ -137,11 +136,7 @@ fn wormhole_helps_more_on_longer_routes() {
 #[test]
 fn comm_only_repetitions_differ_under_noise_but_share_the_mean() {
     let m = line(8);
-    let tg = TaskGraph::from_messages(
-        4,
-        [(0, 1, 800.0), (1, 2, 800.0), (2, 3, 800.0)],
-        None,
-    );
+    let tg = TaskGraph::from_messages(4, [(0, 1, 800.0), (1, 2, 800.0), (2, 3, 800.0)], None);
     let mapping: Vec<u32> = (0..4).collect();
     let quiet = AppConfig {
         repetitions: 3,
