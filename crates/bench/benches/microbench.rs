@@ -21,13 +21,12 @@ fn bench_routing(opts: &BenchOpts, out: &mut Vec<Sample>) {
     let pairs: Vec<(u32, u32)> = (0..256u32)
         .map(|i| (i * 13 % m.num_nodes() as u32, i * 97 % m.num_nodes() as u32))
         .collect();
-    let mut scratch = Vec::new();
     let mut links = Vec::new();
     out.push(bench_ns("torus_route_256_pairs", opts, || {
         let mut total = 0usize;
         for &(x, y) in &pairs {
             links.clear();
-            m.route_links(x, y, &mut scratch, &mut links);
+            m.route_links(x, y, &mut links);
             total += links.len();
         }
         total
@@ -39,6 +38,56 @@ fn bench_routing(opts: &BenchOpts, out: &mut Vec<Sample>) {
         }
         total
     }));
+}
+
+/// The dispatch experiment behind the `Topology` enum decision: route
+/// the same pair set through the enum (static, inlinable) and through a
+/// `dyn` wrapper (what a trait-object design would pay per call). The
+/// enum consistently wins or ties; the losing design would buy
+/// flexibility the workspace has no use for (backends are a closed,
+/// compiled-in set). Recorded in DESIGN.md §10.
+fn bench_dispatch(opts: &BenchOpts, out: &mut Vec<Sample>) {
+    use umpa_topology::Topology;
+
+    trait DynRoute {
+        fn route(&self, a: u32, b: u32, mode: LinkMode, out: &mut Vec<u32>);
+    }
+    impl DynRoute for Topology {
+        fn route(&self, a: u32, b: u32, mode: LinkMode, out: &mut Vec<u32>) {
+            self.route_links(a, b, mode, out);
+        }
+    }
+
+    let machines: Vec<(&str, Machine)> = vec![
+        ("torus", machine()),
+        ("fattree", FatTreeConfig::small(8, 2, 16).build()),
+        ("dragonfly", DragonflyConfig::small(9, 8, 2).build()),
+    ];
+    for (name, m) in &machines {
+        let nr = m.num_terminal_routers() as u32;
+        let pairs: Vec<(u32, u32)> = (0..256u32).map(|i| (i * 13 % nr, i * 97 % nr)).collect();
+        let topo = m.topology();
+        let dynamic: &dyn DynRoute = topo;
+        let mut links = Vec::new();
+        out.push(bench_ns(&format!("dispatch_enum/{name}"), opts, || {
+            let mut total = 0usize;
+            for &(x, y) in &pairs {
+                links.clear();
+                topo.route_links(x, y, LinkMode::Directed, &mut links);
+                total += links.len();
+            }
+            total
+        }));
+        out.push(bench_ns(&format!("dispatch_dyn/{name}"), opts, || {
+            let mut total = 0usize;
+            for &(x, y) in &pairs {
+                links.clear();
+                dynamic.route(x, y, LinkMode::Directed, &mut links);
+                total += links.len();
+            }
+            total
+        }));
+    }
 }
 
 fn bench_bfs(opts: &BenchOpts, out: &mut Vec<Sample>) {
@@ -127,6 +176,7 @@ fn main() {
     };
     let mut out = Vec::new();
     bench_routing(&opts, &mut out);
+    bench_dispatch(&opts, &mut out);
     bench_bfs(&opts, &mut out);
     bench_heap(&opts, &mut out);
     bench_metrics(&opts, &mut out);

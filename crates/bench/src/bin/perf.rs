@@ -3,17 +3,20 @@
 //! PRs have a perf trajectory to regress against.
 //!
 //! Measured (median ns/op over warm scratch — the steady-state serving
-//! path):
+//! path), per topology backend:
 //!
-//! * `greedy` — Algorithm 1 through [`greedy_map_into`];
+//! * `greedy` — Algorithm 1 through [`greedy_map_into`] (torus rows
+//!   keep their historical unsuffixed names; fat-tree and dragonfly
+//!   rows are suffixed `/fattree` and `/dragonfly`);
 //! * `wh_refine` — Algorithm 2 from a fresh greedy mapping each op;
 //! * `cong_refine` — Algorithm 3 (volume) from a fresh greedy mapping;
 //! * `map_many/batch{1,32,256}` — full pipeline requests per second
-//!   through the batched API, plus the sequential reference and the
-//!   parallel speedup when the `parallel` feature is on.
+//!   through the batched API (torus), plus the sequential reference and
+//!   the parallel speedup when the `parallel` feature is on.
 //!
 //! Usage: `cargo run --release -p umpa-bench --bin perf [--preset tiny]
-//! [--out PATH]`. The `tiny` preset is the CI smoke configuration.
+//! [--topo torus|fattree|dragonfly|all] [--out PATH]`. The `tiny`
+//! preset is the CI smoke configuration; CI runs it once per backend.
 
 use umpa_bench::timing::{bench_ns, fmt_ns, print_samples, to_json, BenchOpts, Sample};
 use umpa_core::cong_refine::{congestion_refine_scratch, CongRefineConfig};
@@ -25,7 +28,9 @@ use umpa_graph::TaskGraph;
 use umpa_matgen::gen::{stencil2d, Stencil2D};
 use umpa_matgen::spmv::spmv_task_graph;
 use umpa_partition::PartitionerKind;
-use umpa_topology::{AllocSpec, Allocation, Machine, MachineConfig};
+use umpa_topology::{
+    AllocSpec, Allocation, DragonflyConfig, FatTreeConfig, Machine, MachineConfig,
+};
 
 struct Preset {
     name: &'static str,
@@ -63,24 +68,39 @@ impl Preset {
         }
     }
 
-    fn machine(&self) -> Machine {
+    /// One machine per topology backend, sized to the preset. Torus is
+    /// the historical fixture; the others open the fat-tree cluster and
+    /// dragonfly supercomputer scenario families.
+    fn machines(&self) -> Vec<(&'static str, Machine)> {
         if self.name == "tiny" {
-            MachineConfig::small(&[4, 4], 1, 4).build()
+            vec![
+                ("torus", MachineConfig::small(&[4, 4], 1, 4).build()),
+                ("fattree", FatTreeConfig::small(4, 2, 4).build()),
+                (
+                    "dragonfly",
+                    DragonflyConfig {
+                        procs_per_node: 4,
+                        ..DragonflyConfig::small(3, 3, 2)
+                    }
+                    .build(),
+                ),
+            ]
         } else {
-            MachineConfig::hopper().build()
+            vec![
+                ("torus", MachineConfig::hopper().build()),
+                ("fattree", FatTreeConfig::cluster().build()),
+                ("dragonfly", DragonflyConfig::supercomputer().build()),
+            ]
         }
     }
 }
 
-/// The engine-level fixture: a partitioned SpMV task graph and an
-/// allocation sized so roughly `procs_per_node` tasks share a node.
-fn fixture(preset: &Preset) -> (Machine, Allocation, TaskGraph) {
-    let machine = preset.machine();
+/// The engine-level fixture: a partitioned SpMV task graph shared by
+/// every backend, plus a per-machine sparse allocation.
+fn task_graph(preset: &Preset) -> TaskGraph {
     let a = stencil2d(preset.grid, preset.grid, Stencil2D::FivePoint);
     let part = PartitionerKind::Patoh.partition_matrix(&a, preset.parts, 42);
-    let tg = spmv_task_graph(&a, &part, preset.parts);
-    let alloc = Allocation::generate(&machine, &AllocSpec::sparse(preset.nodes, 11));
-    (machine, alloc, tg)
+    spmv_task_graph(&a, &part, preset.parts)
 }
 
 fn main() {
@@ -99,111 +119,143 @@ fn main() {
     } else {
         Preset::default()
     };
+    let topo_filter = args
+        .windows(2)
+        .find(|w| w[0] == "--topo")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "all".to_string());
     let out_path = args
         .windows(2)
         .find(|w| w[0] == "--out")
         .map(|w| w[1].clone())
         .unwrap_or_else(|| "BENCH_mapping.json".to_string());
     eprintln!(
-        "perf [{}]: grid {}x{}, {} parts, {} nodes",
+        "perf [{}]: grid {}x{}, {} parts, {} nodes, topo filter {topo_filter}",
         preset.name, preset.grid, preset.grid, preset.parts, preset.nodes
     );
 
-    let (machine, alloc, tg) = fixture(&preset);
+    let tg = task_graph(&preset);
     let greedy_cfg = GreedyConfig::default();
     let wh_cfg = WhRefineConfig::default();
     let mc_cfg = CongRefineConfig::volume();
     let mut samples: Vec<Sample> = Vec::new();
     let mut metrics: Vec<(String, f64)> = Vec::new();
 
-    // --- Engine primitives, warm scratch -----------------------------
-    let mut scratch = MapperScratch::new();
-    let mut mapping: Vec<u32> = Vec::new();
-    samples.push(bench_ns("greedy", &preset.opts, || {
+    let machines: Vec<(&'static str, Machine)> = preset
+        .machines()
+        .into_iter()
+        .filter(|(name, _)| topo_filter == "all" || topo_filter == *name)
+        .collect();
+    if machines.is_empty() {
+        eprintln!(
+            "perf: unknown --topo {topo_filter:?} (expected: torus, fattree, dragonfly, all)"
+        );
+        std::process::exit(2);
+    }
+
+    for (backend, machine) in &machines {
+        // Torus rows keep PR-1's unsuffixed names so the perf
+        // trajectory stays comparable across PRs.
+        let row = |stem: &str| -> String {
+            if *backend == "torus" {
+                stem.to_string()
+            } else {
+                format!("{stem}/{backend}")
+            }
+        };
+        let alloc = Allocation::generate(machine, &AllocSpec::sparse(preset.nodes, 11));
+        eprintln!(
+            "backend {backend}: {} ({} nodes allocated)",
+            machine.topology().summary(),
+            preset.nodes
+        );
+
+        // --- Engine primitives, warm scratch -------------------------
+        let mut scratch = MapperScratch::new();
+        let mut mapping: Vec<u32> = Vec::new();
+        samples.push(bench_ns(&row("greedy"), &preset.opts, || {
+            greedy_map_into(
+                &tg,
+                machine,
+                &alloc,
+                &greedy_cfg,
+                &mut scratch.greedy,
+                &mut mapping,
+            )
+        }));
+        // Refinements start from a fresh greedy mapping each op
+        // (refining a fixed point is a no-op and would flatter the
+        // numbers).
         greedy_map_into(
             &tg,
-            &machine,
+            machine,
             &alloc,
             &greedy_cfg,
             &mut scratch.greedy,
             &mut mapping,
-        )
-    }));
-    // Refinements start from a fresh greedy mapping each op (refining a
-    // fixed point is a no-op and would flatter the numbers).
-    greedy_map_into(
-        &tg,
-        &machine,
-        &alloc,
-        &greedy_cfg,
-        &mut scratch.greedy,
-        &mut mapping,
-    );
-    let base = mapping.clone();
-    samples.push(bench_ns("wh_refine", &preset.opts, || {
-        mapping.copy_from_slice(&base);
-        wh_refine_scratch(
-            &tg,
-            &machine,
-            &alloc,
-            &mut mapping,
-            &wh_cfg,
-            &mut scratch.wh,
-        )
-    }));
-    samples.push(bench_ns("cong_refine", &preset.opts, || {
-        mapping.copy_from_slice(&base);
-        congestion_refine_scratch(
-            &tg,
-            &machine,
-            &alloc,
-            &mut mapping,
-            &mc_cfg,
-            &mut scratch.cong,
-        )
-    }));
+        );
+        let base = mapping.clone();
+        samples.push(bench_ns(&row("wh_refine"), &preset.opts, || {
+            mapping.copy_from_slice(&base);
+            wh_refine_scratch(&tg, machine, &alloc, &mut mapping, &wh_cfg, &mut scratch.wh)
+        }));
+        samples.push(bench_ns(&row("cong_refine"), &preset.opts, || {
+            mapping.copy_from_slice(&base);
+            congestion_refine_scratch(
+                &tg,
+                machine,
+                &alloc,
+                &mut mapping,
+                &mc_cfg,
+                &mut scratch.cong,
+            )
+        }));
+    }
 
-    // --- Batched serving throughput ----------------------------------
-    let cfg = PipelineConfig::default();
-    for &batch in preset.batches {
-        let requests: Vec<MapRequest<'_>> = (0..batch)
-            .map(|i| MapRequest {
-                tasks: &tg,
-                machine: &machine,
-                alloc: &alloc,
-                kind: match i % 3 {
-                    0 => MapperKind::Greedy,
-                    1 => MapperKind::GreedyWh,
-                    _ => MapperKind::GreedyMc,
-                },
-                cfg: &cfg,
-            })
-            .collect();
-        let s = bench_ns(&format!("map_many/batch{batch}"), &preset.opts, || {
-            map_many(&requests)
-        });
-        let batched_ns = s.median_ns;
-        let per_req = batched_ns / batch as f64;
-        metrics.push((format!("map_many_batch{batch}_ns_per_request"), per_req));
-        metrics.push((
-            format!("map_many_batch{batch}_requests_per_sec"),
-            1e9 / per_req,
-        ));
-        samples.push(s);
-        // The sequential reference for the largest batch gives the
-        // parallel speedup number the acceptance gate tracks.
-        if batch == *preset.batches.last().unwrap() {
-            let seq = bench_ns(&format!("map_many_seq/batch{batch}"), &preset.opts, || {
-                map_many_seq(&requests)
+    // --- Batched serving throughput (torus fixture) ------------------
+    if let Some((_, machine)) = machines.iter().find(|(n, _)| *n == "torus") {
+        let alloc = Allocation::generate(machine, &AllocSpec::sparse(preset.nodes, 11));
+        let cfg = PipelineConfig::default();
+        for &batch in preset.batches {
+            let requests: Vec<MapRequest<'_>> = (0..batch)
+                .map(|i| MapRequest {
+                    tasks: &tg,
+                    machine,
+                    alloc: &alloc,
+                    kind: match i % 3 {
+                        0 => MapperKind::Greedy,
+                        1 => MapperKind::GreedyWh,
+                        _ => MapperKind::GreedyMc,
+                    },
+                    cfg: &cfg,
+                })
+                .collect();
+            let s = bench_ns(&format!("map_many/batch{batch}"), &preset.opts, || {
+                map_many(&requests)
             });
-            let speedup = seq.median_ns / batched_ns;
-            metrics.push((format!("map_many_batch{batch}_parallel_speedup"), speedup));
-            eprintln!(
-                "map_many batch {batch}: {} vs sequential {} → speedup {speedup:.2}x",
-                fmt_ns(batched_ns),
-                fmt_ns(seq.median_ns)
-            );
-            samples.push(seq);
+            let batched_ns = s.median_ns;
+            let per_req = batched_ns / batch as f64;
+            metrics.push((format!("map_many_batch{batch}_ns_per_request"), per_req));
+            metrics.push((
+                format!("map_many_batch{batch}_requests_per_sec"),
+                1e9 / per_req,
+            ));
+            samples.push(s);
+            // The sequential reference for the largest batch gives the
+            // parallel speedup number the acceptance gate tracks.
+            if batch == *preset.batches.last().unwrap() {
+                let seq = bench_ns(&format!("map_many_seq/batch{batch}"), &preset.opts, || {
+                    map_many_seq(&requests)
+                });
+                let speedup = seq.median_ns / batched_ns;
+                metrics.push((format!("map_many_batch{batch}_parallel_speedup"), speedup));
+                eprintln!(
+                    "map_many batch {batch}: {} vs sequential {} → speedup {speedup:.2}x",
+                    fmt_ns(batched_ns),
+                    fmt_ns(seq.median_ns)
+                );
+                samples.push(seq);
+            }
         }
     }
 

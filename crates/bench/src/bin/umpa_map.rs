@@ -188,9 +188,8 @@ fn main() {
     };
     let alloc = Allocation::generate(&machine, &spec);
     eprintln!(
-        "machine: {:?} {}, {} nodes allocated (mean pairwise distance {:.1} hops)",
-        machine.torus().dims(),
-        if args.mesh { "mesh" } else { "torus" },
+        "machine: {}, {} nodes allocated (mean pairwise distance {:.1} hops)",
+        machine.topology().summary(),
         nodes,
         alloc.mean_pairwise_hops(&machine)
     );

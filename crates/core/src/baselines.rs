@@ -203,14 +203,16 @@ fn enforce_capacity(sub: &umpa_graph::Graph, side: &mut [u8], cap1: f64, cap2: f
     }
 }
 
-/// Median cut along the coordinate with the widest spread.
+/// Median cut along the coordinate with the widest spread. Coordinates
+/// only exist on the torus backend; hierarchical topologies (fat-tree,
+/// dragonfly) fall back to the distance-based two-center split, which
+/// is how LibTopoMap degrades on non-grid machines too.
 fn geometric_split(machine: &Machine, alloc: &Allocation, slots: &[u32]) -> (Vec<u32>, Vec<u32>) {
-    let nd = machine.torus().ndims();
-    let coord = |slot: u32, d: usize| {
-        machine
-            .torus()
-            .coord(machine.router_of(alloc.node(slot as usize)), d)
+    let Some(torus) = machine.torus() else {
+        return two_center_split(machine, alloc, slots);
     };
+    let nd = torus.ndims();
+    let coord = |slot: u32, d: usize| torus.coord(machine.router_of(alloc.node(slot as usize)), d);
     // Spread per dimension (bounding box; wraparound ignored for the
     // emulation — LibTopoMap treats coordinates the same way).
     let mut best_dim = 0usize;
@@ -376,12 +378,20 @@ mod tests {
         // The x-extents of the two halves should barely overlap.
         let max_x1 = s1
             .iter()
-            .map(|&s| m.torus().coord(m.router_of(alloc.node(s as usize)), 0))
+            .map(|&s| {
+                m.torus()
+                    .unwrap()
+                    .coord(m.router_of(alloc.node(s as usize)), 0)
+            })
             .max()
             .unwrap();
         let min_x2 = s2
             .iter()
-            .map(|&s| m.torus().coord(m.router_of(alloc.node(s as usize)), 0))
+            .map(|&s| {
+                m.torus()
+                    .unwrap()
+                    .coord(m.router_of(alloc.node(s as usize)), 0)
+            })
             .min()
             .unwrap();
         assert!(

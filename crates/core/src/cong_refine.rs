@@ -25,7 +25,6 @@
 
 use umpa_ds::{IndexedMaxHeap, SlotBuckets};
 use umpa_graph::{Bfs, TaskGraph};
-use umpa_topology::routing::Hop;
 use umpa_topology::{Allocation, Machine};
 
 use crate::mapping::fits;
@@ -120,7 +119,6 @@ pub struct CongScratch {
     buckets: SlotBuckets,
     free: Vec<f64>,
     bfs: Bfs,
-    hops: Vec<Hop>,
     links: Vec<u32>,
     edges: Vec<(u32, u32, f64)>,
     deltas: Vec<(u32, f64)>,
@@ -211,7 +209,6 @@ struct CongState<'a> {
     buckets: &'a mut SlotBuckets,
     free: &'a mut Vec<f64>,
     bfs: &'a mut Bfs,
-    hops: &'a mut Vec<Hop>,
     links: &'a mut Vec<u32>,
     edges: &'a mut Vec<(u32, u32, f64)>,
     deltas: &'a mut Vec<(u32, f64)>,
@@ -237,7 +234,6 @@ impl<'a> CongState<'a> {
             buckets,
             free,
             bfs,
-            hops,
             links,
             edges,
             deltas,
@@ -279,7 +275,6 @@ impl<'a> CongState<'a> {
             buckets,
             free,
             bfs,
-            hops,
             links,
             edges,
             deltas,
@@ -292,7 +287,7 @@ impl<'a> CongState<'a> {
             let weight = s.edge_weight(c);
             let (a, b) = (s.mapping[src as usize], s.mapping[dst as usize]);
             s.links.clear();
-            s.machine.route_links(a, b, s.hops, s.links);
+            s.machine.route_links(a, b, s.links);
             for i in 0..s.links.len() {
                 let l = s.links[i] as usize;
                 if s.traffic[l] == 0.0 {
@@ -371,7 +366,7 @@ impl<'a> CongState<'a> {
             let w = self.edge_weight(c);
             let (a, b) = (self.mapping[s as usize], self.mapping[d as usize]);
             self.links.clear();
-            self.machine.route_links(a, b, self.hops, self.links);
+            self.machine.route_links(a, b, self.links);
             for j in 0..self.links.len() {
                 add(self.deltas, self.links[j], -w);
             }
@@ -391,7 +386,7 @@ impl<'a> CongState<'a> {
             };
             let (a, b) = (node_of(s), node_of(d));
             self.links.clear();
-            self.machine.route_links(a, b, self.hops, self.links);
+            self.machine.route_links(a, b, self.links);
             for j in 0..self.links.len() {
                 add(self.deltas, self.links[j], w);
             }
@@ -431,7 +426,7 @@ impl<'a> CongState<'a> {
             let (s, d, _) = self.edges[i];
             let (a, b) = (self.mapping[s as usize], self.mapping[d as usize]);
             self.links.clear();
-            self.machine.route_links(a, b, self.hops, self.links);
+            self.machine.route_links(a, b, self.links);
             for j in 0..self.links.len() {
                 let l = self.links[j] as usize;
                 if remove {

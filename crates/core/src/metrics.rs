@@ -14,7 +14,6 @@
 //! property tests: `TH = Σ_e Congestion(e)` and `WH = Σ_e VC(e)·bw(e)`.
 
 use umpa_graph::TaskGraph;
-use umpa_topology::routing::Hop;
 use umpa_topology::Machine;
 
 /// Evaluated mapping metrics plus the per-link congestion state they
@@ -56,12 +55,11 @@ pub fn evaluate(tg: &TaskGraph, machine: &Machine, mapping: &[u32]) -> MetricsRe
     let mut vol = vec![0.0f64; nl];
     let mut th = 0.0;
     let mut wh = 0.0;
-    let mut scratch: Vec<Hop> = Vec::new();
     let mut links: Vec<u32> = Vec::new();
     for (s, t, c) in tg.messages() {
         let (a, b) = (mapping[s as usize], mapping[t as usize]);
         links.clear();
-        machine.route_links(a, b, &mut scratch, &mut links);
+        machine.route_links(a, b, &mut links);
         let hops = links.len() as f64;
         th += hops;
         wh += hops * c;

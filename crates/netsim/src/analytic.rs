@@ -14,7 +14,6 @@
 //! closely on both volume-bound and message-bound patterns.
 
 use umpa_graph::TaskGraph;
-use umpa_topology::routing::Hop;
 use umpa_topology::Machine;
 
 use crate::des::DesConfig;
@@ -35,7 +34,6 @@ pub fn analytic_comm_time(
     let mut task_recv = vec![0.0f64; nt];
     let mut task_send_msgs = vec![0u32; nt];
     let mut task_recv_msgs = vec![0u32; nt];
-    let mut scratch: Vec<Hop> = Vec::new();
     let mut links: Vec<u32> = Vec::new();
     let mut max_hops = 0u32;
     for (s, t, vol) in tg.messages() {
@@ -46,7 +44,7 @@ pub fn analytic_comm_time(
         task_send_msgs[s as usize] += 1;
         task_recv_msgs[t as usize] += 1;
         links.clear();
-        machine.route_links(a, b, &mut scratch, &mut links);
+        machine.route_links(a, b, &mut links);
         max_hops = max_hops.max(links.len() as u32);
         for &l in &links {
             traffic[l as usize] += bytes;
@@ -55,7 +53,7 @@ pub fn analytic_comm_time(
     let link_term = (0..nl)
         .map(|l| traffic[l] / (machine.link_bandwidth(l as u32) * 1000.0))
         .fold(0.0f64, f64::max);
-    let nic_bw = machine.config().nic_bw * 1000.0;
+    let nic_bw = machine.nic_bw() * 1000.0;
     let nic_term = (0..nt)
         .map(|n| {
             (task_send[n] / nic_bw + cfg.overhead_us * f64::from(task_send_msgs[n]))

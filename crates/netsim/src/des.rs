@@ -21,7 +21,6 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use umpa_graph::TaskGraph;
-use umpa_topology::routing::Hop;
 use umpa_topology::Machine;
 
 /// Simulator parameters.
@@ -139,20 +138,19 @@ pub fn simulate(machine: &Machine, tg: &TaskGraph, mapping: &[u32], cfg: &DesCon
     let mut send_nic = Servers::new(tg.num_tasks());
     let mut recv_nic = Servers::new(tg.num_tasks());
     let mut links = Servers::new(machine.num_links());
-    let nic_bw = machine.config().nic_bw * 1000.0; // bytes per µs
-    let hop_lat = machine.config().hop_latency_us;
-    let base_lat = machine.config().base_latency_us;
+    let nic_bw = machine.nic_bw() * 1000.0; // bytes per µs
+    let hop_lat = machine.hop_latency_us();
+    let base_lat = machine.base_latency_us();
     // Event queue keyed by time; (time, seq) gives deterministic order.
     let mut queue: std::collections::BinaryHeap<QEntry> = std::collections::BinaryHeap::new();
     let mut seq = 0u64;
     let mut pool: Vec<Msg> = Vec::with_capacity(msgs.len());
-    let mut scratch: Vec<Hop> = Vec::new();
     let mut network_bytes = 0.0;
     for &(s, t, vol) in &msgs {
         let bytes = vol * cfg.bytes_per_word * cfg.scale;
         let (a, b) = (mapping[s as usize], mapping[t as usize]);
         let mut route = Vec::new();
-        machine.route_links(a, b, &mut scratch, &mut route);
+        machine.route_links(a, b, &mut route);
         if !route.is_empty() {
             network_bytes += bytes;
         }
@@ -270,10 +268,10 @@ mod tests {
         let cfg = DesConfig::default();
         let r = simulate(&m, &tg, &[0, 1], &cfg);
         let bytes = 100.0 * 8.0;
-        let nic = m.config().nic_bw * 1000.0;
+        let nic = m.nic_bw() * 1000.0;
         let expect = (cfg.overhead_us + bytes / nic) // inject
-            + m.config().base_latency_us
-            + (bytes / (m.link_bandwidth(0) * 1000.0) + m.config().hop_latency_us)
+            + m.base_latency_us()
+            + (bytes / (m.link_bandwidth(0) * 1000.0) + m.hop_latency_us())
             + (cfg.overhead_us + bytes / nic); // drain
         assert!(
             (r.makespan_us - expect).abs() < 1e-9,

@@ -109,9 +109,11 @@ impl Allocation {
             total
         );
         let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
-        // Node placement order: routers in curve order, nodes within a
-        // router consecutive (Cray hands out both Gemini nodes together).
-        let router_order = spec.ordering.router_order(machine.torus());
+        // Node placement order: terminal routers in curve order, nodes
+        // within a router consecutive (Cray hands out both Gemini nodes
+        // together). Non-torus backends use id order, which already
+        // keeps pods/groups contiguous.
+        let router_order = machine.topology().placement_order(spec.ordering);
         let mut node_order = Vec::with_capacity(total);
         for &r in &router_order {
             node_order.extend(machine.nodes_of_router(r));

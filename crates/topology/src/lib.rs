@@ -3,15 +3,23 @@
 //! The paper targets NERSC's Hopper: a Cray XE6 whose Gemini routers
 //! form a 3-D torus with wraparound, two compute nodes per router,
 //! static shortest-path (dimension-ordered) routing and per-dimension
-//! link bandwidths. This crate models that machine — and k-ary n-D tori
-//! in general — from scratch:
+//! link bandwidths. This crate models that machine — and interconnect
+//! topologies in general — behind a pluggable backend:
 //!
-//! * [`Torus`] — geometry: router coordinates, O(1) hop distances,
-//!   neighbor enumeration (the "hop count between two arbitrary nodes
-//!   can be found in O(1)" property Algorithm 1's complexity relies on);
-//! * [`routing`] — static dimension-ordered routing producing the exact
-//!   per-link routes that the congestion metrics (Eq. 1) accumulate;
-//! * [`Machine`] — the full machine: torus + nodes-per-router +
+//! * [`topology`] — the [`Topology`] backend abstraction: router
+//!   counts, distances, static routes emitted as link ids, and the
+//!   canonical link-id space each backend owns;
+//! * [`Torus`] — torus/mesh geometry: router coordinates, O(1) hop
+//!   distances, neighbor enumeration (the "hop count between two
+//!   arbitrary nodes can be found in O(1)" property Algorithm 1's
+//!   complexity relies on);
+//! * [`fat_tree`] — 3-level k-ary fat-tree (Clos) with up*/down*
+//!   routing, for cloud-style clusters;
+//! * [`dragonfly`] — dragonfly groups with minimal local–global–local
+//!   routing, for Aries/Slingshot-style supercomputers;
+//! * [`routing`] — torus dimension-ordered routing at hop granularity
+//!   (diagnostics; the backends emit link ids directly);
+//! * [`Machine`] — the full machine: topology + nodes-per-router +
 //!   bandwidths + latencies + the router graph in CSR form for BFS;
 //! * [`ordering`] — linear node orderings (lexicographic / serpentine
 //!   space-filling curve) standing in for Cray's placement curve;
@@ -22,20 +30,29 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod dragonfly;
+pub mod fat_tree;
 pub mod machine;
 pub mod ordering;
 pub mod routing;
+pub mod topology;
 pub mod torus;
 
 pub use alloc::{AllocSpec, Allocation};
-pub use machine::{LinkMode, Machine, MachineConfig};
+pub use dragonfly::{Dragonfly, DragonflyConfig};
+pub use fat_tree::{FatTree, FatTreeConfig};
+pub use machine::{LinkMode, Machine, MachineConfig, MachineParams};
 pub use ordering::NodeOrdering;
+pub use topology::{Topology, TorusNet};
 pub use torus::Torus;
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::alloc::{AllocSpec, Allocation};
-    pub use crate::machine::{LinkMode, Machine, MachineConfig};
+    pub use crate::dragonfly::{Dragonfly, DragonflyConfig};
+    pub use crate::fat_tree::{FatTree, FatTreeConfig};
+    pub use crate::machine::{LinkMode, Machine, MachineConfig, MachineParams};
     pub use crate::ordering::NodeOrdering;
+    pub use crate::topology::{Topology, TorusNet};
     pub use crate::torus::Torus;
 }

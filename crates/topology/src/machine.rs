@@ -1,13 +1,16 @@
-//! The machine model: torus + compute nodes + link bandwidths.
+//! The machine model: a pluggable topology + compute nodes + links.
 //!
 //! A [`Machine`] is the paper's topology graph `Gm` plus everything the
-//! algorithms and the network simulator need: Gemini-style multi-node
-//! routers, per-dimension link bandwidths, hop latencies and a CSR
-//! router graph for BFS traversals.
+//! algorithms and the network simulator need: a [`Topology`] backend
+//! (torus/mesh, fat-tree, or dragonfly), multi-node routers,
+//! per-link bandwidths, hop latencies and a CSR router graph for BFS
+//! traversals. The *topology* owns the link-id space (see
+//! [`crate::topology`] for the canonical-id scheme); the machine maps
+//! it into the active [`LinkMode`]'s channel space.
 
 use umpa_graph::{Graph, GraphBuilder};
 
-use crate::routing::{self, Hop};
+use crate::topology::{Topology, TorusNet};
 use crate::torus::Torus;
 
 /// Whether congestion is accumulated per directed channel or per
@@ -22,7 +25,28 @@ pub enum LinkMode {
     Undirected,
 }
 
-/// Configuration for building a [`Machine`].
+/// Topology-independent machine parameters: node attachment, capacity
+/// and the latency/injection model shared by every backend.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineParams {
+    /// Compute nodes attached to each terminal router (Gemini: 2).
+    pub nodes_per_router: u32,
+    /// Processor cores usable per node (the paper uses 16 of Hopper's 24).
+    pub procs_per_node: u32,
+    /// Congestion accounting mode.
+    pub link_mode: LinkMode,
+    /// Nearest-neighbor one-way latency, microseconds.
+    pub base_latency_us: f64,
+    /// Additional latency per hop, microseconds.
+    pub hop_latency_us: f64,
+    /// Injection (NIC) bandwidth per node, GB/s.
+    pub nic_bw: f64,
+}
+
+/// Configuration for building a torus/mesh [`Machine`] (the paper's
+/// machine model; fat-tree and dragonfly machines are built through
+/// [`crate::fat_tree::FatTreeConfig`] and
+/// [`crate::dragonfly::DragonflyConfig`]).
 #[derive(Clone, Debug)]
 pub struct MachineConfig {
     /// Torus extents per dimension.
@@ -97,21 +121,14 @@ impl MachineConfig {
 /// bandwidths, and O(1) hop distances.
 #[derive(Clone, Debug)]
 pub struct Machine {
-    torus: Torus,
-    cfg: MachineConfig,
+    topo: Topology,
+    params: MachineParams,
     router_graph: Graph,
-    /// Bandwidth per link id (respecting `link_mode` id space).
-    link_bw: Vec<f64>,
 }
 
 impl Machine {
-    /// Builds a machine from a config.
+    /// Builds a torus/mesh machine from a config.
     pub fn new(cfg: MachineConfig) -> Self {
-        assert_eq!(
-            cfg.dims.len(),
-            cfg.bw_per_dim.len(),
-            "bw_per_dim must have one entry per torus dimension"
-        );
         assert!(cfg.nodes_per_router >= 1);
         assert!(cfg.procs_per_node >= 1);
         let torus = if cfg.wraparound {
@@ -119,98 +136,132 @@ impl Machine {
         } else {
             Torus::new_mesh(&cfg.dims)
         };
-        let nr = torus.num_routers();
-        let nd = torus.ndims();
-        let mut b = GraphBuilder::new(nr);
-        for r in 0..nr as u32 {
-            for d in 0..nd {
-                let p = torus.neighbor(r, d, true);
-                if p != r {
-                    // Undirected builder edge; weight = dim bandwidth.
-                    b.add_edge(r, p, cfg.bw_per_dim[d]);
-                }
-            }
-        }
-        let router_graph = b.build_symmetric();
-        let per_router = match cfg.link_mode {
-            LinkMode::Directed => 2 * nd,
-            LinkMode::Undirected => nd,
+        let params = MachineParams {
+            nodes_per_router: cfg.nodes_per_router,
+            procs_per_node: cfg.procs_per_node,
+            link_mode: cfg.link_mode,
+            base_latency_us: cfg.base_latency_us,
+            hop_latency_us: cfg.hop_latency_us,
+            nic_bw: cfg.nic_bw,
         };
-        let mut link_bw = vec![0.0; nr * per_router];
-        for r in 0..nr {
-            for d in 0..nd {
-                match cfg.link_mode {
-                    LinkMode::Directed => {
-                        link_bw[(r * nd + d) * 2] = cfg.bw_per_dim[d];
-                        link_bw[(r * nd + d) * 2 + 1] = cfg.bw_per_dim[d];
-                    }
-                    LinkMode::Undirected => {
-                        link_bw[r * nd + d] = cfg.bw_per_dim[d];
-                    }
-                }
-            }
-        }
+        Self::from_topology(
+            Topology::Torus(TorusNet::new(torus, &cfg.bw_per_dim)),
+            params,
+        )
+    }
+
+    /// Builds a machine from any topology backend.
+    pub fn from_topology(topo: Topology, params: MachineParams) -> Self {
+        assert!(params.nodes_per_router >= 1);
+        assert!(params.procs_per_node >= 1);
+        let mut b = GraphBuilder::new(topo.num_routers());
+        topo.for_each_link(|_, u, v, bw| {
+            b.add_edge(u, v, bw);
+        });
+        let router_graph = b.build_symmetric();
         Self {
-            torus,
-            cfg,
+            topo,
+            params,
             router_graph,
-            link_bw,
         }
     }
 
-    /// The underlying torus geometry.
+    /// The topology backend.
     #[inline]
-    pub fn torus(&self) -> &Torus {
-        &self.torus
+    pub fn topology(&self) -> &Topology {
+        &self.topo
     }
 
-    /// The build configuration.
+    /// The underlying torus geometry, when the backend is a torus/mesh.
     #[inline]
-    pub fn config(&self) -> &MachineConfig {
-        &self.cfg
+    pub fn torus(&self) -> Option<&Torus> {
+        self.topo.as_torus()
     }
 
-    /// Number of routers `|Vm|` (vertices of the topology graph).
+    /// Topology-independent machine parameters.
+    #[inline]
+    pub fn params(&self) -> &MachineParams {
+        &self.params
+    }
+
+    /// Congestion accounting mode.
+    #[inline]
+    pub fn link_mode(&self) -> LinkMode {
+        self.params.link_mode
+    }
+
+    /// Injection (NIC) bandwidth per node, GB/s.
+    #[inline]
+    pub fn nic_bw(&self) -> f64 {
+        self.params.nic_bw
+    }
+
+    /// Nearest-neighbor one-way latency, microseconds.
+    #[inline]
+    pub fn base_latency_us(&self) -> f64 {
+        self.params.base_latency_us
+    }
+
+    /// Additional latency per hop, microseconds.
+    #[inline]
+    pub fn hop_latency_us(&self) -> f64 {
+        self.params.hop_latency_us
+    }
+
+    /// Number of routers `|Vm|` — **all** vertices of the topology
+    /// graph, including internal switches that host no nodes (fat-tree
+    /// aggregation/core levels). Size BFS workspaces against this.
     #[inline]
     pub fn num_routers(&self) -> usize {
-        self.torus.num_routers()
+        self.topo.num_routers()
+    }
+
+    /// Routers that host compute nodes; they occupy ids
+    /// `0..num_terminal_routers()`.
+    #[inline]
+    pub fn num_terminal_routers(&self) -> usize {
+        self.topo.num_terminal_routers()
     }
 
     /// Total number of compute nodes.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.num_routers() * self.cfg.nodes_per_router as usize
+        self.num_terminal_routers() * self.params.nodes_per_router as usize
     }
 
     /// Processor cores usable per node.
     #[inline]
     pub fn procs_per_node(&self) -> u32 {
-        self.cfg.procs_per_node
+        self.params.procs_per_node
     }
 
     /// Router a node hangs off.
     #[inline]
     pub fn router_of(&self, node: u32) -> u32 {
-        node / self.cfg.nodes_per_router
+        node / self.params.nodes_per_router
     }
 
-    /// Node ids attached to router `r`.
+    /// Node ids attached to router `r` (empty for internal switches).
     #[inline]
     pub fn nodes_of_router(&self, r: u32) -> std::ops::Range<u32> {
-        let npr = self.cfg.nodes_per_router;
-        r * npr..(r + 1) * npr
+        if (r as usize) < self.num_terminal_routers() {
+            let npr = self.params.nodes_per_router;
+            r * npr..(r + 1) * npr
+        } else {
+            0..0
+        }
     }
 
     /// Hop distance between two *nodes* (0 when they share a router).
     #[inline]
     pub fn hops(&self, a: u32, b: u32) -> u32 {
-        self.torus.distance(self.router_of(a), self.router_of(b))
+        self.topo.distance(self.router_of(a), self.router_of(b))
     }
 
     /// Network diameter in hops.
     #[inline]
     pub fn diameter(&self) -> u32 {
-        self.torus.diameter()
+        self.topo.diameter()
     }
 
     /// The router adjacency graph in CSR form (symmetric; edge weights =
@@ -220,64 +271,48 @@ impl Machine {
         &self.router_graph
     }
 
-    /// Number of link ids in the active [`LinkMode`] id space.
+    /// Number of channel ids in the active [`LinkMode`] id space. The
+    /// space is exact: every id belongs to a routable physical link.
     #[inline]
     pub fn num_links(&self) -> usize {
-        self.link_bw.len()
+        match self.params.link_mode {
+            LinkMode::Directed => 2 * self.topo.num_physical_links(),
+            LinkMode::Undirected => self.topo.num_physical_links(),
+        }
     }
 
-    /// Bandwidth of link `id` in GB/s.
+    /// Bandwidth of channel `id` in GB/s.
     #[inline]
     pub fn link_bandwidth(&self, id: u32) -> f64 {
-        self.link_bw[id as usize]
+        match self.params.link_mode {
+            LinkMode::Directed => self.topo.physical_link_bw(id / 2),
+            LinkMode::Undirected => self.topo.physical_link_bw(id),
+        }
     }
 
     /// Latency of a `hops`-hop message path in microseconds.
     #[inline]
     pub fn path_latency_us(&self, hops: u32) -> f64 {
-        self.cfg.base_latency_us + self.cfg.hop_latency_us * f64::from(hops)
+        self.params.base_latency_us + self.params.hop_latency_us * f64::from(hops)
     }
 
-    /// Link id of a routing hop in the active id space.
+    /// Appends the channel ids of the static route between *nodes* `a`
+    /// and `b` onto `out` (empty when they share a router).
+    /// Allocation-free once `out` has capacity — the engine's warm
+    /// scratch contract depends on this.
     #[inline]
-    pub fn link_id(&self, hop: Hop) -> u32 {
-        let nd = self.torus.ndims();
-        match self.cfg.link_mode {
-            LinkMode::Directed => {
-                let dir = u32::from(!hop.positive);
-                ((hop.from as usize * nd + hop.dim as usize) * 2) as u32 + dir
-            }
-            LinkMode::Undirected => {
-                // Canonical owner of an undirected link is the endpoint
-                // the +1 direction departs from.
-                let owner = if hop.positive {
-                    hop.from
-                } else {
-                    self.torus.neighbor(hop.from, hop.dim as usize, false)
-                };
-                (owner as usize * nd + hop.dim as usize) as u32
-            }
-        }
-    }
-
-    /// Appends the link ids of the static route between *nodes* `a` and
-    /// `b` onto `out` (empty when they share a router). Reuses `scratch`
-    /// for the hop expansion to avoid allocation in hot loops.
-    pub fn route_links(&self, a: u32, b: u32, scratch: &mut Vec<Hop>, out: &mut Vec<u32>) {
+    pub fn route_links(&self, a: u32, b: u32, out: &mut Vec<u32>) {
         let (ra, rb) = (self.router_of(a), self.router_of(b));
         if ra == rb {
             return;
         }
-        scratch.clear();
-        routing::route(&self.torus, ra, rb, scratch);
-        out.extend(scratch.iter().map(|&h| self.link_id(h)));
+        self.topo.route_links(ra, rb, self.params.link_mode, out);
     }
 
     /// Route link ids as a fresh vector (diagnostics/tests).
     pub fn route_links_vec(&self, a: u32, b: u32) -> Vec<u32> {
-        let mut scratch = Vec::new();
         let mut out = Vec::new();
-        self.route_links(a, b, &mut scratch, &mut out);
+        self.route_links(a, b, &mut out);
         out
     }
 }
@@ -285,6 +320,8 @@ impl Machine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dragonfly::DragonflyConfig;
+    use crate::fat_tree::FatTreeConfig;
 
     fn m222() -> Machine {
         MachineConfig::small(&[4, 4, 4], 2, 4).build()
@@ -322,13 +359,14 @@ mod tests {
     fn directed_links_distinguish_directions() {
         let m = m222();
         // Pick two nodes on adjacent routers; routes a->b and b->a use
-        // different directed channel ids.
+        // different directed channel ids over the same physical link.
         let (a, b) = (0u32, 2u32);
         let ab = m.route_links_vec(a, b);
         let ba = m.route_links_vec(b, a);
         assert_eq!(ab.len(), 1);
         assert_eq!(ba.len(), 1);
         assert_ne!(ab[0], ba[0]);
+        assert_eq!(ab[0] / 2, ba[0] / 2);
     }
 
     #[test]
@@ -343,28 +381,50 @@ mod tests {
     }
 
     #[test]
+    fn extent_two_wraparound_shares_undirected_ids() {
+        // The regression the topology-owned id scheme exists for: both
+        // directions of an extent-2 dim tie-break to `positive`, but the
+        // physical link must still have ONE undirected id.
+        let mut cfg = MachineConfig::small(&[2, 4], 1, 1);
+        cfg.link_mode = LinkMode::Undirected;
+        let m = cfg.build();
+        for y in 0..4u32 {
+            let (a, b) = (y * 2, y * 2 + 1); // (0, y) <-> (1, y)
+            let ab = m.route_links_vec(a, b);
+            let ba = m.route_links_vec(b, a);
+            assert_eq!(ab.len(), 1);
+            assert_eq!(ab, ba, "{a} <-> {b}");
+        }
+        // Exact id space: 4 extent-2 links + 8 ring links.
+        assert_eq!(m.num_links(), 12);
+    }
+
+    #[test]
+    fn extent_one_and_mesh_boundaries_have_exact_id_spaces() {
+        let m = MachineConfig::small(&[1, 4], 1, 1).build();
+        assert_eq!(m.num_links(), 8, "4 ring links x 2 directions");
+        let m = MachineConfig::small_mesh(&[4], 1, 1).build();
+        assert_eq!(m.num_links(), 6, "3 mesh links x 2 directions");
+    }
+
+    #[test]
     fn hopper_preset_shape() {
         let m = MachineConfig::hopper().build();
         assert_eq!(m.num_routers(), 17 * 8 * 24);
         assert_eq!(m.num_nodes(), 2 * 17 * 8 * 24);
         assert_eq!(m.diameter(), 24);
         assert_eq!(m.procs_per_node(), 16);
-        // Y-dimension links are the slow ones.
-        let r0 = 0u32;
-        let y_neighbor = m.torus().neighbor(r0, 1, true);
-        let hop = Hop {
-            from: r0,
-            dim: 1,
-            positive: true,
-        };
-        let _ = y_neighbor;
-        assert!((m.link_bandwidth(m.link_id(hop)) - 4.68).abs() < 1e-12);
-        let hop_x = Hop {
-            from: r0,
-            dim: 0,
-            positive: true,
-        };
-        assert!((m.link_bandwidth(m.link_id(hop_x)) - 9.375).abs() < 1e-12);
+        // Y-dimension links are the slow ones: route one +y hop from
+        // router 0 (nodes 0 and the y-neighbor's first node).
+        let t = m.torus().unwrap();
+        let y_neighbor = t.neighbor(0, 1, true);
+        let route = m.route_links_vec(0, y_neighbor * 2);
+        assert_eq!(route.len(), 1);
+        assert!((m.link_bandwidth(route[0]) - 4.68).abs() < 1e-12);
+        let x_neighbor = t.neighbor(0, 0, true);
+        let route = m.route_links_vec(0, x_neighbor * 2);
+        assert_eq!(route.len(), 1);
+        assert!((m.link_bandwidth(route[0]) - 9.375).abs() < 1e-12);
     }
 
     #[test]
@@ -380,6 +440,60 @@ mod tests {
         let g = m.router_graph();
         for r in 0..g.num_vertices() as u32 {
             assert_eq!(g.degree(r), 6);
+        }
+    }
+
+    #[test]
+    fn fat_tree_machine_shape() {
+        let m = FatTreeConfig::small(4, 2, 1).build();
+        // k=4: 8 edge switches (terminal), 8 agg, 4 core.
+        assert_eq!(m.num_terminal_routers(), 8);
+        assert_eq!(m.num_routers(), 20);
+        assert_eq!(m.num_nodes(), 16);
+        assert_eq!(m.num_links(), 2 * 32);
+        // Internal switches host no nodes.
+        assert!(m.nodes_of_router(8).is_empty());
+        assert!(m.nodes_of_router(19).is_empty());
+        // Same-pod and cross-pod distances.
+        assert_eq!(m.hops(0, 2), 2);
+        assert_eq!(m.hops(0, 4), 4);
+        // Router graph degrees: edge = k/2 up, agg = k/2 down + k/2 up,
+        // core = k down.
+        let g = m.router_graph();
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(8), 4);
+        assert_eq!(g.degree(16), 4);
+    }
+
+    #[test]
+    fn dragonfly_machine_shape() {
+        let m = DragonflyConfig::small(4, 3, 2).build();
+        assert_eq!(m.num_routers(), 12);
+        assert_eq!(m.num_terminal_routers(), 12);
+        assert_eq!(m.num_nodes(), 24);
+        // 4 groups x 3 local links + 6 globals, directed.
+        assert_eq!(m.num_links(), 2 * (12 + 6));
+        assert_eq!(m.diameter(), 3);
+    }
+
+    #[test]
+    fn route_length_matches_hops_on_all_backends() {
+        let machines = [
+            MachineConfig::small(&[2, 3], 2, 1).build(),
+            FatTreeConfig::small(4, 2, 1).build(),
+            DragonflyConfig::small(4, 3, 2).build(),
+        ];
+        for m in &machines {
+            for a in 0..m.num_nodes() as u32 {
+                for b in 0..m.num_nodes() as u32 {
+                    assert_eq!(
+                        m.route_links_vec(a, b).len() as u32,
+                        m.hops(a, b),
+                        "{}: {a}->{b}",
+                        m.topology().summary()
+                    );
+                }
+            }
         }
     }
 }

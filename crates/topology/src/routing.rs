@@ -1,4 +1,4 @@
-//! Static dimension-ordered shortest-path routing.
+//! Static dimension-ordered shortest-path routing, at hop granularity.
 //!
 //! Cray Gemini routes packets statically: all hops of dimension 0 first,
 //! then dimension 1, etc., always taking the shorter wrap direction
@@ -6,6 +6,12 @@
 //! route of a message is a pure function of its endpoints, the paper's
 //! congestion metrics (Eq. 1) can be computed *exactly* — the property
 //! Algorithm 3 depends on.
+//!
+//! This module exposes the torus walk as [`Hop`] structs for
+//! diagnostics and tests; the engine's hot paths use the
+//! [`Topology`](crate::topology::Topology) backends, which emit
+//! canonical link ids directly (same walk, no intermediate hop
+//! buffer).
 
 use crate::torus::{Torus, MAX_DIMS};
 
@@ -21,9 +27,16 @@ pub struct Hop {
     pub positive: bool,
 }
 
-/// Appends the dimension-ordered route from router `a` to router `b`
-/// onto `out`. The route has exactly `torus.distance(a, b)` hops.
-pub fn route(torus: &Torus, a: u32, b: u32, out: &mut Vec<Hop>) {
+/// The dimension-ordered walk from `a` to `b`, delivered as a callback
+/// per hop: `f(from, to, dim, positive)`. All hops of dimension 0
+/// first, then dimension 1, etc., always the shorter wrap direction
+/// with ties toward +1. **The single source of truth for torus
+/// routing**: both the [`Hop`]-level [`route`] and the link-id-emitting
+/// hot path ([`crate::topology::TorusNet`]) are built on it, so the
+/// diagnostics/test route can never desynchronize from the route the
+/// congestion metrics accumulate.
+#[inline]
+pub fn walk(torus: &Torus, a: u32, b: u32, mut f: impl FnMut(u32, u32, usize, bool)) {
     let mut ca = [0u32; MAX_DIMS];
     let mut cb = [0u32; MAX_DIMS];
     torus.coords_into(a, &mut ca);
@@ -52,15 +65,24 @@ pub fn route(torus: &Torus, a: u32, b: u32, out: &mut Vec<Hop>) {
             }
         };
         for _ in 0..steps {
-            out.push(Hop {
-                from: cur,
-                dim: d as u8,
-                positive,
-            });
-            cur = torus.neighbor(cur, d, positive);
+            let to = torus.neighbor(cur, d, positive);
+            f(cur, to, d, positive);
+            cur = to;
         }
     }
-    debug_assert_eq!(cur, b, "route did not arrive at destination");
+    debug_assert_eq!(cur, b, "walk did not arrive at destination");
+}
+
+/// Appends the dimension-ordered route from router `a` to router `b`
+/// onto `out`. The route has exactly `torus.distance(a, b)` hops.
+pub fn route(torus: &Torus, a: u32, b: u32, out: &mut Vec<Hop>) {
+    walk(torus, a, b, |from, _, d, positive| {
+        out.push(Hop {
+            from,
+            dim: d as u8,
+            positive,
+        });
+    });
 }
 
 /// Computes the route eagerly into a fresh vector (test/diagnostic use;

@@ -1,7 +1,8 @@
-//! Beyond Hopper: the WH-minimizing algorithms only need hop distances,
-//! so they generalize to any torus. This example maps the same workload
-//! onto a 3-D Hopper-style torus and a BlueGene/Q-style 5-D torus and
-//! compares dilation.
+//! Beyond Hopper: the mapping algorithms run on any [`Topology`]
+//! backend — tori/meshes of any dimension, 3-level fat-trees (cloud
+//! clusters) and dragonflies (Aries/Slingshot-style supercomputers).
+//! This example maps the same 3-D stencil workload onto one machine of
+//! each family and compares dilation and congestion.
 //!
 //! ```bash
 //! cargo run --release --example custom_topology
@@ -36,26 +37,31 @@ fn workload() -> TaskGraph {
     TaskGraph::from_messages(64, msgs, None)
 }
 
-fn run(label: &str, cfg: MachineConfig) {
-    let machine = cfg.build();
+fn run(label: &str, machine: Machine) {
     let nodes = 64 / machine.procs_per_node() as usize;
     let alloc = Allocation::generate(&machine, &AllocSpec::sparse(nodes, 9));
     let tasks = workload();
     let pipeline = PipelineConfig::default();
     println!(
-        "\n{label}: {:?} torus, diameter {} hops, {} nodes allocated",
-        machine.torus().dims(),
+        "\n{label}: {}, diameter {} hops, {} nodes allocated",
+        machine.topology().summary(),
         machine.diameter(),
         nodes
     );
-    for kind in [MapperKind::Def, MapperKind::Greedy, MapperKind::GreedyWh] {
+    for kind in [
+        MapperKind::Def,
+        MapperKind::Greedy,
+        MapperKind::GreedyWh,
+        MapperKind::GreedyMc,
+    ] {
         let out = map_tasks(&tasks, &machine, &alloc, kind, &pipeline);
         let m = evaluate(&tasks, &machine, &out.fine_mapping);
         println!(
-            "  {:>4}: TH = {:>5.0}  WH = {:>6.0}  avg dilation = {:.2} hops/message",
+            "  {:>4}: TH = {:>5.0}  WH = {:>6.0}  MC = {:>6.1}  avg dilation = {:.2} hops/message",
             kind.name(),
             m.th,
             m.wh,
+            m.mc,
             m.th / tasks.num_messages() as f64
         );
     }
@@ -65,9 +71,38 @@ fn main() {
     // Hopper-style 3-D torus (shrunk), 2 nodes/router, 4 cores.
     let mut hopper = MachineConfig::small(&[6, 4, 8], 2, 4);
     hopper.bw_per_dim = vec![9.375, 4.68, 9.375];
-    run("3-D Cray-style", hopper);
+    run("3-D Cray-style", hopper.build());
 
     // BlueGene/Q-style 5-D torus, 1 node/router, 16 cores.
-    let bgq = MachineConfig::small(&[4, 4, 4, 2, 2], 1, 16);
-    run("5-D BlueGene-style", bgq);
+    run(
+        "5-D BlueGene-style",
+        MachineConfig::small(&[4, 4, 4, 2, 2], 1, 16).build(),
+    );
+
+    // Cloud-style k=8 fat-tree: 32 racks of 4 hosts, 16 cores each,
+    // 2:1 oversubscribed core.
+    run("Fat-tree cluster", FatTreeConfig::cluster().build());
+
+    // Smaller fat-tree with unit bandwidths for comparison.
+    run(
+        "Fat-tree k=4 testbed",
+        FatTreeConfig::small(4, 2, 4).build(),
+    );
+
+    // Dragonfly supercomputer: 9 groups x 16 routers, Aries-like
+    // bandwidths.
+    run(
+        "Dragonfly supercomputer",
+        DragonflyConfig::supercomputer().build(),
+    );
+
+    // Small dragonfly testbed.
+    run(
+        "Dragonfly testbed",
+        DragonflyConfig {
+            procs_per_node: 4,
+            ..DragonflyConfig::small(4, 4, 1)
+        }
+        .build(),
+    );
 }

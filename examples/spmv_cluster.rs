@@ -18,8 +18,8 @@ fn main() {
     let nodes = parts / machine.procs_per_node() as usize;
     let alloc = Allocation::generate(&machine, &AllocSpec::sparse(nodes, 42));
     println!(
-        "machine: {:?} torus, {} nodes allocated for {} processes",
-        machine.torus().dims(),
+        "machine: {}, {} nodes allocated for {} processes",
+        machine.topology().summary(),
         nodes,
         parts
     );

@@ -61,9 +61,19 @@ static MEASURE: Mutex<()> = Mutex::new(());
 fn warm_scratch_mapping_engine_is_allocation_free() {
     let _guard = MEASURE.lock().unwrap_or_else(|e| e.into_inner());
     // A 32-task graph on 8 nodes × 4 procs — the coarse problem the
-    // phase-2 engine sees after grouping.
-    let machine = MachineConfig::small(&[4, 4], 1, 4).build();
-    let alloc = Allocation::generate(&machine, &AllocSpec::sparse(8, 2));
+    // phase-2 engine sees after grouping — on every topology backend:
+    // the §8 perf contract is backend-generic. One scratch serves all
+    // three machines in sequence (buffers grow to the union high-water
+    // mark and are then reused verbatim).
+    let machines = [
+        MachineConfig::small(&[4, 4], 1, 4).build(),
+        umpa::topology::FatTreeConfig::small(4, 1, 4).build(),
+        umpa::topology::DragonflyConfig {
+            procs_per_node: 4,
+            ..umpa::topology::DragonflyConfig::small(3, 3, 1)
+        }
+        .build(),
+    ];
     let tg = TaskGraph::from_messages(
         32,
         (0..32u32).flat_map(|i| [(i, (i + 1) % 32, 4.0), (i, (i + 5) % 32, 1.0)]),
@@ -75,37 +85,41 @@ fn warm_scratch_mapping_engine_is_allocation_free() {
     let mut scratch = MapperScratch::new();
     let mut mapping: Vec<u32> = Vec::new();
 
-    let run = |scratch: &mut MapperScratch, mapping: &mut Vec<u32>| {
-        greedy_map_into(
-            &tg,
-            &machine,
-            &alloc,
-            &greedy_cfg,
-            &mut scratch.greedy,
-            mapping,
-        );
-        wh_refine_scratch(&tg, &machine, &alloc, mapping, &wh_cfg, &mut scratch.wh);
-        congestion_refine_scratch(&tg, &machine, &alloc, mapping, &mc_cfg, &mut scratch.cong);
-    };
+    for machine in &machines {
+        let alloc = Allocation::generate(machine, &AllocSpec::sparse(8, 2));
+        let run = |scratch: &mut MapperScratch, mapping: &mut Vec<u32>| {
+            greedy_map_into(
+                &tg,
+                machine,
+                &alloc,
+                &greedy_cfg,
+                &mut scratch.greedy,
+                mapping,
+            );
+            wh_refine_scratch(&tg, machine, &alloc, mapping, &wh_cfg, &mut scratch.wh);
+            congestion_refine_scratch(&tg, machine, &alloc, mapping, &mc_cfg, &mut scratch.cong);
+        };
 
-    // Warmup: size every buffer to this problem's high-water mark.
-    run(&mut scratch, &mut mapping);
-    run(&mut scratch, &mut mapping);
-    let reference = mapping.clone();
-
-    let before = allocs();
-    for _ in 0..5 {
+        // Warmup: size every buffer to this problem's high-water mark.
         run(&mut scratch, &mut mapping);
+        run(&mut scratch, &mut mapping);
+        let reference = mapping.clone();
+
+        let before = allocs();
+        for _ in 0..5 {
+            run(&mut scratch, &mut mapping);
+        }
+        let after = allocs();
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state mapping engine allocated {} times over 5 warm runs on {}",
+            after - before,
+            machine.topology().summary()
+        );
+        // And the warm runs still compute the real thing.
+        assert_eq!(mapping, reference);
     }
-    let after = allocs();
-    assert_eq!(
-        after - before,
-        0,
-        "steady-state mapping engine allocated {} times over 5 warm runs",
-        after - before
-    );
-    // And the warm runs still compute the real thing.
-    assert_eq!(mapping, reference);
 }
 
 #[test]

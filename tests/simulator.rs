@@ -44,9 +44,9 @@ fn makespan_at_least_the_critical_path() {
     let cfg = DesConfig::default();
     let t = simulate(&m, &tg, &mapping, &cfg).makespan_us;
     let bytes = 4000.0 * 8.0;
-    let lower = m.config().base_latency_us
+    let lower = m.base_latency_us()
         + 3.0 * (bytes / (m.link_bandwidth(0) * 1000.0))
-        + bytes / (m.config().nic_bw * 1000.0);
+        + bytes / (m.nic_bw() * 1000.0);
     assert!(
         t >= lower,
         "makespan {t} below physical lower bound {lower}"
