@@ -10,13 +10,21 @@
 //!   rows are suffixed `/fattree` and `/dragonfly`);
 //! * `wh_refine` — Algorithm 2 from a fresh greedy mapping each op;
 //! * `cong_refine` — Algorithm 3 (volume) from a fresh greedy mapping;
+//! * `dist_table` vs `dist_analytic` — the distance-oracle microbench:
+//!   the same pseudo-random router-pair sweep through the dense table
+//!   and through the analytic `Topology::distance`;
 //! * `map_many/batch{1,32,256}` — full pipeline requests per second
 //!   through the batched API (torus), plus the sequential reference and
 //!   the parallel speedup when the `parallel` feature is on.
 //!
+//! The metrics block records `oracle_enabled` and `oracle_build_ns` per
+//! backend so the perf trajectory distinguishes table-backed runs.
+//!
 //! Usage: `cargo run --release -p umpa-bench --bin perf [--preset tiny]
-//! [--topo torus|fattree|dragonfly|all] [--out PATH]`. The `tiny`
-//! preset is the CI smoke configuration; CI runs it once per backend.
+//! [--topo torus|fattree|dragonfly|all] [--no-batch] [--out PATH]`. The
+//! `tiny` preset is the CI smoke configuration; CI runs it once per
+//! backend. `--no-batch` skips the slow `map_many` section — the
+//! regression-gate configuration (see `perf_gate`).
 
 use umpa_bench::timing::{bench_ns, fmt_ns, print_samples, to_json, BenchOpts, Sample};
 use umpa_core::cong_refine::{congestion_refine_scratch, CongRefineConfig};
@@ -124,6 +132,7 @@ fn main() {
         .find(|w| w[0] == "--topo")
         .map(|w| w[1].clone())
         .unwrap_or_else(|| "all".to_string());
+    let no_batch = args.iter().any(|a| a == "--no-batch");
     let out_path = args
         .windows(2)
         .find(|w| w[0] == "--out")
@@ -163,12 +172,58 @@ fn main() {
                 format!("{stem}/{backend}")
             }
         };
+        // One-time oracle build cost, measured before anything touches
+        // distances (the OnceLock builds on first use).
+        let t0 = std::time::Instant::now();
+        let oracle_on = machine.oracle().is_some();
+        let build_ns = t0.elapsed().as_nanos() as f64;
+        let metric = |stem: &str| -> String {
+            if *backend == "torus" {
+                stem.to_string()
+            } else {
+                format!("{stem}_{backend}")
+            }
+        };
+        metrics.push((metric("oracle_enabled"), f64::from(u8::from(oracle_on))));
+        metrics.push((metric("oracle_build_ns"), build_ns));
+
         let alloc = Allocation::generate(machine, &AllocSpec::sparse(preset.nodes, 11));
         eprintln!(
-            "backend {backend}: {} ({} nodes allocated)",
+            "backend {backend}: {} ({} nodes allocated, oracle {})",
             machine.topology().summary(),
-            preset.nodes
+            preset.nodes,
+            if oracle_on { "on" } else { "off" }
         );
+
+        // --- Distance microbench: table vs analytic ------------------
+        // A fixed pseudo-random terminal-router pair sweep, identical
+        // for both implementations.
+        let nt = machine.num_terminal_routers() as u64;
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rnd = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let pairs: Vec<(u32, u32)> = (0..1024)
+            .map(|_| ((rnd() % nt) as u32, (rnd() % nt) as u32))
+            .collect();
+        let topo = machine.topology();
+        samples.push(bench_ns(&row("dist_analytic"), &preset.opts, || {
+            pairs
+                .iter()
+                .map(|&(a, b)| u64::from(topo.distance(a, b)))
+                .sum::<u64>()
+        }));
+        if let Some(oracle) = machine.oracle() {
+            samples.push(bench_ns(&row("dist_table"), &preset.opts, || {
+                pairs
+                    .iter()
+                    .map(|&(a, b)| u64::from(oracle.distance(a, b)))
+                    .sum::<u64>()
+            }));
+        }
 
         // --- Engine primitives, warm scratch -------------------------
         let mut scratch = MapperScratch::new();
@@ -213,7 +268,11 @@ fn main() {
     }
 
     // --- Batched serving throughput (torus fixture) ------------------
-    if let Some((_, machine)) = machines.iter().find(|(n, _)| *n == "torus") {
+    if let Some((_, machine)) = machines
+        .iter()
+        .find(|(n, _)| *n == "torus")
+        .filter(|_| !no_batch)
+    {
         let alloc = Allocation::generate(machine, &AllocSpec::sparse(preset.nodes, 11));
         let cfg = PipelineConfig::default();
         for &batch in preset.batches {

@@ -1,0 +1,144 @@
+//! Perf regression gate: compares a fresh `perf` run against the
+//! committed `BENCH_mapping.json` and fails on a median regression
+//! beyond the tolerance in any engine row (`greedy`, `wh_refine`,
+//! `cong_refine`, per backend).
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_gate <fresh.json> <baseline.json> [--tolerance 1.25]
+//! ```
+//!
+//! Exit status 0 when every gated row is within `tolerance ×` the
+//! committed median (noise-tolerant: the default 1.25 admits 25 % of
+//! scheduler jitter), 1 when any row regressed, 2 on usage/parse
+//! errors. Rows present in only one file are reported and skipped —
+//! adding a backend must not break the gate retroactively. CI wires
+//! this behind a `[skip-perf-gate]` commit-message escape hatch for
+//! intentional trade-offs (see `.github/workflows/ci.yml`).
+
+use std::collections::BTreeMap;
+
+/// Row stems the gate enforces (suffixed variants like
+/// `wh_refine/fattree` are matched by their stem).
+const GATED_STEMS: &[&str] = &["greedy", "wh_refine", "cong_refine"];
+
+/// Extracts `name → median_ns` from the hand-rolled perf JSON: one
+/// benchmark per line, `"<name>": {"median_ns": <float>, ...}`.
+fn parse_medians(src: &str, path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut out = BTreeMap::new();
+    for line in src.lines() {
+        let line = line.trim();
+        if !line.starts_with('"') || !line.contains("\"median_ns\":") {
+            continue;
+        }
+        let name_end = line[1..]
+            .find('"')
+            .ok_or_else(|| format!("{path}: unterminated row name in {line:?}"))?;
+        let name = &line[1..1 + name_end];
+        let tail = &line[line.find("\"median_ns\":").unwrap() + "\"median_ns\":".len()..];
+        let num: String = tail
+            .chars()
+            .skip_while(|c| c.is_whitespace())
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+            .collect();
+        let median: f64 = num
+            .parse()
+            .map_err(|e| format!("{path}: bad median for {name}: {e}"))?;
+        out.insert(name.to_string(), median);
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no benchmark rows found"));
+    }
+    Ok(out)
+}
+
+fn is_gated(row: &str) -> bool {
+    let stem = row.split('/').next().unwrap_or(row);
+    GATED_STEMS.contains(&stem)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut positional: Vec<&String> = Vec::new();
+    let mut tolerance = 1.25f64;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        if a == "--tolerance" {
+            tolerance = match it.next().and_then(|v| v.parse().ok()) {
+                Some(t) => t,
+                None => {
+                    eprintln!("perf_gate: --tolerance needs a float value");
+                    std::process::exit(2);
+                }
+            };
+        } else if a.starts_with("--") {
+            eprintln!("perf_gate: unknown flag {a}");
+            std::process::exit(2);
+        } else {
+            positional.push(a);
+        }
+    }
+    if positional.len() != 2 {
+        eprintln!("usage: perf_gate <fresh.json> <baseline.json> [--tolerance 1.25]");
+        std::process::exit(2);
+    }
+    let (fresh_path, base_path) = (positional[0], positional[1]);
+    let read = |p: &str| -> String {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("perf_gate: cannot read {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let fresh = match parse_medians(&read(fresh_path), fresh_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            std::process::exit(2);
+        }
+    };
+    let base = match parse_medians(&read(base_path), base_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut regressions = 0usize;
+    let mut checked = 0usize;
+    for (row, &committed) in base.iter().filter(|(r, _)| is_gated(r)) {
+        let Some(&measured) = fresh.get(row) else {
+            eprintln!("perf_gate: row {row} missing from {fresh_path} — skipped");
+            continue;
+        };
+        checked += 1;
+        let ratio = measured / committed;
+        let verdict = if ratio > tolerance {
+            regressions += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{row:24} committed {committed:>14.1} ns  fresh {measured:>14.1} ns  ratio {ratio:>5.2}x  {verdict}"
+        );
+    }
+    for row in fresh.keys().filter(|r| is_gated(r)) {
+        if !base.contains_key(row) {
+            eprintln!("perf_gate: new row {row} has no committed baseline — skipped");
+        }
+    }
+    if checked == 0 {
+        eprintln!("perf_gate: no gated rows were comparable");
+        std::process::exit(2);
+    }
+    if regressions > 0 {
+        eprintln!(
+            "perf_gate: {regressions} row(s) regressed beyond {tolerance}x; \
+             commit with [skip-perf-gate] only for intentional trade-offs"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("perf_gate: {checked} row(s) within {tolerance}x of the committed baseline");
+}

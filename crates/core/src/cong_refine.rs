@@ -27,6 +27,7 @@ use umpa_ds::{IndexedMaxHeap, SlotBuckets};
 use umpa_graph::{Bfs, TaskGraph};
 use umpa_topology::{Allocation, Machine};
 
+use crate::gain::HopDist;
 use crate::mapping::fits;
 
 /// Which congestion is being minimized.
@@ -70,42 +71,116 @@ impl CongRefineConfig {
     }
 }
 
-/// Per-link task sets: sorted vectors with reusable storage. Iteration
-/// is ascending by task id, matching the `BTreeSet` the paper's
-/// `commTasks` was previously modeled with.
+/// Per-link communicating-task registry: an **amortized-O(1)
+/// insert/remove multiset with deferred sorting** per link.
+///
+/// The previous representation was a sorted vector per link, which paid
+/// an O(n) `Vec::insert`/`Vec::remove` element shift on every route
+/// update — the second-hottest cost of a congestion-refinement commit.
+/// Here `insert` is a plain tail push and `remove` records the task in
+/// a pending-removal list; [`collect_members_into`]
+/// (Self::collect_members_into) normalizes a link lazily — sort both
+/// lists (in place, allocation-free), cancel each removal against one
+/// matching occurrence, compact — and is only called for the one most
+/// congested link per outer round. Iteration still yields **distinct
+/// task ids in ascending order**, matching the `BTreeSet` the paper's
+/// `commTasks` is modeled on, and a warm instance never touches the
+/// allocator (DESIGN.md §8, §11).
+///
+/// Multiplicity is meaningful: a task appears once per incident edge
+/// routed over the link, so removing the routes of one edge leaves the
+/// task registered while another of its edges still crosses the link
+/// (the old set semantics dropped it prematurely).
 #[derive(Default)]
 struct LinkTaskSets {
-    sets: Vec<Vec<u32>>,
+    /// Per-link members with multiplicity; sorted ascending when the
+    /// link is not dirty.
+    items: Vec<Vec<u32>>,
+    /// Per-link pending removals, unordered.
+    removed: Vec<Vec<u32>>,
+    /// Whether the link needs normalization before iteration.
+    dirty: Vec<bool>,
 }
 
 impl LinkTaskSets {
     /// Clears every set and guarantees `n` of them, reusing inner
     /// vector capacities.
     fn reset(&mut self, n: usize) {
-        for s in &mut self.sets {
+        for s in &mut self.items {
             s.clear();
         }
-        if n > self.sets.len() {
-            self.sets.resize_with(n, Vec::new);
+        for s in &mut self.removed {
+            s.clear();
+        }
+        self.dirty.clear();
+        self.dirty.resize(self.items.len().max(n), false);
+        if n > self.items.len() {
+            self.items.resize_with(n, Vec::new);
+            self.removed.resize_with(n, Vec::new);
         }
     }
 
+    /// Registers one occurrence of `t` on `link`. O(1).
     fn insert(&mut self, link: usize, t: u32) {
-        let v = &mut self.sets[link];
-        if let Err(pos) = v.binary_search(&t) {
-            v.insert(pos, t);
-        }
+        self.items[link].push(t);
+        self.dirty[link] = true;
     }
 
+    /// Cancels one occurrence of `t` on `link` (deferred, amortized
+    /// O(1)): the cancellation is recorded, and the link is compacted
+    /// once pending removals reach half its member list — so storage
+    /// stays proportional to live membership even for links that never
+    /// become the most congested, while each normalization's sort is
+    /// paid for by the pushes that triggered it.
     fn remove(&mut self, link: usize, t: u32) {
-        let v = &mut self.sets[link];
-        if let Ok(pos) = v.binary_search(&t) {
-            v.remove(pos);
+        self.removed[link].push(t);
+        self.dirty[link] = true;
+        if self.removed[link].len() >= 16 && 2 * self.removed[link].len() >= self.items[link].len()
+        {
+            self.normalize(link);
         }
     }
 
-    fn get(&self, link: usize) -> &[u32] {
-        &self.sets[link]
+    /// Applies pending removals and restores ascending order.
+    fn normalize(&mut self, link: usize) {
+        if !self.dirty[link] {
+            return;
+        }
+        let v = &mut self.items[link];
+        let r = &mut self.removed[link];
+        v.sort_unstable();
+        r.sort_unstable();
+        let mut w = 0usize;
+        let mut j = 0usize;
+        for i in 0..v.len() {
+            let x = v[i];
+            while j < r.len() && r[j] < x {
+                j += 1; // removal with no matching occurrence: skip
+            }
+            if j < r.len() && r[j] == x {
+                j += 1; // cancel this occurrence
+                continue;
+            }
+            v[w] = x;
+            w += 1;
+        }
+        v.truncate(w);
+        r.clear();
+        self.dirty[link] = false;
+    }
+
+    /// Writes `link`'s distinct members into `out` (cleared first) in
+    /// ascending task-id order. Allocation-free once `out` is warm.
+    fn collect_members_into(&mut self, link: usize, out: &mut Vec<u32>) {
+        self.normalize(link);
+        out.clear();
+        let mut last = u32::MAX;
+        for &t in &self.items[link] {
+            if t != last {
+                out.push(t);
+                last = t;
+            }
+        }
     }
 }
 
@@ -123,7 +198,8 @@ pub struct CongScratch {
     edges: Vec<(u32, u32, f64)>,
     deltas: Vec<(u32, f64)>,
     tasks: Vec<u32>,
-    residents: Vec<u32>,
+    /// Swap candidates of one node, as (WH damage, task).
+    cand: Vec<(f64, u32)>,
     sources: Vec<u32>,
 }
 
@@ -171,13 +247,11 @@ pub fn congestion_refine_scratch(
         if top_key <= 0.0 {
             break; // no congestion at all
         }
-        // Snapshot: try_improve_task edits the registry mid-scan.
-        state.tasks.clear();
-        let emc = emc as usize;
-        for i in 0..state.comm_tasks.get(emc).len() {
-            let t = state.comm_tasks.get(emc)[i];
-            state.tasks.push(t);
-        }
+        // Snapshot (try_improve_task edits the registry mid-scan); this
+        // is the one read that triggers the deferred normalization.
+        state
+            .comm_tasks
+            .collect_members_into(emc as usize, state.tasks);
         for i in 0..state.tasks.len() {
             let tmc = state.tasks[i];
             if state.try_improve_task(tmc, cfg.delta) {
@@ -196,6 +270,8 @@ struct CongState<'a> {
     tg: &'a TaskGraph,
     machine: &'a Machine,
     alloc: &'a Allocation,
+    /// Oracle-or-analytic distances for the WH-damage tiebreak.
+    dist: HopDist<'a>,
     mapping: &'a mut [u32],
     kind: CongestionKind,
     /// Per-link congestion key (volume/bw or message count).
@@ -213,7 +289,7 @@ struct CongState<'a> {
     edges: &'a mut Vec<(u32, u32, f64)>,
     deltas: &'a mut Vec<(u32, f64)>,
     tasks: &'a mut Vec<u32>,
-    residents: &'a mut Vec<u32>,
+    cand: &'a mut Vec<(f64, u32)>,
     sources: &'a mut Vec<u32>,
 }
 
@@ -238,7 +314,7 @@ impl<'a> CongState<'a> {
             edges,
             deltas,
             tasks,
-            residents,
+            cand,
             sources,
         } = scratch;
         let nl = machine.num_links();
@@ -264,6 +340,7 @@ impl<'a> CongState<'a> {
             tg,
             machine,
             alloc,
+            dist: HopDist::new(machine),
             mapping,
             kind,
             heap,
@@ -279,7 +356,7 @@ impl<'a> CongState<'a> {
             edges,
             deltas,
             tasks,
-            residents,
+            cand,
             sources,
         };
         // Initial routing of every message (INITCONG).
@@ -475,6 +552,8 @@ impl<'a> CongState<'a> {
     fn try_improve_task(&mut self, tmc: u32, delta: usize) -> bool {
         let node1 = self.mapping[tmc as usize];
         let w1 = self.tg.task_weight(tmc);
+        // Loop-invariant: tmc stays on node1 until a probe commits.
+        let slot1 = self.alloc.slot_of(node1).unwrap() as usize;
         self.sources.clear();
         for &nb in self.tg.symmetric().neighbors(tmc) {
             self.sources
@@ -495,16 +574,28 @@ impl<'a> CongState<'a> {
                     continue;
                 };
                 let slot2 = slot2 as usize;
-                let slot1 = self.alloc.slot_of(node1).unwrap() as usize;
                 // Candidates: each resident task (swap), then a pure
-                // move onto free capacity.
-                self.buckets.collect_into(slot2, self.residents);
-                for i in 0..self.residents.len() {
-                    let t = self.residents[i];
+                // move onto free capacity. BFS supplies the coarse
+                // nearest-first order; within one node the
+                // capacity-feasible residents are probed in ascending
+                // incremental WH damage (oracle rows, mutation-free —
+                // the §11 tiebreak), so an accepted congestion swap is
+                // the least WH-damaging one this node offers.
+                self.cand.clear();
+                for t in self.buckets.iter(slot2) {
                     let w2 = self.tg.task_weight(t);
                     if !fits(self.free[slot2] + w2, w1) || !fits(self.free[slot1] + w1, w2) {
                         continue;
                     }
+                    let damage = -self
+                        .dist
+                        .swap_gain(self.tg, self.mapping, tmc, Some(t), node2);
+                    self.cand.push((damage, t));
+                }
+                self.cand
+                    .sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                for i in 0..self.cand.len() {
+                    let t = self.cand[i].1;
                     if self.probe(tmc, Some(t), node1, node2, mc, ac) {
                         return true;
                     }

@@ -1,0 +1,248 @@
+//! Incremental, mutation-free weighted-hop gain evaluation.
+//!
+//! Both refinement engines (Algorithms 2 and 3) repeatedly ask "how
+//! much WH does swapping `t1` with `t2` save?". The original
+//! implementation answered by *virtually relocating* the tasks —
+//! writing `mapping[]`, recomputing both tasks' full WH, and writing it
+//! back — four neighbor-list scans plus two mapping mutations per
+//! candidate. The incremental formulation here needs two scans and no
+//! writes:
+//!
+//! ```text
+//! gain = Σ_{n ∈ N(t1), n ≠ t2} c₁ₙ · (d[r1][pos_n] − d[r2][pos_n])
+//!      + Σ_{n ∈ N(t2), n ≠ t1} c₂ₙ · (d[r2][pos_n] − d[r1][pos_n])
+//! ```
+//!
+//! where `r1`/`r2` are the routers the tasks sit on and `pos_n` the
+//! router of neighbor `n`. The `n ≠ partner` exclusions are the
+//! **t1–t2 edge correction term**: that edge spans `d(r1, r2)` both
+//! before and after a swap, so its true gain contribution is zero,
+//! while the naive per-neighbor sums (which read the partner's *old*
+//! position) would each add a spurious `c₁₂·d(r1, r2)`. Skipping the
+//! partner subtracts exactly that spurious term (DESIGN.md §11).
+//!
+//! Distances come from the [`DistanceOracle`] rows when the machine has
+//! one — `d[r]` is hoisted once per pivot and indexed per neighbor —
+//! and from the analytic [`Topology::distance`] otherwise. Both arms
+//! evaluate the same float expression in the same order, and hop counts
+//! are exact integers either way, so the two paths produce bit-identical
+//! gains (and therefore bit-identical refinement decisions).
+
+use umpa_graph::TaskGraph;
+use umpa_topology::{DistanceOracle, Machine, Topology};
+
+/// Hop-distance access for one refinement run: the oracle table when
+/// built, the analytic backend otherwise. Cheap to construct; hot loops
+/// call [`swap_gain`](Self::swap_gain)/[`task_wh`](Self::task_wh).
+pub(crate) struct HopDist<'a> {
+    oracle: Option<&'a DistanceOracle>,
+    topo: &'a Topology,
+    nodes_per_router: u32,
+}
+
+impl<'a> HopDist<'a> {
+    pub(crate) fn new(machine: &'a Machine) -> Self {
+        Self {
+            oracle: machine.oracle(),
+            topo: machine.topology(),
+            nodes_per_router: machine.params().nodes_per_router,
+        }
+    }
+
+    /// Router a node hangs off (mirrors `Machine::router_of`).
+    #[inline]
+    pub(crate) fn router_of(&self, node: u32) -> u32 {
+        node / self.nodes_per_router
+    }
+
+    /// Hop distance between two *nodes* — the oracle-or-analytic
+    /// dispatch in one place, with the oracle option hoisted at
+    /// construction (unlike `Machine::hops`, which re-checks the
+    /// `OnceLock` per call).
+    #[inline]
+    pub(crate) fn node_hops(&self, a: u32, b: u32) -> u32 {
+        let (ra, rb) = (self.router_of(a), self.router_of(b));
+        match self.oracle {
+            Some(o) => o.distance(ra, rb),
+            None => self.topo.distance(ra, rb),
+        }
+    }
+
+    /// `TASKWHOPS`: the WH task `t` incurs under `mapping`.
+    #[inline]
+    pub(crate) fn task_wh(&self, tg: &TaskGraph, mapping: &[u32], t: u32) -> f64 {
+        let r = self.router_of(mapping[t as usize]);
+        match self.oracle {
+            Some(o) => {
+                let row = o.row(r);
+                tg.symmetric()
+                    .edges(t)
+                    .map(|(n, c)| f64::from(row[self.router_of(mapping[n as usize]) as usize]) * c)
+                    .sum()
+            }
+            None => tg
+                .symmetric()
+                .edges(t)
+                .map(|(n, c)| {
+                    f64::from(self.topo.distance(r, self.router_of(mapping[n as usize]))) * c
+                })
+                .sum(),
+        }
+    }
+
+    /// WH gain (positive = improvement) of swapping `t1` with
+    /// `(node2, t2)`; `t2 = None` is a pure move onto free capacity.
+    /// Reads `mapping` without touching it.
+    pub(crate) fn swap_gain(
+        &self,
+        tg: &TaskGraph,
+        mapping: &[u32],
+        t1: u32,
+        t2: Option<u32>,
+        node2: u32,
+    ) -> f64 {
+        let r1 = self.router_of(mapping[t1 as usize]);
+        let r2 = self.router_of(node2);
+        let skip1 = t2.unwrap_or(u32::MAX);
+        match self.oracle {
+            Some(o) => {
+                let (row1, row2) = (o.row(r1), o.row(r2));
+                let mut gain = gain_half(tg, mapping, self.nodes_per_router, t1, skip1, |p| {
+                    i32::from(row1[p as usize]) - i32::from(row2[p as usize])
+                });
+                if let Some(t2) = t2 {
+                    gain += gain_half(tg, mapping, self.nodes_per_router, t2, t1, |p| {
+                        i32::from(row2[p as usize]) - i32::from(row1[p as usize])
+                    });
+                }
+                gain
+            }
+            None => {
+                let mut gain = gain_half(tg, mapping, self.nodes_per_router, t1, skip1, |p| {
+                    self.topo.distance(r1, p) as i32 - self.topo.distance(r2, p) as i32
+                });
+                if let Some(t2) = t2 {
+                    gain += gain_half(tg, mapping, self.nodes_per_router, t2, t1, |p| {
+                        self.topo.distance(r2, p) as i32 - self.topo.distance(r1, p) as i32
+                    });
+                }
+                gain
+            }
+        }
+    }
+}
+
+/// One task's side of the incremental gain: Σ c·Δd over its neighbors,
+/// excluding `skip` (the t1–t2 edge correction term — see module docs).
+#[inline]
+fn gain_half(
+    tg: &TaskGraph,
+    mapping: &[u32],
+    nodes_per_router: u32,
+    t: u32,
+    skip: u32,
+    hop_delta: impl Fn(u32) -> i32,
+) -> f64 {
+    let mut g = 0.0;
+    for (n, c) in tg.symmetric().edges(t) {
+        if n == skip {
+            continue;
+        }
+        let p = mapping[n as usize] / nodes_per_router;
+        g += c * f64::from(hop_delta(p));
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umpa_topology::{AllocSpec, Allocation, MachineConfig};
+
+    /// Reference gain by brute force: mutate a copy, recompute total WH.
+    fn brute_gain(
+        tg: &TaskGraph,
+        machine: &Machine,
+        mapping: &[u32],
+        t1: u32,
+        t2: Option<u32>,
+        node2: u32,
+    ) -> f64 {
+        let total = |m: &[u32]| -> f64 {
+            tg.messages()
+                .map(|(s, d, c)| f64::from(machine.hops(m[s as usize], m[d as usize])) * c)
+                .sum()
+        };
+        let mut after = mapping.to_vec();
+        let node1 = after[t1 as usize];
+        after[t1 as usize] = node2;
+        if let Some(t2) = t2 {
+            after[t2 as usize] = node1;
+        }
+        total(mapping) - total(&after)
+    }
+
+    #[test]
+    fn incremental_gain_matches_brute_force_including_adjacent_swaps() {
+        let m = MachineConfig::small(&[4, 4], 1, 2).build();
+        let alloc = Allocation::generate(&m, &AllocSpec::sparse(8, 7));
+        let tg = TaskGraph::from_messages(
+            10,
+            (0..10u32).flat_map(|i| [(i, (i + 1) % 10, 2.0), (i, (i + 3) % 10, 0.5)]),
+            None,
+        );
+        let mapping: Vec<u32> = (0..10usize).map(|t| alloc.node(t % 8)).collect();
+        let dist = HopDist::new(&m);
+        for t1 in 0..10u32 {
+            for t2 in 0..10u32 {
+                if t1 == t2 {
+                    continue;
+                }
+                let node2 = mapping[t2 as usize];
+                let inc = dist.swap_gain(&tg, &mapping, t1, Some(t2), node2);
+                let brute = brute_gain(&tg, &m, &mapping, t1, Some(t2), node2);
+                assert!(
+                    (inc - brute).abs() < 1e-9,
+                    "swap {t1}<->{t2}: incremental {inc} vs brute {brute}"
+                );
+            }
+            // Pure moves onto every allocated node.
+            for s in 0..8usize {
+                let node2 = alloc.node(s);
+                let inc = dist.swap_gain(&tg, &mapping, t1, None, node2);
+                let brute = brute_gain(&tg, &m, &mapping, t1, None, node2);
+                assert!((inc - brute).abs() < 1e-9, "move {t1}->{node2}");
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_and_analytic_gains_are_bit_identical() {
+        let mut analytic = MachineConfig::small(&[4, 3], 1, 2).build();
+        analytic.set_oracle_threshold(0);
+        let oracle = MachineConfig::small(&[4, 3], 1, 2).build();
+        let alloc = Allocation::generate(&oracle, &AllocSpec::sparse(6, 3));
+        let tg = TaskGraph::from_messages(
+            8,
+            (0..8u32).map(|i| (i, (i + 1) % 8, 1.0 + f64::from(i))),
+            None,
+        );
+        let mapping: Vec<u32> = (0..8usize).map(|t| alloc.node(t % 6)).collect();
+        let d_oracle = HopDist::new(&oracle);
+        let d_analytic = HopDist::new(&analytic);
+        for t1 in 0..8u32 {
+            for t2 in 0..8u32 {
+                if t1 == t2 {
+                    continue;
+                }
+                let node2 = mapping[t2 as usize];
+                let a = d_oracle.swap_gain(&tg, &mapping, t1, Some(t2), node2);
+                let b = d_analytic.swap_gain(&tg, &mapping, t1, Some(t2), node2);
+                assert_eq!(a.to_bits(), b.to_bits(), "swap {t1}<->{t2}");
+                let ka = d_oracle.task_wh(&tg, &mapping, t1);
+                let kb = d_analytic.task_wh(&tg, &mapping, t1);
+                assert_eq!(ka.to_bits(), kb.to_bits(), "task_wh {t1}");
+            }
+        }
+    }
+}

@@ -32,6 +32,7 @@ use umpa_ds::IndexedMaxHeap;
 use umpa_graph::{Bfs, TaskGraph};
 use umpa_topology::{Allocation, Machine};
 
+use crate::gain::HopDist;
 use crate::mapping::fits;
 
 /// Configuration of the greedy mapper.
@@ -83,11 +84,15 @@ impl GreedyScratch {
     }
 }
 
-/// Weighted hops of a mapping, computed arithmetically (O(1) torus
-/// distances — no routing).
+/// Weighted hops of a mapping. Distances come from the machine's
+/// [`DistanceOracle`](umpa_topology::DistanceOracle) table when built
+/// and from the analytic backend otherwise (via [`HopDist`], which
+/// hoists the oracle check out of the per-message loop); the sums are
+/// bit-identical because hop counts are exact integers either way.
 pub fn weighted_hops(tg: &TaskGraph, machine: &Machine, mapping: &[u32]) -> f64 {
+    let dist = HopDist::new(machine);
     tg.messages()
-        .map(|(s, t, c)| f64::from(machine.hops(mapping[s as usize], mapping[t as usize])) * c)
+        .map(|(s, t, c)| f64::from(dist.node_hops(mapping[s as usize], mapping[t as usize])) * c)
         .sum()
 }
 

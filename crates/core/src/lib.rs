@@ -37,6 +37,7 @@ pub const PARALLEL_ENABLED: bool = cfg!(feature = "parallel");
 
 pub mod baselines;
 pub mod cong_refine;
+pub(crate) mod gain;
 pub mod greedy;
 pub mod mapping;
 pub mod metrics;

@@ -18,11 +18,18 @@
 //! reusable [`WhScratch`]; a warm scratch makes repeated refinements
 //! allocation-free (DESIGN.md §8). Slot residency uses the flat
 //! [`SlotBuckets`] registry — O(1) task moves instead of `Vec::retain`.
+//!
+//! Gain evaluation is **incremental and mutation-free** (DESIGN.md
+//! §11): swap gains come from [`HopDist::swap_gain`] — distance-oracle
+//! rows (or the analytic fallback) over the two tasks' neighbor lists,
+//! with the t1–t2 edge handled by an explicit correction term — instead
+//! of virtually relocating tasks and recomputing their full WH.
 
 use umpa_ds::{IndexedMaxHeap, SlotBuckets};
 use umpa_graph::{Bfs, TaskGraph};
 use umpa_topology::{Allocation, Machine};
 
+use crate::gain::HopDist;
 use crate::greedy::weighted_hops;
 use crate::mapping::fits;
 
@@ -54,7 +61,6 @@ pub struct WhScratch {
     free: Vec<f64>,
     heap: IndexedMaxHeap,
     bfs: Bfs,
-    residents: Vec<u32>,
     sources: Vec<u32>,
 }
 
@@ -110,6 +116,8 @@ struct Refiner<'a> {
     tg: &'a TaskGraph,
     machine: &'a Machine,
     alloc: &'a Allocation,
+    /// Oracle-or-analytic distances and the incremental gain kernel.
+    dist: HopDist<'a>,
     mapping: &'a mut [u32],
     /// Tasks hosted by each allocation slot (flat registry).
     buckets: &'a mut SlotBuckets,
@@ -117,7 +125,6 @@ struct Refiner<'a> {
     free: &'a mut Vec<f64>,
     heap: &'a mut IndexedMaxHeap,
     bfs: &'a mut Bfs,
-    residents: &'a mut Vec<u32>,
     sources: &'a mut Vec<u32>,
 }
 
@@ -134,7 +141,6 @@ impl<'a> Refiner<'a> {
             free,
             heap,
             bfs,
-            residents,
             sources,
         } = scratch;
         buckets.reset(alloc.num_nodes(), tg.num_tasks());
@@ -151,46 +157,28 @@ impl<'a> Refiner<'a> {
             tg,
             machine,
             alloc,
+            dist: HopDist::new(machine),
             mapping,
             buckets,
             free,
             heap,
             bfs,
-            residents,
             sources,
         }
     }
 
     /// `TASKWHOPS`: WH incurred by `t` under the current mapping.
+    #[inline]
     fn task_wh(&self, t: u32) -> f64 {
-        let at = self.mapping[t as usize];
-        self.tg
-            .symmetric()
-            .edges(t)
-            .map(|(n, c)| f64::from(self.machine.hops(at, self.mapping[n as usize])) * c)
-            .sum()
+        self.dist.task_wh(self.tg, self.mapping, t)
     }
 
-    /// WH gain (positive = improvement) of swapping `t1` with the
-    /// contents of `(slot2, t2)`; `t2 = None` means moving `t1` onto the
-    /// free capacity of `slot2`.
-    fn swap_gain(&mut self, t1: u32, t2: Option<u32>, node2: u32) -> f64 {
-        let node1 = self.mapping[t1 as usize];
-        let old = self.task_wh(t1) + t2.map_or(0.0, |t| self.task_wh(t));
-        // Virtually relocate (the t1–t2 edge, if any, contributes the
-        // same distance before and after a swap and cancels in the
-        // gain; evaluating both tasks against the *updated* mapping
-        // keeps that cancellation exact).
-        self.mapping[t1 as usize] = node2;
-        if let Some(t) = t2 {
-            self.mapping[t as usize] = node1;
-        }
-        let new = self.task_wh(t1) + t2.map_or(0.0, |t| self.task_wh(t));
-        self.mapping[t1 as usize] = node1;
-        if let Some(t) = t2 {
-            self.mapping[t as usize] = node2;
-        }
-        old - new
+    /// WH gain (positive = improvement) of swapping `t1` with
+    /// `(node2, t2)`; `t2 = None` means moving `t1` onto the free
+    /// capacity of `node2`'s slot. Incremental — no mapping writes.
+    #[inline]
+    fn swap_gain(&self, t1: u32, t2: Option<u32>, node2: u32) -> f64 {
+        self.dist.swap_gain(self.tg, self.mapping, t1, t2, node2)
     }
 
     /// Commits a swap/move found by the candidate scan.
@@ -259,6 +247,8 @@ impl<'a> Refiner<'a> {
     fn find_swap(&mut self, twh: u32, delta: usize) -> Option<(f64, Option<u32>, u32)> {
         let node1 = self.mapping[twh as usize];
         let w1 = self.tg.task_weight(twh);
+        // Loop-invariant: twh stays on node1 for the whole scan.
+        let slot1 = self.alloc.slot_of(node1).unwrap() as usize;
         self.sources.clear();
         for &nb in self.tg.symmetric().neighbors(twh) {
             self.sources
@@ -280,13 +270,13 @@ impl<'a> Refiner<'a> {
                 };
                 let slot2 = slot2 as usize;
                 // Swap candidates: every task on the node, plus a pure
-                // move when the free capacity admits t_wh.
-                self.buckets.collect_into(slot2, self.residents);
-                for i in 0..self.residents.len() {
-                    let t2 = self.residents[i];
+                // move when the free capacity admits t_wh. Nothing in
+                // this scan mutates the registry (gains are
+                // mutation-free), so residents are iterated in place —
+                // no scratch copy.
+                for t2 in self.buckets.iter(slot2) {
                     // Capacity check for the exchange.
                     let w2 = self.tg.task_weight(t2);
-                    let slot1 = self.alloc.slot_of(node1).unwrap() as usize;
                     if !fits(self.free[slot2] + w2, w1) || !fits(self.free[slot1] + w1, w2) {
                         continue;
                     }

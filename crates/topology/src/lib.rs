@@ -19,6 +19,10 @@
 //!   routing, for Aries/Slingshot-style supercomputers;
 //! * [`routing`] — torus dimension-ordered routing at hop granularity
 //!   (diagnostics; the backends emit link ids directly);
+//! * [`oracle`] — the dense terminal-router hop table ([`DistanceOracle`])
+//!   behind `Machine::hops`/`Machine::dist_row`: one bounds-checked row
+//!   index per distance instead of enum dispatch plus per-dimension
+//!   arithmetic, with an analytic fallback above a size threshold;
 //! * [`Machine`] — the full machine: topology + nodes-per-router +
 //!   bandwidths + latencies + the router graph in CSR form for BFS;
 //! * [`ordering`] — linear node orderings (lexicographic / serpentine
@@ -33,6 +37,7 @@ pub mod alloc;
 pub mod dragonfly;
 pub mod fat_tree;
 pub mod machine;
+pub mod oracle;
 pub mod ordering;
 pub mod routing;
 pub mod topology;
@@ -41,7 +46,8 @@ pub mod torus;
 pub use alloc::{AllocSpec, Allocation};
 pub use dragonfly::{Dragonfly, DragonflyConfig};
 pub use fat_tree::{FatTree, FatTreeConfig};
-pub use machine::{LinkMode, Machine, MachineConfig, MachineParams};
+pub use machine::{LinkMode, Machine, MachineConfig, MachineParams, DEFAULT_ORACLE_MAX_ROUTERS};
+pub use oracle::DistanceOracle;
 pub use ordering::NodeOrdering;
 pub use topology::{Topology, TorusNet};
 pub use torus::Torus;
@@ -52,6 +58,7 @@ pub mod prelude {
     pub use crate::dragonfly::{Dragonfly, DragonflyConfig};
     pub use crate::fat_tree::{FatTree, FatTreeConfig};
     pub use crate::machine::{LinkMode, Machine, MachineConfig, MachineParams};
+    pub use crate::oracle::DistanceOracle;
     pub use crate::ordering::NodeOrdering;
     pub use crate::topology::{Topology, TorusNet};
     pub use crate::torus::Torus;

@@ -8,10 +8,18 @@
 //! [`crate::topology`] for the canonical-id scheme); the machine maps
 //! it into the active [`LinkMode`]'s channel space.
 
+use std::sync::OnceLock;
+
 use umpa_graph::{Graph, GraphBuilder};
 
+use crate::oracle::DistanceOracle;
 use crate::topology::{Topology, TorusNet};
 use crate::torus::Torus;
+
+/// Default router-count ceiling for the [`DistanceOracle`] table. At
+/// `2·n²` bytes the table tops out at 32 MiB here; larger machines fall
+/// back to the analytic [`Topology::distance`] path transparently.
+pub const DEFAULT_ORACLE_MAX_ROUTERS: usize = 4096;
 
 /// Whether congestion is accumulated per directed channel or per
 /// physical (undirected) link.
@@ -124,6 +132,11 @@ pub struct Machine {
     topo: Topology,
     params: MachineParams,
     router_graph: Graph,
+    /// Lazily built terminal-router hop table; `None` inside means the
+    /// machine exceeds `oracle_max_routers` and hot paths use the
+    /// analytic distance.
+    oracle: OnceLock<Option<DistanceOracle>>,
+    oracle_max_routers: usize,
 }
 
 impl Machine {
@@ -163,7 +176,42 @@ impl Machine {
             topo,
             params,
             router_graph,
+            oracle: OnceLock::new(),
+            oracle_max_routers: DEFAULT_ORACLE_MAX_ROUTERS,
         }
+    }
+
+    /// The distance-oracle table, building it on first use; `None` when
+    /// the machine exceeds the router-count threshold (hot paths then
+    /// use the analytic [`Topology::distance`]).
+    ///
+    /// The build is O(n²) distance calls and is paid by the *first*
+    /// query on the machine (~0.4 s on Hopper's 3264 routers) — the
+    /// right trade for a long-lived serving machine, where every
+    /// subsequent mapping amortizes it. A latency-sensitive caller
+    /// doing a single mapping on a large machine can opt out with
+    /// [`set_oracle_threshold(0)`](Self::set_oracle_threshold).
+    #[inline]
+    pub fn oracle(&self) -> Option<&DistanceOracle> {
+        self.oracle
+            .get_or_init(|| DistanceOracle::build(&self.topo, self.oracle_max_routers))
+            .as_ref()
+    }
+
+    /// Overrides the oracle router-count threshold (0 disables the
+    /// table entirely — the analytic-fallback configuration the
+    /// bit-identity tests pin). Discards any table already built.
+    pub fn set_oracle_threshold(&mut self, max_routers: usize) {
+        self.oracle_max_routers = max_routers;
+        self.oracle = OnceLock::new();
+    }
+
+    /// Hop distances out of terminal router `r` as a dense row
+    /// (`row[b]` = hops `r → b`), when the oracle is enabled. Hot loops
+    /// hoist this once per pivot router.
+    #[inline]
+    pub fn dist_row(&self, r: u32) -> Option<&[u16]> {
+        self.oracle().map(|o| o.row(r))
     }
 
     /// The topology backend.
@@ -253,9 +301,18 @@ impl Machine {
     }
 
     /// Hop distance between two *nodes* (0 when they share a router).
+    /// Served from the [`DistanceOracle`] table when built (a single
+    /// bounds-checked row index), otherwise from the analytic
+    /// [`Topology::distance`]; the two agree exactly, so every consumer
+    /// — greedy WH sums, refinement gains, TMAP/SMAP splits — is
+    /// bit-identical across the paths.
     #[inline]
     pub fn hops(&self, a: u32, b: u32) -> u32 {
-        self.topo.distance(self.router_of(a), self.router_of(b))
+        let (ra, rb) = (self.router_of(a), self.router_of(b));
+        match self.oracle() {
+            Some(o) => o.distance(ra, rb),
+            None => self.topo.distance(ra, rb),
+        }
     }
 
     /// Network diameter in hops.
@@ -474,6 +531,21 @@ mod tests {
         // 4 groups x 3 local links + 6 globals, directed.
         assert_eq!(m.num_links(), 2 * (12 + 6));
         assert_eq!(m.diameter(), 3);
+    }
+
+    #[test]
+    fn oracle_backs_hops_and_fallback_agrees() {
+        let mut m = m222();
+        assert!(m.oracle().is_some(), "64 routers is well under threshold");
+        let row = m.dist_row(0).unwrap();
+        assert_eq!(row.len(), 64);
+        let oracle_hops: Vec<u32> = (0..128u32).map(|b| m.hops(0, b)).collect();
+        // Disabling the table must not change a single distance.
+        m.set_oracle_threshold(0);
+        assert!(m.oracle().is_none());
+        assert!(m.dist_row(0).is_none());
+        let analytic_hops: Vec<u32> = (0..128u32).map(|b| m.hops(0, b)).collect();
+        assert_eq!(oracle_hops, analytic_hops);
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Dense terminal-router hop-distance table (the *distance oracle*).
+//!
+//! The refinement engines of `umpa-core` evaluate thousands of swap
+//! candidates per run, and every candidate costs a handful of hop
+//! distances. The analytic [`Topology::distance`] is O(ndims) but pays
+//! an enum dispatch plus per-dimension modular arithmetic on every
+//! call; the follow-up literature (Deveci et al., TPDS 2018; Schulz &
+//! Woydt 2025) precomputes distances instead. A [`DistanceOracle`] is
+//! that precomputation: a row-major `n × n` table of `u16` hop counts
+//! over the **terminal** routers, built once per machine, so a hot loop
+//! hoists one row and then does a single bounds-checked index per
+//! distance.
+//!
+//! The table stores the length of the *static route* between terminal
+//! routers — exactly what [`Topology::distance`] returns — not the
+//! router-graph shortest path. The two differ on purpose: dragonfly's
+//! minimal local–global–local routing can be one hop longer than some
+//! graph geodesic through a foreign gateway, and WH must count the hops
+//! traffic actually takes.
+//!
+//! Memory cost is `2·n²` bytes for `n` terminal routers (Hopper's
+//! 17×8×24 torus: 3264² × 2 B ≈ 21 MiB). Machines above a configurable
+//! router-count threshold ([`crate::machine::DEFAULT_ORACLE_MAX_ROUTERS`])
+//! skip the table and fall back to the analytic path — the `Machine`
+//! accessors hide the difference.
+
+use crate::topology::Topology;
+
+/// Dense `n × n` hop table over terminal routers `0..n`.
+#[derive(Clone, Debug)]
+pub struct DistanceOracle {
+    /// Number of terminal routers (table is `n × n`).
+    n: usize,
+    /// Row-major hop counts; `table[a * n + b] = distance(a, b)`.
+    table: Vec<u16>,
+}
+
+impl DistanceOracle {
+    /// Builds the table from the topology's static-route distances, or
+    /// returns `None` when the machine is too large (`n > max_routers`)
+    /// or a distance overflows `u16` (never for realistic diameters).
+    pub fn build(topo: &Topology, max_routers: usize) -> Option<Self> {
+        let n = topo.num_terminal_routers();
+        if n == 0 || n > max_routers {
+            return None;
+        }
+        if topo.diameter() > u32::from(u16::MAX) {
+            return None;
+        }
+        let mut table = vec![0u16; n * n];
+        for a in 0..n as u32 {
+            let row = &mut table[a as usize * n..(a as usize + 1) * n];
+            for (b, slot) in row.iter_mut().enumerate() {
+                *slot = topo.distance(a, b as u32) as u16;
+            }
+        }
+        Some(Self { n, table })
+    }
+
+    /// Number of terminal routers covered.
+    #[inline]
+    pub fn num_routers(&self) -> usize {
+        self.n
+    }
+
+    /// Table size in bytes (the `2·n²` memory-cost formula).
+    #[inline]
+    pub fn size_bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<u16>()
+    }
+
+    /// Hop distance between terminal routers `a` and `b`.
+    #[inline]
+    pub fn distance(&self, a: u32, b: u32) -> u32 {
+        u32::from(self.table[a as usize * self.n + b as usize])
+    }
+
+    /// Row of hop distances out of terminal router `r`: `row(r)[b]` is
+    /// the distance `r → b`. Hot loops hoist this once per pivot and
+    /// index it per neighbor.
+    #[inline]
+    pub fn row(&self, r: u32) -> &[u16] {
+        &self.table[r as usize * self.n..(r as usize + 1) * self.n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dragonfly::DragonflyConfig;
+    use crate::fat_tree::FatTreeConfig;
+    use crate::machine::MachineConfig;
+
+    #[test]
+    fn table_matches_analytic_distance_on_a_torus() {
+        let m = MachineConfig::small(&[4, 3, 2], 1, 1).build();
+        let topo = m.topology();
+        let o = DistanceOracle::build(topo, 4096).unwrap();
+        assert_eq!(o.num_routers(), 24);
+        for a in 0..24u32 {
+            let row = o.row(a);
+            for b in 0..24u32 {
+                assert_eq!(u32::from(row[b as usize]), topo.distance(a, b));
+                assert_eq!(o.distance(a, b), topo.distance(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_disables_the_table() {
+        let m = MachineConfig::small(&[4, 4], 1, 1).build();
+        assert!(DistanceOracle::build(m.topology(), 15).is_none());
+        assert!(DistanceOracle::build(m.topology(), 16).is_some());
+    }
+
+    #[test]
+    fn covers_only_terminal_routers_on_fat_tree() {
+        let m = FatTreeConfig::small(4, 2, 1).build();
+        let o = DistanceOracle::build(m.topology(), 4096).unwrap();
+        // k=4: 8 edge switches are terminal; agg/core are not tabled.
+        assert_eq!(o.num_routers(), 8);
+        assert_eq!(o.size_bytes(), 8 * 8 * 2);
+        assert_eq!(o.distance(0, 1), 2, "same-pod edge switches");
+        assert_eq!(o.distance(0, 2), 4, "cross-pod edge switches");
+    }
+
+    #[test]
+    fn dragonfly_route_lengths_are_tabled() {
+        let m = DragonflyConfig::small(4, 3, 2).build();
+        let topo = m.topology();
+        let o = DistanceOracle::build(topo, 4096).unwrap();
+        for a in 0..12u32 {
+            for b in 0..12u32 {
+                assert_eq!(o.distance(a, b), topo.distance(a, b));
+            }
+        }
+    }
+}

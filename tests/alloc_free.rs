@@ -23,7 +23,7 @@ use umpa::core::pipeline::{map_tasks, map_tasks_with, MapperKind, PipelineConfig
 use umpa::core::scratch::MapperScratch;
 use umpa::core::wh_refine::{wh_refine_scratch, WhRefineConfig};
 use umpa::graph::TaskGraph;
-use umpa::topology::{AllocSpec, Allocation, MachineConfig};
+use umpa::topology::{AllocSpec, Allocation, Machine, MachineConfig};
 
 struct CountingAlloc;
 
@@ -65,7 +65,11 @@ fn warm_scratch_mapping_engine_is_allocation_free() {
     // the §8 perf contract is backend-generic. One scratch serves all
     // three machines in sequence (buffers grow to the union high-water
     // mark and are then reused verbatim).
-    let machines = [
+    // Each backend runs twice: once with the distance-oracle table
+    // (built during warmup — the OnceLock build is a one-time cost, not
+    // steady state) and once with the table disabled, so both the
+    // §11 oracle path and the analytic fallback honor the contract.
+    let machines: Vec<Machine> = [
         MachineConfig::small(&[4, 4], 1, 4).build(),
         umpa::topology::FatTreeConfig::small(4, 1, 4).build(),
         umpa::topology::DragonflyConfig {
@@ -73,7 +77,14 @@ fn warm_scratch_mapping_engine_is_allocation_free() {
             ..umpa::topology::DragonflyConfig::small(3, 3, 1)
         }
         .build(),
-    ];
+    ]
+    .into_iter()
+    .flat_map(|m| {
+        let mut fallback = m.clone();
+        fallback.set_oracle_threshold(0);
+        [m, fallback]
+    })
+    .collect();
     let tg = TaskGraph::from_messages(
         32,
         (0..32u32).flat_map(|i| [(i, (i + 1) % 32, 4.0), (i, (i + 5) % 32, 1.0)]),
@@ -113,9 +124,14 @@ fn warm_scratch_mapping_engine_is_allocation_free() {
         assert_eq!(
             after - before,
             0,
-            "steady-state mapping engine allocated {} times over 5 warm runs on {}",
+            "steady-state mapping engine allocated {} times over 5 warm runs on {} (oracle {})",
             after - before,
-            machine.topology().summary()
+            machine.topology().summary(),
+            if machine.oracle().is_some() {
+                "on"
+            } else {
+                "off"
+            }
         );
         // And the warm runs still compute the real thing.
         assert_eq!(mapping, reference);
