@@ -13,6 +13,9 @@
 //! * `dist_table` vs `dist_analytic` — the distance-oracle microbench:
 //!   the same pseudo-random router-pair sweep through the dense table
 //!   and through the analytic `Topology::distance`;
+//! * `multilevel` — the coarsen–map–refine engine on a 3-D stencil
+//!   task graph far larger than the allocation (warm hierarchy +
+//!   scratch; UWH kind), per backend;
 //! * `map_many/batch{1,32,256}` — full pipeline requests per second
 //!   through the batched API (torus), plus the sequential reference and
 //!   the parallel speedup when the `parallel` feature is on.
@@ -29,12 +32,16 @@
 use umpa_bench::timing::{bench_ns, fmt_ns, print_samples, to_json, BenchOpts, Sample};
 use umpa_core::cong_refine::{congestion_refine_scratch, CongRefineConfig};
 use umpa_core::greedy::{greedy_map_into, GreedyConfig};
-use umpa_core::pipeline::{map_many, map_many_seq, MapRequest, MapperKind, PipelineConfig};
+use umpa_core::multilevel::multilevel_map_into;
+use umpa_core::pipeline::{
+    map_many, map_many_seq, MapRequest, MapStrategy, MapperKind, PipelineConfig,
+};
 use umpa_core::scratch::MapperScratch;
 use umpa_core::wh_refine::{wh_refine_scratch, WhRefineConfig};
 use umpa_graph::TaskGraph;
 use umpa_matgen::gen::{stencil2d, Stencil2D};
 use umpa_matgen::spmv::spmv_task_graph;
+use umpa_matgen::taskgen::{stencil3d_tasks, total_weight_for};
 use umpa_partition::PartitionerKind;
 use umpa_topology::{
     AllocSpec, Allocation, DragonflyConfig, FatTreeConfig, Machine, MachineConfig,
@@ -48,6 +55,9 @@ struct Preset {
     parts: usize,
     /// Allocated nodes.
     nodes: usize,
+    /// 3-D stencil dimensions of the multilevel fixture (tasks ≫ the
+    /// allocation, so the coarsen–map–refine path is what's measured).
+    ml_grid: (usize, usize, usize),
     /// `map_many` batch sizes.
     batches: &'static [usize],
     opts: BenchOpts,
@@ -60,6 +70,7 @@ impl Preset {
             grid: 16,
             parts: 32,
             nodes: 8,
+            ml_grid: (16, 16, 8), // 2048 tasks
             batches: &[1, 8, 32],
             opts: BenchOpts::fast(),
         }
@@ -71,6 +82,7 @@ impl Preset {
             grid: 64,
             parts: 256,
             nodes: 16,
+            ml_grid: (30, 30, 22), // 19800 tasks
             batches: &[1, 32, 256],
             opts: BenchOpts::default(),
         }
@@ -265,6 +277,30 @@ fn main() {
                 &mut scratch.cong,
             )
         }));
+
+        // --- Multilevel coarsen–map–refine (warm hierarchy) ----------
+        // A task graph ~10²× the allocation: the full engine run —
+        // capacity-aware matching, per-level quotient rebuilds, the
+        // coarsest greedy+WH map, bounded per-level refinement.
+        let (nx, ny, nz) = preset.ml_grid;
+        let ml_tg = stencil3d_tasks(nx, ny, nz, 8.0, 2.0, total_weight_for(&alloc, 0.5));
+        let ml_cfg = PipelineConfig::default();
+        let mut ml_mapping: Vec<u32> = Vec::new();
+        let mut ml_levels = 0usize;
+        samples.push(bench_ns(&row("multilevel"), &preset.opts, || {
+            let stats = multilevel_map_into(
+                &ml_tg,
+                machine,
+                &alloc,
+                MapperKind::GreedyWh,
+                &ml_cfg,
+                &mut scratch,
+                &mut ml_mapping,
+            );
+            ml_levels = stats.levels;
+            stats.coarsest_tasks
+        }));
+        metrics.push((metric("multilevel_levels"), ml_levels as f64));
     }
 
     // --- Batched serving throughput (torus fixture) ------------------
@@ -286,6 +322,7 @@ fn main() {
                         1 => MapperKind::GreedyWh,
                         _ => MapperKind::GreedyMc,
                     },
+                    strategy: MapStrategy::Direct,
                     cfg: &cfg,
                 })
                 .collect();

@@ -41,6 +41,7 @@ pub(crate) mod gain;
 pub mod greedy;
 pub mod mapping;
 pub mod metrics;
+pub mod multilevel;
 pub mod pipeline;
 pub mod scratch;
 pub mod wh_refine;
@@ -52,8 +53,10 @@ pub use cong_refine::{
 pub use greedy::{greedy_map, greedy_map_into, GreedyConfig, GreedyScratch};
 pub use mapping::{fits, validate_mapping, CAPACITY_EPS};
 pub use metrics::{evaluate, MetricsReport};
+pub use multilevel::{multilevel_map_into, MultilevelConfig, MultilevelScratch, MultilevelStats};
 pub use pipeline::{
-    map_many, map_many_seq, map_portfolio, map_tasks, map_tasks_with, MapRequest, MapperKind,
+    map_many, map_many_seq, map_multilevel, map_multilevel_with, map_portfolio,
+    map_portfolio_strategy, map_tasks, map_tasks_with, MapRequest, MapStrategy, MapperKind,
     MappingOutcome, PipelineConfig,
 };
 pub use scratch::MapperScratch;
@@ -65,8 +68,10 @@ pub mod prelude {
     pub use crate::cong_refine::{congestion_refine, CongRefineConfig, CongestionKind};
     pub use crate::greedy::{greedy_map, GreedyConfig};
     pub use crate::metrics::{evaluate, MetricsReport};
+    pub use crate::multilevel::{MultilevelConfig, MultilevelStats};
     pub use crate::pipeline::{
-        map_many, map_many_seq, map_portfolio, map_tasks, map_tasks_with, MapRequest, MapperKind,
+        map_many, map_many_seq, map_multilevel, map_multilevel_with, map_portfolio,
+        map_portfolio_strategy, map_tasks, map_tasks_with, MapRequest, MapStrategy, MapperKind,
         MappingOutcome, PipelineConfig,
     };
     pub use crate::scratch::MapperScratch;

@@ -30,6 +30,7 @@ use crate::baselines::{def_groups, def_mapping, smap_mapping, tmap_mapping};
 use crate::cong_refine::{congestion_refine_scratch, CongRefineConfig};
 use crate::greedy::{greedy_map_into, GreedyConfig};
 use crate::metrics::evaluate;
+use crate::multilevel::{multilevel_map_into, MultilevelConfig};
 use crate::scratch::MapperScratch;
 use crate::wh_refine::{wh_refine_scratch, WhRefineConfig};
 
@@ -93,6 +94,9 @@ pub struct PipelineConfig {
     pub cong_volume: CongRefineConfig,
     /// Algorithm 3 settings for the message variant.
     pub cong_messages: CongRefineConfig,
+    /// Multilevel coarsen–map–refine settings (the [`map_multilevel`]
+    /// strategy for graphs far larger than the machine).
+    pub multilevel: MultilevelConfig,
     /// Run Algorithm 2 on the *fine* task graph after composing (the
     /// §III-B alternative the paper declines by default: fine-level
     /// swaps can lower WH further but may increase the total internode
@@ -110,10 +114,25 @@ impl Default for PipelineConfig {
             wh: WhRefineConfig::default(),
             cong_volume: CongRefineConfig::volume(),
             cong_messages: CongRefineConfig::messages(),
+            multilevel: MultilevelConfig::default(),
             fine_wh_refine: false,
             seed: 1,
         }
     }
+}
+
+/// How a request turns its task graph into a mapping: the paper's
+/// two-phase pipeline, or the multilevel engine for graphs far larger
+/// than the machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum MapStrategy {
+    /// Phase-1 grouping (recursive bisection) + phase-2 mapping — the
+    /// paper's flow, right for machine-sized graphs.
+    #[default]
+    Direct,
+    /// Coarsen–map–refine over a heavy-edge-matching hierarchy
+    /// ([`crate::multilevel`]) — right when `|Vt| ≫ |Va|`.
+    Multilevel,
 }
 
 /// Result of the full pipeline.
@@ -330,6 +349,59 @@ pub fn map_tasks_with(
     }
 }
 
+/// Runs the multilevel coarsen–map–refine engine for one mapper (see
+/// [`crate::multilevel`]): coarsen by capacity-aware heavy-edge
+/// matching, map the coarsest graph with the engine, then uncoarsen
+/// with bounded per-level refinement. The strategy of choice when the
+/// task graph dwarfs the machine; on machine-sized graphs it degrades
+/// gracefully to a direct engine run.
+///
+/// The `DEF`/`TMAP`/`SMAP` baselines do not decompose over a hierarchy
+/// and are routed through the direct [`map_tasks`] pipeline unchanged.
+///
+/// `elapsed` covers the whole multilevel run — coarsening here plays
+/// phase 1's role, so unlike [`map_tasks`] there is no untimed
+/// preprocessing. `group_of` is the composed fine-task → coarsest-vertex
+/// assignment.
+pub fn map_multilevel(
+    fine: &TaskGraph,
+    machine: &Machine,
+    alloc: &Allocation,
+    kind: MapperKind,
+    cfg: &PipelineConfig,
+) -> MappingOutcome {
+    map_multilevel_with(fine, machine, alloc, kind, cfg, &mut MapperScratch::new())
+}
+
+/// [`map_multilevel`] with a caller-owned [`MapperScratch`]: the
+/// hierarchy and every engine buffer are reused, so a warm scratch
+/// makes the whole run allocation-free apart from materializing the
+/// outcome (use [`crate::multilevel::multilevel_map_into`] directly for
+/// the fully allocation-free serving path). Results are bit-identical
+/// to [`map_multilevel`].
+pub fn map_multilevel_with(
+    fine: &TaskGraph,
+    machine: &Machine,
+    alloc: &Allocation,
+    kind: MapperKind,
+    cfg: &PipelineConfig,
+    scratch: &mut MapperScratch,
+) -> MappingOutcome {
+    if matches!(kind, MapperKind::Def | MapperKind::Tmap | MapperKind::Smap) {
+        return map_tasks_with(fine, machine, alloc, kind, cfg, scratch);
+    }
+    let start = Instant::now();
+    let mut fine_mapping = Vec::new();
+    multilevel_map_into(fine, machine, alloc, kind, cfg, scratch, &mut fine_mapping);
+    let elapsed = start.elapsed();
+    MappingOutcome {
+        fine_mapping,
+        group_of: scratch.multilevel.group_of.clone(),
+        elapsed,
+        tmap_fell_back: false,
+    }
+}
+
 /// One mapping request for the batched [`map_many`] API. Borrows its
 /// inputs so a serving layer can share one machine/topology across a
 /// whole batch.
@@ -343,8 +415,20 @@ pub struct MapRequest<'a> {
     pub alloc: &'a Allocation,
     /// Mapping algorithm to run.
     pub kind: MapperKind,
+    /// Direct pipeline or multilevel engine.
+    pub strategy: MapStrategy,
     /// Pipeline configuration.
     pub cfg: &'a PipelineConfig,
+}
+
+/// Dispatches one request onto the strategy's entry point.
+fn run_request(r: &MapRequest<'_>, scratch: &mut MapperScratch) -> MappingOutcome {
+    match r.strategy {
+        MapStrategy::Direct => map_tasks_with(r.tasks, r.machine, r.alloc, r.kind, r.cfg, scratch),
+        MapStrategy::Multilevel => {
+            map_multilevel_with(r.tasks, r.machine, r.alloc, r.kind, r.cfg, scratch)
+        }
+    }
 }
 
 /// Maps a batch of independent requests, amortizing scratch buffers
@@ -368,11 +452,7 @@ pub fn map_many(requests: &[MapRequest<'_>]) -> Vec<MappingOutcome> {
             .par_chunks(chunk)
             .map(|part| {
                 let mut scratch = MapperScratch::new();
-                part.iter()
-                    .map(|r| {
-                        map_tasks_with(r.tasks, r.machine, r.alloc, r.kind, r.cfg, &mut scratch)
-                    })
-                    .collect()
+                part.iter().map(|r| run_request(r, &mut scratch)).collect()
             })
             .collect();
         return nested.into_iter().flatten().collect();
@@ -386,7 +466,7 @@ pub fn map_many_seq(requests: &[MapRequest<'_>]) -> Vec<MappingOutcome> {
     let mut scratch = MapperScratch::new();
     requests
         .iter()
-        .map(|r| map_tasks_with(r.tasks, r.machine, r.alloc, r.kind, r.cfg, &mut scratch))
+        .map(|r| run_request(r, &mut scratch))
         .collect()
 }
 
@@ -399,18 +479,38 @@ pub fn map_portfolio(
     alloc: &Allocation,
     cfg: &PipelineConfig,
 ) -> Vec<(MapperKind, MappingOutcome)> {
+    map_portfolio_strategy(fine, machine, alloc, cfg, MapStrategy::Direct)
+}
+
+/// [`map_portfolio`] with an explicit [`MapStrategy`]: under
+/// [`MapStrategy::Multilevel`] the greedy family runs the multilevel
+/// engine while the baselines keep their direct pipeline (they do not
+/// decompose over a hierarchy).
+pub fn map_portfolio_strategy(
+    fine: &TaskGraph,
+    machine: &Machine,
+    alloc: &Allocation,
+    cfg: &PipelineConfig,
+    strategy: MapStrategy,
+) -> Vec<(MapperKind, MappingOutcome)> {
     let kinds = MapperKind::all();
+    let run = |kind: MapperKind, scratch: &mut MapperScratch| {
+        let request = MapRequest {
+            tasks: fine,
+            machine,
+            alloc,
+            kind,
+            strategy,
+            cfg,
+        };
+        run_request(&request, scratch)
+    };
     #[cfg(feature = "parallel")]
     {
         use rayon::prelude::*;
         kinds
             .par_iter()
-            .map(|&kind| {
-                (
-                    kind,
-                    map_tasks_with(fine, machine, alloc, kind, cfg, &mut MapperScratch::new()),
-                )
-            })
+            .map(|&kind| (kind, run(kind, &mut MapperScratch::new())))
             .collect()
     }
     #[cfg(not(feature = "parallel"))]
@@ -418,12 +518,7 @@ pub fn map_portfolio(
         let mut scratch = MapperScratch::new();
         kinds
             .iter()
-            .map(|&kind| {
-                (
-                    kind,
-                    map_tasks_with(fine, machine, alloc, kind, cfg, &mut scratch),
-                )
-            })
+            .map(|&kind| (kind, run(kind, &mut scratch)))
             .collect()
     }
 }

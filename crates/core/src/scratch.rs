@@ -18,6 +18,7 @@
 
 use crate::cong_refine::CongScratch;
 use crate::greedy::GreedyScratch;
+use crate::multilevel::MultilevelScratch;
 use crate::wh_refine::WhScratch;
 
 /// Owns every per-run buffer of the mapping engine. See the module
@@ -30,6 +31,8 @@ pub struct MapperScratch {
     pub wh: WhScratch,
     /// Algorithm 3 buffers.
     pub cong: CongScratch,
+    /// Multilevel coarsen–map–refine hierarchy and matching buffers.
+    pub multilevel: MultilevelScratch,
     /// Coarse-mapping buffer shared by the pipeline's phase 2.
     pub(crate) coarse: Vec<u32>,
 }

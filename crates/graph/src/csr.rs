@@ -124,6 +124,50 @@ impl Graph {
         self.edges(u).find(|&(n, _)| n == v).map(|(_, w)| w)
     }
 
+    /// Builds the symmetrized view of `self` (a directed graph) into
+    /// `out` given its [`transpose`](GraphBuilder::transpose_into):
+    /// row `u` is the sorted merge of `self`'s and `transpose`'s rows,
+    /// weights of shared neighbors summed — `w{u,v} = w(u→v) + w(v→u)`,
+    /// stored in both directions, exactly
+    /// [`GraphBuilder::build_symmetric`]'s semantics without
+    /// re-deduplicating the raw edge list. Vertex weights copy from
+    /// `self`. A pure function of the two inputs (needs no builder
+    /// scratch), allocation-free once `out` is warm.
+    pub fn symmetrize_into(&self, transpose: &Graph, out: &mut Graph) {
+        let n = self.num_vertices();
+        debug_assert_eq!(transpose.num_vertices(), n);
+        out.xadj.clear();
+        out.xadj.resize(n + 1, 0);
+        out.adj.clear();
+        out.ewgt.clear();
+        for u in 0..n as u32 {
+            let (da, dw) = (self.neighbors(u), self.edge_weights(u));
+            let (ta, tw) = (transpose.neighbors(u), transpose.edge_weights(u));
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < da.len() || j < ta.len() {
+                let (v, w) = if j >= ta.len() || (i < da.len() && da[i] < ta[j]) {
+                    let e = (da[i], dw[i]);
+                    i += 1;
+                    e
+                } else if i >= da.len() || ta[j] < da[i] {
+                    let e = (ta[j], tw[j]);
+                    j += 1;
+                    e
+                } else {
+                    let e = (da[i], dw[i] + tw[j]);
+                    i += 1;
+                    j += 1;
+                    e
+                };
+                out.adj.push(v);
+                out.ewgt.push(w);
+            }
+            out.xadj[u as usize + 1] = out.adj.len();
+        }
+        out.vwgt.clear();
+        out.vwgt.extend_from_slice(&self.vwgt);
+    }
+
     /// Extracts the subgraph induced by `vertices` (edges with both
     /// endpoints inside). Returns the subgraph — whose vertex `i`
     /// corresponds to `vertices[i]` — so callers keep the id mapping.
@@ -151,12 +195,30 @@ impl Graph {
 ///
 /// Duplicate `(u, v)` entries are merged by summing weights; self-loops
 /// are dropped (neither metric in the paper counts them — a task does
-/// not message itself over the network).
+/// not message itself over the network). Adjacency lists come out in
+/// ascending neighbor order.
+///
+/// The builder is **reusable**: [`reset`](Self::reset) clears it for a
+/// new graph while keeping every internal buffer, and the
+/// [`build_directed_into`](Self::build_directed_into) /
+/// [`build_symmetric_into`](Self::build_symmetric_into) forms rebuild
+/// an existing [`Graph`] in place. A warm builder/graph pair therefore
+/// performs zero steady-state allocations — the contract the multilevel
+/// coarsening hierarchy (DESIGN.md §12) is built on. Construction is
+/// O(V + E + Σ deg·log deg) via a counting scatter with per-row
+/// epoch-marked deduplication — no global edge sort.
 #[derive(Clone, Debug, Default)]
 pub struct GraphBuilder {
     n: usize,
     edges: Vec<(u32, u32, f64)>,
-    vwgt: Option<Vec<f64>>,
+    vwgt: Vec<f64>,
+    has_vwgt: bool,
+    // Build scratch (reused across builds; see the struct docs).
+    cursor: Vec<usize>,
+    mark: Vec<usize>,
+    mark_epoch: Vec<u32>,
+    epoch: u32,
+    pairs: Vec<(u32, f64)>,
 }
 
 impl GraphBuilder {
@@ -164,9 +226,17 @@ impl GraphBuilder {
     pub fn new(n: usize) -> Self {
         Self {
             n,
-            edges: Vec::new(),
-            vwgt: None,
+            ..Self::default()
         }
+    }
+
+    /// Clears the builder for a graph with `n` vertices, keeping every
+    /// internal buffer (allocation-free once warm).
+    pub fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.edges.clear();
+        self.vwgt.clear();
+        self.has_vwgt = false;
     }
 
     /// Number of vertices the final graph will have.
@@ -184,59 +254,184 @@ impl GraphBuilder {
     /// Sets explicit vertex weights (defaults to all `1.0`).
     pub fn vertex_weights(&mut self, vwgt: Vec<f64>) -> &mut Self {
         assert_eq!(vwgt.len(), self.n);
-        self.vwgt = Some(vwgt);
+        self.vwgt = vwgt;
+        self.has_vwgt = true;
+        self
+    }
+
+    /// Sets explicit vertex weights from an iterator, reusing the
+    /// internal buffer (the allocation-free form of
+    /// [`vertex_weights`](Self::vertex_weights)).
+    pub fn set_vertex_weights_from(&mut self, vwgt: impl IntoIterator<Item = f64>) -> &mut Self {
+        self.vwgt.clear();
+        self.vwgt.extend(vwgt);
+        assert_eq!(self.vwgt.len(), self.n);
+        self.has_vwgt = true;
         self
     }
 
     /// Builds keeping edge directions (duplicates merged, loops dropped).
-    pub fn build_directed(&self) -> Graph {
-        self.build_inner(false)
+    pub fn build_directed(&mut self) -> Graph {
+        let mut g = Graph::empty(0);
+        self.build_into(&mut g, false);
+        g
     }
 
     /// Builds the symmetrized graph: for every pair `{u, v}` the combined
     /// weight `w(u→v) + w(v→u)` is stored in both directions. This is the
     /// paper's symmetric view of `Gt` used by WH-driven algorithms.
-    pub fn build_symmetric(&self) -> Graph {
-        self.build_inner(true)
+    pub fn build_symmetric(&mut self) -> Graph {
+        let mut g = Graph::empty(0);
+        self.build_into(&mut g, true);
+        g
     }
 
-    fn build_inner(&self, symmetrize: bool) -> Graph {
+    /// [`build_directed`](Self::build_directed) into an existing graph,
+    /// reusing its CSR buffers (allocation-free once warm).
+    pub fn build_directed_into(&mut self, g: &mut Graph) {
+        self.build_into(g, false);
+    }
+
+    /// [`build_symmetric`](Self::build_symmetric) into an existing
+    /// graph, reusing its CSR buffers (allocation-free once warm).
+    pub fn build_symmetric_into(&mut self, g: &mut Graph) {
+        self.build_into(g, true);
+    }
+
+    /// Transposes `g` into `out` (edge `(u, v, w)` becomes `(v, u, w)`),
+    /// reusing `out`'s CSR buffers and this builder's scratch. Rows come
+    /// out in ascending neighbor order (the scatter walks sources in
+    /// ascending order), and vertex weights are copied through — an
+    /// O(V + E) alternative to re-accumulating the reversed edge list.
+    pub fn transpose_into(&mut self, g: &Graph, out: &mut Graph) {
+        let n = g.num_vertices();
+        out.xadj.clear();
+        out.xadj.resize(n + 1, 0);
+        for &v in &g.adj {
+            out.xadj[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out.xadj[i + 1] += out.xadj[i];
+        }
+        out.adj.clear();
+        out.adj.resize(g.adj.len(), 0);
+        out.ewgt.clear();
+        out.ewgt.resize(g.ewgt.len(), 0.0);
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&out.xadj[..n]);
+        for u in 0..n as u32 {
+            for (v, w) in g.edges(u) {
+                let c = &mut self.cursor[v as usize];
+                out.adj[*c] = u;
+                out.ewgt[*c] = w;
+                *c += 1;
+            }
+        }
+        out.vwgt.clear();
+        out.vwgt.extend_from_slice(&g.vwgt);
+    }
+
+    /// Advances the per-row deduplication epoch, clearing the marks on
+    /// wraparound (once per 2³² rows).
+    fn next_epoch(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            self.mark_epoch.iter_mut().for_each(|e| *e = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+
+    fn build_into(&mut self, g: &mut Graph, symmetrize: bool) {
         let n = self.n;
-        // Collect (possibly mirrored) edges, drop self-loops.
-        let mut triplets: Vec<(u32, u32, f64)> =
-            Vec::with_capacity(self.edges.len() * if symmetrize { 2 } else { 1 });
+        // Degree upper bounds (duplicates still counted, loops dropped).
+        g.xadj.clear();
+        g.xadj.resize(n + 1, 0);
+        for &(u, v, _) in &self.edges {
+            if u == v {
+                continue;
+            }
+            g.xadj[u as usize + 1] += 1;
+            if symmetrize {
+                g.xadj[v as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            g.xadj[i + 1] += g.xadj[i];
+        }
+        let total = g.xadj[n];
+        g.adj.clear();
+        g.adj.resize(total, 0);
+        g.ewgt.clear();
+        g.ewgt.resize(total, 0.0);
+        // Counting scatter into the provisional (duplicate-keeping) layout.
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&g.xadj[..n]);
         for &(u, v, w) in &self.edges {
             if u == v {
                 continue;
             }
-            triplets.push((u, v, w));
+            let c = &mut self.cursor[u as usize];
+            g.adj[*c] = v;
+            g.ewgt[*c] = w;
+            *c += 1;
             if symmetrize {
-                triplets.push((v, u, w));
+                let c = &mut self.cursor[v as usize];
+                g.adj[*c] = u;
+                g.ewgt[*c] = w;
+                *c += 1;
             }
         }
-        // Sort then merge duplicates.
-        triplets.sort_unstable_by_key(|a| (a.0, a.1));
-        let mut xadj = vec![0usize; n + 1];
-        let mut adj = Vec::with_capacity(triplets.len());
-        let mut ewgt = Vec::with_capacity(triplets.len());
-        let mut i = 0;
-        while i < triplets.len() {
-            let (u, v, mut w) = triplets[i];
-            let mut j = i + 1;
-            while j < triplets.len() && triplets[j].0 == u && triplets[j].1 == v {
-                w += triplets[j].2;
-                j += 1;
+        // Per-row dedup (epoch-marked accumulator), in-place compaction,
+        // then ascending neighbor order within each row.
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+            self.mark_epoch.resize(n, 0);
+        }
+        let mut write = 0usize;
+        for u in 0..n {
+            let epoch = self.next_epoch();
+            let row_start = write;
+            for p in g.xadj[u]..g.xadj[u + 1] {
+                let v = g.adj[p];
+                let w = g.ewgt[p];
+                if self.mark_epoch[v as usize] == epoch {
+                    g.ewgt[self.mark[v as usize]] += w;
+                } else {
+                    self.mark_epoch[v as usize] = epoch;
+                    self.mark[v as usize] = write;
+                    g.adj[write] = v;
+                    g.ewgt[write] = w;
+                    write += 1;
+                }
             }
-            adj.push(v);
-            ewgt.push(w);
-            xadj[u as usize + 1] += 1;
-            i = j;
+            self.pairs.clear();
+            self.pairs.extend(
+                g.adj[row_start..write]
+                    .iter()
+                    .copied()
+                    .zip(g.ewgt[row_start..write].iter().copied()),
+            );
+            self.pairs.sort_unstable_by_key(|p| p.0);
+            for (i, &(v, w)) in self.pairs.iter().enumerate() {
+                g.adj[row_start + i] = v;
+                g.ewgt[row_start + i] = w;
+            }
+            // Reuse `cursor` to record the deduplicated row ends.
+            self.cursor[u] = write;
         }
-        for k in 0..n {
-            xadj[k + 1] += xadj[k];
+        g.adj.truncate(write);
+        g.ewgt.truncate(write);
+        for u in 0..n {
+            g.xadj[u + 1] = self.cursor[u];
         }
-        let vwgt = self.vwgt.clone().unwrap_or_else(|| vec![1.0; n]);
-        Graph::from_csr(xadj, adj, ewgt, vwgt)
+        g.vwgt.clear();
+        if self.has_vwgt {
+            assert_eq!(self.vwgt.len(), n);
+            g.vwgt.extend_from_slice(&self.vwgt);
+        } else {
+            g.vwgt.resize(n, 1.0);
+        }
     }
 }
 

@@ -29,11 +29,11 @@ pub mod taskgraph;
 pub use bfs::{Bfs, BfsEvent};
 pub use components::connected_components;
 pub use csr::{Graph, GraphBuilder};
-pub use taskgraph::TaskGraph;
+pub use taskgraph::{TaskGraph, TaskGraphScratch};
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::bfs::{Bfs, BfsEvent};
     pub use crate::csr::{Graph, GraphBuilder};
-    pub use crate::taskgraph::TaskGraph;
+    pub use crate::taskgraph::{TaskGraph, TaskGraphScratch};
 }

@@ -22,6 +22,40 @@ pub struct TaskGraph {
     recv_msgs: Vec<u32>,
 }
 
+impl Default for TaskGraph {
+    /// The empty task graph (0 tasks, 0 messages).
+    fn default() -> Self {
+        Self {
+            directed: Graph::empty(0),
+            reversed: Graph::empty(0),
+            sym: Graph::empty(0),
+            send_vol: Vec::new(),
+            recv_vol: Vec::new(),
+            send_msgs: Vec::new(),
+            recv_msgs: Vec::new(),
+        }
+    }
+}
+
+/// Reusable buffers for rebuilding [`TaskGraph`]s in place
+/// ([`TaskGraph::rebuild_from_messages`] /
+/// [`TaskGraph::group_quotient_into`]). One warm scratch makes repeated
+/// rebuilds allocation-free — the multilevel coarsening hierarchy's
+/// steady-state contract (DESIGN.md §12).
+#[derive(Default)]
+pub struct TaskGraphScratch {
+    fwd: GraphBuilder,
+    rev: GraphBuilder,
+    weights: Vec<f64>,
+}
+
+impl TaskGraphScratch {
+    /// Creates an empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl TaskGraph {
     /// Builds from directed `(sender, receiver, volume)` message edges.
     ///
@@ -35,38 +69,55 @@ impl TaskGraph {
         messages: impl IntoIterator<Item = (u32, u32, f64)>,
         task_weights: Option<Vec<f64>>,
     ) -> Self {
-        let mut b = GraphBuilder::new(num_tasks);
+        let mut tg = TaskGraph::default();
+        tg.rebuild_from_messages(
+            num_tasks,
+            messages,
+            task_weights.as_deref(),
+            &mut TaskGraphScratch::new(),
+        );
+        tg
+    }
+
+    /// Rebuilds `self` in place from directed message edges, reusing
+    /// every internal buffer (same semantics as
+    /// [`from_messages`](Self::from_messages)). Allocation-free once
+    /// `self` and `scratch` are warm.
+    pub fn rebuild_from_messages(
+        &mut self,
+        num_tasks: usize,
+        messages: impl IntoIterator<Item = (u32, u32, f64)>,
+        task_weights: Option<&[f64]>,
+        scratch: &mut TaskGraphScratch,
+    ) {
+        let b = &mut scratch.fwd;
+        b.reset(num_tasks);
         for (s, t, v) in messages {
             b.add_edge(s, t, v);
         }
         if let Some(w) = task_weights {
-            b.vertex_weights(w);
+            b.set_vertex_weights_from(w.iter().copied());
         }
-        let directed = b.build_directed();
-        let sym = b.build_symmetric();
-        let mut rb = GraphBuilder::new(num_tasks);
-        for (s, t, v) in directed.all_edges() {
-            rb.add_edge(t, s, v);
-        }
-        let reversed = rb.build_directed();
-        let mut send_vol = vec![0.0; num_tasks];
-        let mut recv_vol = vec![0.0; num_tasks];
-        let mut send_msgs = vec![0u32; num_tasks];
-        let mut recv_msgs = vec![0u32; num_tasks];
-        for (s, t, v) in directed.all_edges() {
-            send_vol[s as usize] += v;
-            recv_vol[t as usize] += v;
-            send_msgs[s as usize] += 1;
-            recv_msgs[t as usize] += 1;
-        }
-        Self {
-            directed,
-            reversed,
-            sym,
-            send_vol,
-            recv_vol,
-            send_msgs,
-            recv_msgs,
+        b.build_directed_into(&mut self.directed);
+        // The reversed and symmetric views derive from the merged
+        // directed CSR in O(V + E) — no second dedup over raw edges.
+        scratch
+            .rev
+            .transpose_into(&self.directed, &mut self.reversed);
+        self.directed.symmetrize_into(&self.reversed, &mut self.sym);
+        self.send_vol.clear();
+        self.send_vol.resize(num_tasks, 0.0);
+        self.recv_vol.clear();
+        self.recv_vol.resize(num_tasks, 0.0);
+        self.send_msgs.clear();
+        self.send_msgs.resize(num_tasks, 0);
+        self.recv_msgs.clear();
+        self.recv_msgs.resize(num_tasks, 0);
+        for (s, t, v) in self.directed.all_edges() {
+            self.send_vol[s as usize] += v;
+            self.recv_vol[t as usize] += v;
+            self.send_msgs[s as usize] += 1;
+            self.recv_msgs[t as usize] += 1;
         }
     }
 
@@ -83,8 +134,32 @@ impl TaskGraph {
         num_groups: usize,
         count_weighted: bool,
     ) -> TaskGraph {
+        let mut out = TaskGraph::default();
+        self.group_quotient_into(
+            group_of,
+            num_groups,
+            count_weighted,
+            &mut out,
+            &mut TaskGraphScratch::new(),
+        );
+        out
+    }
+
+    /// [`group_quotient`](Self::group_quotient) into an existing graph,
+    /// reusing its buffers. Allocation-free once `out` and `scratch`
+    /// are warm — the coarsening hierarchy's per-level build.
+    pub fn group_quotient_into(
+        &self,
+        group_of: &[u32],
+        num_groups: usize,
+        count_weighted: bool,
+        out: &mut TaskGraph,
+        scratch: &mut TaskGraphScratch,
+    ) {
         assert_eq!(group_of.len(), self.num_tasks());
-        let mut weights = vec![0.0; num_groups];
+        let mut weights = std::mem::take(&mut scratch.weights);
+        weights.clear();
+        weights.resize(num_groups, 0.0);
         for t in 0..self.num_tasks() {
             weights[group_of[t] as usize] += self.task_weight(t as u32);
         }
@@ -92,7 +167,8 @@ impl TaskGraph {
             let (gs, gt) = (group_of[s as usize], group_of[t as usize]);
             (gs != gt).then_some((gs, gt, if count_weighted { 1.0 } else { v }))
         });
-        TaskGraph::from_messages(num_groups, messages, Some(weights))
+        out.rebuild_from_messages(num_groups, messages, Some(&weights), scratch);
+        scratch.weights = weights;
     }
 
     /// Number of tasks.

@@ -21,6 +21,9 @@
 //!   row partition it derives the directed MPI task graph (who sends
 //!   how many vector entries to whom) and the column-net partition
 //!   quality metrics TV / TM / MSV / MSM used throughout Section IV;
+//! * [`taskgen`] — direct large task-graph generators (3-D stencil
+//!   halo exchange, power-law attachment) at 10⁵–10⁶ tasks with
+//!   capacity-respecting weights, feeding the multilevel engine;
 //! * [`mm`] — Matrix Market import/export for interoperability.
 
 #![forbid(unsafe_code)]
@@ -31,14 +34,17 @@ pub mod gen;
 pub mod mm;
 pub mod pattern;
 pub mod spmv;
+pub mod taskgen;
 
 pub use dataset::{DatasetEntry, MatrixClass, Scale};
 pub use pattern::SparsePattern;
 pub use spmv::{spmv_task_graph, CommStats};
+pub use taskgen::{power_law_tasks, stencil3d_tasks, total_weight_for};
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::dataset::{DatasetEntry, MatrixClass, Scale};
     pub use crate::pattern::SparsePattern;
     pub use crate::spmv::{spmv_task_graph, CommStats};
+    pub use crate::taskgen::{power_law_tasks, stencil3d_tasks, total_weight_for};
 }

@@ -18,6 +18,29 @@ use umpa_topology::Machine;
 
 use crate::des::DesConfig;
 
+/// Reconstructs the per-channel byte loads of a mapped task graph by
+/// routing every message along the machine's static route — the link
+/// picture the DES and the analytic bound share. `loads[l]` is the
+/// bytes crossing channel `l`, i.e. `cfg.bytes_per_word × cfg.scale`
+/// times the volume traffic `umpa_core::metrics` accounts to the same
+/// link — the identity `tests/simulator.rs` cross-checks for direct
+/// and multilevel mappings alike.
+pub fn link_loads(machine: &Machine, tg: &TaskGraph, mapping: &[u32], cfg: &DesConfig) -> Vec<f64> {
+    assert_eq!(mapping.len(), tg.num_tasks());
+    let mut traffic = vec![0.0f64; machine.num_links()];
+    let mut links: Vec<u32> = Vec::new();
+    for (s, t, vol) in tg.messages() {
+        let bytes = vol * cfg.bytes_per_word * cfg.scale;
+        let (a, b) = (mapping[s as usize], mapping[t as usize]);
+        links.clear();
+        machine.route_links(a, b, &mut links);
+        for &l in &links {
+            traffic[l as usize] += bytes;
+        }
+    }
+    traffic
+}
+
 /// Lower-bound estimate of the comm-phase time in µs.
 pub fn analytic_comm_time(
     machine: &Machine,
@@ -28,13 +51,12 @@ pub fn analytic_comm_time(
     assert_eq!(mapping.len(), tg.num_tasks());
     let nl = machine.num_links();
     let nt = tg.num_tasks();
-    let mut traffic = vec![0.0f64; nl];
+    let traffic = link_loads(machine, tg, mapping, cfg);
     // Per-task injection/drain (matching the DES endpoint model).
     let mut task_send = vec![0.0f64; nt];
     let mut task_recv = vec![0.0f64; nt];
     let mut task_send_msgs = vec![0u32; nt];
     let mut task_recv_msgs = vec![0u32; nt];
-    let mut links: Vec<u32> = Vec::new();
     let mut max_hops = 0u32;
     for (s, t, vol) in tg.messages() {
         let bytes = vol * cfg.bytes_per_word * cfg.scale;
@@ -43,12 +65,7 @@ pub fn analytic_comm_time(
         task_recv[t as usize] += bytes;
         task_send_msgs[s as usize] += 1;
         task_recv_msgs[t as usize] += 1;
-        links.clear();
-        machine.route_links(a, b, &mut links);
-        max_hops = max_hops.max(links.len() as u32);
-        for &l in &links {
-            traffic[l as usize] += bytes;
-        }
+        max_hops = max_hops.max(machine.hops(a, b));
     }
     let link_term = (0..nl)
         .map(|l| traffic[l] / (machine.link_bandwidth(l as u32) * 1000.0))

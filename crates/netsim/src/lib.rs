@@ -28,13 +28,13 @@ pub mod analytic;
 pub mod apps;
 pub mod des;
 
-pub use analytic::analytic_comm_time;
+pub use analytic::{analytic_comm_time, link_loads};
 pub use apps::{comm_only_time, spmv_time, AppConfig};
 pub use des::{DesConfig, DesResult};
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::analytic::analytic_comm_time;
+    pub use crate::analytic::{analytic_comm_time, link_loads};
     pub use crate::apps::{comm_only_time, spmv_time, AppConfig};
     pub use crate::des::{simulate, DesConfig, DesResult};
 }

@@ -26,21 +26,43 @@ pub struct CoarseLevel {
 /// Returns `None` if matching cannot shrink the graph by at least 10 %
 /// (isolated vertices and star graphs eventually stall).
 pub fn coarsen_step(g: &Graph, seed: u64) -> Option<CoarseLevel> {
+    coarsen_step_with(g, seed, &mut CoarsenScratch::default())
+}
+
+/// Heavy-edge matching over `g` into caller-owned buffers: visit
+/// vertices in a seeded-shuffle order; match each unmatched vertex
+/// with its heaviest unmatched neighbor **admitted by `admit(v, u)`**
+/// (ties toward lighter vertex weight — keeps coarse weights even —
+/// then smaller id); assign coarse ids in fine-id order. Returns the
+/// coarse vertex count; `map[v]` is `v`'s coarse id.
+///
+/// This is the one matching kernel in the workspace: the partitioner's
+/// [`coarsen_step`] admits every pair, while `umpa_core::multilevel`
+/// passes its capacity cap as the predicate and reuses the buffers
+/// across levels (allocation-free once warm).
+pub fn heavy_edge_matching(
+    g: &Graph,
+    seed: u64,
+    admit: impl Fn(u32, u32) -> bool,
+    order: &mut Vec<u32>,
+    mate: &mut Vec<u32>,
+    map: &mut Vec<u32>,
+) -> usize {
+    const UNMATCHED: u32 = u32::MAX;
     let n = g.num_vertices();
-    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.clear();
+    order.extend(0..n as u32);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     order.shuffle(&mut rng);
-    const UNMATCHED: u32 = u32::MAX;
-    let mut mate = vec![UNMATCHED; n];
-    for &v in &order {
+    mate.clear();
+    mate.resize(n, UNMATCHED);
+    for &v in order.iter() {
         if mate[v as usize] != UNMATCHED {
             continue;
         }
-        // Heaviest unmatched neighbor; ties toward lighter vertex weight
-        // (keeps coarse weights even), then smaller id.
         let mut best: Option<(u32, f64)> = None;
         for (u, w) in g.edges(v) {
-            if u == v || mate[u as usize] != UNMATCHED {
+            if u == v || mate[u as usize] != UNMATCHED || !admit(v, u) {
                 continue;
             }
             let better = match best {
@@ -61,8 +83,10 @@ pub fn coarsen_step(g: &Graph, seed: u64) -> Option<CoarseLevel> {
             None => mate[v as usize] = v, // matched with itself
         }
     }
-    // Assign coarse ids.
-    let mut map = vec![u32::MAX; n];
+    // Assign coarse ids in fine-id order (deterministic regardless of
+    // the visit order above).
+    map.clear();
+    map.resize(n, u32::MAX);
     let mut next = 0u32;
     for v in 0..n as u32 {
         if map[v as usize] != u32::MAX {
@@ -75,7 +99,34 @@ pub fn coarsen_step(g: &Graph, seed: u64) -> Option<CoarseLevel> {
         }
         next += 1;
     }
-    let coarse_n = next as usize;
+    next as usize
+}
+
+/// Reusable workspace for a coarsening loop: the CSR builder plus the
+/// matching buffers, amortized across levels (the same buffer-reuse
+/// discipline as `umpa_core::multilevel`'s hierarchy). The per-level
+/// fine→coarse `map` is *not* here — each [`CoarseLevel`] owns its map.
+#[derive(Default)]
+pub struct CoarsenScratch {
+    builder: GraphBuilder,
+    order: Vec<u32>,
+    mate: Vec<u32>,
+}
+
+/// [`coarsen_step`] reusing a caller-owned [`CoarsenScratch`].
+pub fn coarsen_step_with(
+    g: &Graph,
+    seed: u64,
+    scratch: &mut CoarsenScratch,
+) -> Option<CoarseLevel> {
+    let n = g.num_vertices();
+    let CoarsenScratch {
+        builder,
+        order,
+        mate,
+    } = scratch;
+    let mut map = Vec::new();
+    let coarse_n = heavy_edge_matching(g, seed, |_, _| true, order, mate, &mut map);
     if coarse_n as f64 > 0.9 * n as f64 {
         return None;
     }
@@ -84,33 +135,33 @@ pub fn coarsen_step(g: &Graph, seed: u64) -> Option<CoarseLevel> {
     for v in 0..n {
         vwgt[map[v] as usize] += g.vertex_weight(v as u32);
     }
-    let mut b = GraphBuilder::new(coarse_n);
+    builder.reset(coarse_n);
     for (u, v, w) in g.all_edges() {
         let (cu, cv) = (map[u as usize], map[v as usize]);
         if cu != cv {
-            b.add_edge(cu, cv, w);
+            builder.add_edge(cu, cv, w);
         }
     }
-    b.vertex_weights(vwgt);
+    builder.vertex_weights(vwgt);
     // The fine graph is symmetric; merging duplicates directionally
     // keeps it symmetric, so a directed build suffices.
-    Some(CoarseLevel {
-        graph: b.build_directed(),
-        map,
-    })
+    let mut graph = Graph::empty(0);
+    builder.build_directed_into(&mut graph);
+    Some(CoarseLevel { graph, map })
 }
 
 /// Coarsens until `target_size` vertices or a stall; returns the levels
 /// from finest to coarsest (empty if `g` is already small enough).
 pub fn coarsen_until(g: &Graph, target_size: usize, seed: u64) -> Vec<CoarseLevel> {
     let mut levels: Vec<CoarseLevel> = Vec::new();
+    let mut scratch = CoarsenScratch::default();
     let mut round = 0u64;
     loop {
         let current = levels.last().map(|l| &l.graph).unwrap_or(g);
         if current.num_vertices() <= target_size {
             break;
         }
-        match coarsen_step(current, seed.wrapping_add(round)) {
+        match coarsen_step_with(current, seed.wrapping_add(round), &mut scratch) {
             Some(level) => levels.push(level),
             None => break,
         }

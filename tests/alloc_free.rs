@@ -19,6 +19,7 @@ use std::sync::Mutex;
 
 use umpa::core::cong_refine::{congestion_refine_scratch, CongRefineConfig};
 use umpa::core::greedy::{greedy_map_into, GreedyConfig};
+use umpa::core::multilevel::{multilevel_map_into, MultilevelConfig};
 use umpa::core::pipeline::{map_tasks, map_tasks_with, MapperKind, PipelineConfig};
 use umpa::core::scratch::MapperScratch;
 use umpa::core::wh_refine::{wh_refine_scratch, WhRefineConfig};
@@ -56,6 +57,35 @@ fn allocs() -> u64 {
 /// threads: serialize every measuring test so one test's allocations
 /// never pollute another's window.
 static MEASURE: Mutex<()> = Mutex::new(());
+
+/// Counts `f`'s allocations over 5 runs, retrying on a nonzero count.
+///
+/// Even with the [`MEASURE`] serialization, libtest's *main* thread
+/// occasionally processes the previous test's result (formatting its
+/// name allocates) concurrently with the next test's measured window —
+/// a rare two-allocation blip that has nothing to do with the code
+/// under test. The engine is deterministic, so one clean attempt out
+/// of three proves the zero-allocation contract. Only blip-sized
+/// counts (≤ 4) are retried: a larger count is a real engine
+/// allocation — e.g. a buffer still growing past the warmup's
+/// high-water mark — and is reported immediately. Known bound: a
+/// *one-time* regression of ≤ 4 allocations landing past the warmup
+/// is indistinguishable from the libtest blip and can slip through;
+/// recurring (per-run) allocations always fail every attempt.
+fn measure_steady_state(mut f: impl FnMut()) -> u64 {
+    let mut counted = u64::MAX;
+    for _ in 0..3 {
+        let before = allocs();
+        for _ in 0..5 {
+            f();
+        }
+        counted = allocs() - before;
+        if counted == 0 || counted > 4 {
+            break;
+        }
+    }
+    counted
+}
 
 #[test]
 fn warm_scratch_mapping_engine_is_allocation_free() {
@@ -116,16 +146,12 @@ fn warm_scratch_mapping_engine_is_allocation_free() {
         run(&mut scratch, &mut mapping);
         let reference = mapping.clone();
 
-        let before = allocs();
-        for _ in 0..5 {
-            run(&mut scratch, &mut mapping);
-        }
-        let after = allocs();
+        let counted = measure_steady_state(|| run(&mut scratch, &mut mapping));
         assert_eq!(
-            after - before,
+            counted,
             0,
             "steady-state mapping engine allocated {} times over 5 warm runs on {} (oracle {})",
-            after - before,
+            counted,
             machine.topology().summary(),
             if machine.oracle().is_some() {
                 "on"
@@ -135,6 +161,84 @@ fn warm_scratch_mapping_engine_is_allocation_free() {
         );
         // And the warm runs still compute the real thing.
         assert_eq!(mapping, reference);
+    }
+}
+
+#[test]
+fn warm_multilevel_run_is_allocation_free() {
+    let _guard = MEASURE.lock().unwrap_or_else(|e| e.into_inner());
+    // The DESIGN.md §12 contract: once the hierarchy and scratch are
+    // warm, a full multilevel run — matching, per-level quotient graph
+    // rebuilds, coarsest greedy map, per-level refinement, projection —
+    // performs zero heap allocations, on every topology backend with
+    // the distance oracle on AND off, for every greedy-family kind
+    // (UMMC exercises the parallel message-count hierarchy).
+    let machines: Vec<Machine> = [
+        MachineConfig::small(&[4, 4], 1, 4).build(),
+        umpa::topology::FatTreeConfig::small(4, 1, 4).build(),
+        umpa::topology::DragonflyConfig {
+            procs_per_node: 4,
+            ..umpa::topology::DragonflyConfig::small(3, 3, 1)
+        }
+        .build(),
+    ]
+    .into_iter()
+    .flat_map(|m| {
+        let mut fallback = m.clone();
+        fallback.set_oracle_threshold(0);
+        [m, fallback]
+    })
+    .collect();
+    // 96 tasks at fill 0.375 of the 8-node allocation: several
+    // hierarchy levels under the eager coarsening config below.
+    let tg = TaskGraph::from_messages(
+        96,
+        (0..96u32).flat_map(|i| [(i, (i + 1) % 96, 4.0), (i, (i + 7) % 96, 1.0)]),
+        Some(vec![0.125; 96]),
+    );
+    let cfg = PipelineConfig {
+        multilevel: MultilevelConfig {
+            coarsen_min: 8,
+            coarsen_factor: 1.5,
+            ..MultilevelConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+    let kinds = [
+        MapperKind::Greedy,
+        MapperKind::GreedyWh,
+        MapperKind::GreedyMc,
+        MapperKind::GreedyMmc,
+    ];
+    let mut scratch = MapperScratch::new();
+    let mut mapping: Vec<u32> = Vec::new();
+    for machine in &machines {
+        let alloc = Allocation::generate(machine, &AllocSpec::sparse(8, 2));
+        for kind in kinds {
+            let run = |scratch: &mut MapperScratch, mapping: &mut Vec<u32>| {
+                multilevel_map_into(&tg, machine, &alloc, kind, &cfg, scratch, mapping);
+            };
+            // Warmup: size the hierarchy and every engine buffer (and
+            // build the oracle table where enabled).
+            run(&mut scratch, &mut mapping);
+            run(&mut scratch, &mut mapping);
+            let reference = mapping.clone();
+            let counted = measure_steady_state(|| run(&mut scratch, &mut mapping));
+            assert_eq!(
+                counted,
+                0,
+                "warm multilevel run allocated {} times over 5 runs on {} ({}, oracle {})",
+                counted,
+                machine.topology().summary(),
+                kind.name(),
+                if machine.oracle().is_some() {
+                    "on"
+                } else {
+                    "off"
+                }
+            );
+            assert_eq!(mapping, reference, "warm multilevel run diverged");
+        }
     }
 }
 
@@ -167,8 +271,7 @@ fn heavy_first_pre_pass_is_also_allocation_free() {
         &mut scratch.greedy,
         &mut mapping,
     );
-    let before = allocs();
-    for _ in 0..5 {
+    let counted = measure_steady_state(|| {
         greedy_map_into(
             &tg,
             &machine,
@@ -177,13 +280,10 @@ fn heavy_first_pre_pass_is_also_allocation_free() {
             &mut scratch.greedy,
             &mut mapping,
         );
-    }
-    let after = allocs();
+    });
     assert_eq!(
-        after - before,
-        0,
-        "heavy-first greedy path allocated {} times over 5 warm runs",
-        after - before
+        counted, 0,
+        "heavy-first greedy path allocated {counted} times over 5 warm runs"
     );
 }
 

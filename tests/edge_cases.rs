@@ -2,6 +2,8 @@
 //! downstream user will eventually feed the library.
 
 use umpa::core::mapping::validate_mapping;
+use umpa::core::multilevel::MultilevelConfig;
+use umpa::core::pipeline::map_multilevel;
 use umpa::matgen::spmv::spmv_task_graph;
 use umpa::matgen::SparsePattern;
 use umpa::prelude::*;
@@ -117,6 +119,116 @@ fn self_messages_are_dropped_by_construction() {
     let tg = TaskGraph::from_messages(2, [(0, 0, 99.0), (0, 1, 1.0)], None);
     assert_eq!(tg.num_messages(), 1);
     assert_eq!(tg.total_volume(), 1.0);
+}
+
+/// Multilevel config that would coarsen anything coarsenable — the
+/// degenerate inputs below must survive it regardless.
+fn eager_ml_cfg() -> PipelineConfig {
+    PipelineConfig {
+        multilevel: MultilevelConfig {
+            coarsen_min: 1,
+            coarsen_factor: 0.5,
+            ..MultilevelConfig::default()
+        },
+        ..PipelineConfig::default()
+    }
+}
+
+/// The greedy family — the kinds the multilevel engine maps itself.
+const ML_KINDS: [MapperKind; 4] = [
+    MapperKind::Greedy,
+    MapperKind::GreedyWh,
+    MapperKind::GreedyMc,
+    MapperKind::GreedyMmc,
+];
+
+#[test]
+fn multilevel_zero_and_single_task() {
+    let machine = MachineConfig::small(&[4, 4], 2, 4).build();
+    let alloc = Allocation::generate(&machine, &AllocSpec::sparse(3, 9));
+    let cfg = eager_ml_cfg();
+    for kind in ML_KINDS {
+        let empty = TaskGraph::from_messages(0, [], None);
+        let out = map_multilevel(&empty, &machine, &alloc, kind, &cfg);
+        assert!(out.fine_mapping.is_empty(), "{}", kind.name());
+        let single = TaskGraph::from_messages(1, [], None);
+        let out = map_multilevel(&single, &machine, &alloc, kind, &cfg);
+        validate_mapping(&single, &alloc, &out.fine_mapping)
+            .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+    }
+}
+
+#[test]
+fn multilevel_fewer_tasks_than_nodes() {
+    let machine = MachineConfig::small(&[4, 4], 1, 4).build();
+    let alloc = Allocation::generate(&machine, &AllocSpec::sparse(8, 4));
+    // 5 tasks on 8 nodes; the ring still coarsens under the eager config.
+    let tg = TaskGraph::from_messages(5, (0..5u32).map(|i| (i, (i + 1) % 5, 2.0)), None);
+    let cfg = eager_ml_cfg();
+    for kind in ML_KINDS {
+        let out = map_multilevel(&tg, &machine, &alloc, kind, &cfg);
+        validate_mapping(&tg, &alloc, &out.fine_mapping)
+            .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+    }
+}
+
+#[test]
+fn multilevel_empty_comm_graph_cannot_coarsen() {
+    // 16 isolated tasks: no matchable edges at all, so coarsening must
+    // stall gracefully and the engine maps the fine graph directly.
+    let machine = MachineConfig::small(&[4, 4], 1, 4).build();
+    let alloc = Allocation::generate(&machine, &AllocSpec::sparse(6, 2));
+    let tg = TaskGraph::from_messages(16, [], None);
+    let cfg = eager_ml_cfg();
+    for kind in ML_KINDS {
+        let out = map_multilevel(&tg, &machine, &alloc, kind, &cfg);
+        validate_mapping(&tg, &alloc, &out.fine_mapping)
+            .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        let m = evaluate(&tg, &machine, &out.fine_mapping);
+        assert_eq!(m.th, 0.0, "{}", kind.name());
+    }
+}
+
+#[test]
+fn multilevel_star_graph_collapses_to_one_vertex() {
+    // A 9-task star: only hub–leaf merges are possible, one per level,
+    // until the whole star is a single coarse vertex (light enough to
+    // fit one node). The engine must neither panic nor split it.
+    let machine = MachineConfig::small(&[4], 1, 8).build();
+    let alloc = Allocation::generate(&machine, &AllocSpec::contiguous(4));
+    let tg = TaskGraph::from_messages(9, (1..9u32).map(|leaf| (0, leaf, 1.0)), Some(vec![0.25; 9]));
+    let cfg = eager_ml_cfg();
+    for kind in ML_KINDS {
+        let out = map_multilevel(&tg, &machine, &alloc, kind, &cfg);
+        validate_mapping(&tg, &alloc, &out.fine_mapping)
+            .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+    }
+    // Under UWH the fully collapsed star lands on a single node: the
+    // whole graph's weight is 2.25 of an 8-proc node, so every message
+    // should end node-local.
+    let out = map_multilevel(&tg, &machine, &alloc, MapperKind::GreedyWh, &cfg);
+    let m = evaluate(&tg, &machine, &out.fine_mapping);
+    assert_eq!(m.th, 0.0, "collapsed star should be colocated");
+}
+
+#[test]
+fn multilevel_heavy_tasks_that_cannot_merge() {
+    // Every task already weighs more than half a node: the capacity cap
+    // blocks every merge (another cannot-coarsen shape), and the fine
+    // graph maps directly.
+    let machine = MachineConfig::small(&[4, 4], 1, 4).build();
+    let alloc = Allocation::generate(&machine, &AllocSpec::sparse(8, 6));
+    let tg = TaskGraph::from_messages(
+        8,
+        (0..8u32).map(|i| (i, (i + 1) % 8, 1.0)),
+        Some(vec![3.0; 8]),
+    );
+    let cfg = eager_ml_cfg();
+    for kind in ML_KINDS {
+        let out = map_multilevel(&tg, &machine, &alloc, kind, &cfg);
+        validate_mapping(&tg, &alloc, &out.fine_mapping)
+            .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+    }
 }
 
 #[test]

@@ -7,7 +7,8 @@
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use umpa::core::pipeline::{
-    map_many, map_many_seq, map_portfolio, map_tasks, MapRequest, MapperKind, PipelineConfig,
+    map_many, map_many_seq, map_portfolio, map_tasks, MapRequest, MapStrategy, MapperKind,
+    PipelineConfig,
 };
 use umpa::core::validate_mapping;
 use umpa::graph::TaskGraph;
@@ -73,6 +74,7 @@ fn map_many_matches_looped_map_tasks() {
             machine: &machine,
             alloc: &allocs[ai],
             kind,
+            strategy: MapStrategy::Direct,
             cfg: &cfg,
         })
         .collect();
@@ -115,6 +117,7 @@ fn map_many_handles_trivial_batches() {
         machine: &machine,
         alloc: &alloc,
         kind: MapperKind::Greedy,
+        strategy: MapStrategy::Direct,
         cfg: &cfg,
     }]);
     assert_eq!(one.len(), 1);

@@ -157,3 +157,69 @@ fn comm_only_repetitions_differ_under_noise_but_share_the_mean() {
     assert!(n.std_us > 0.0);
     assert!((n.mean_us - q.mean_us).abs() / q.mean_us < 0.10);
 }
+
+#[test]
+fn metrics_link_loads_agree_with_netsim_reconstruction() {
+    // Cross-check between the two link accountings in the workspace:
+    // `umpa_core::metrics::evaluate` (volume traffic per channel, and
+    // WH = Σ per-link volume when bandwidths are 1) and the loads
+    // `umpa_netsim` reconstructs by routing every message — for the
+    // same mapping, on every topology family, for both the direct
+    // pipeline and the multilevel engine.
+    use umpa::core::multilevel::MultilevelConfig;
+    use umpa::core::pipeline::map_multilevel;
+    use umpa::netsim::link_loads;
+
+    let machines = vec![
+        MachineConfig::small(&[4, 4], 1, 4).build(),
+        umpa::topology::FatTreeConfig::small(4, 2, 4).build(),
+        umpa::topology::DragonflyConfig {
+            procs_per_node: 4,
+            ..umpa::topology::DragonflyConfig::small(3, 3, 2)
+        }
+        .build(),
+    ];
+    let tg = TaskGraph::from_messages(
+        64,
+        (0..64u32).flat_map(|i| [(i, (i + 1) % 64, 4.0), (i, (i + 9) % 64, 1.5)]),
+        Some(vec![0.25; 64]),
+    );
+    let cfg = PipelineConfig {
+        multilevel: MultilevelConfig {
+            coarsen_min: 8,
+            coarsen_factor: 1.5,
+            ..MultilevelConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+    let des = DesConfig::default();
+    for m in &machines {
+        let alloc = Allocation::generate(m, &AllocSpec::sparse(8, 5));
+        let direct = map_tasks(&tg, m, &alloc, MapperKind::GreedyWh, &cfg);
+        let ml = map_multilevel(&tg, m, &alloc, MapperKind::GreedyWh, &cfg);
+        for (label, mapping) in [
+            ("direct", &direct.fine_mapping),
+            ("multilevel", &ml.fine_mapping),
+        ] {
+            let report = evaluate(&tg, m, mapping);
+            let loads = link_loads(m, &tg, mapping, &des);
+            assert_eq!(loads.len(), report.vol_traffic.len(), "{label}");
+            let bytes_per_word = des.bytes_per_word * des.scale;
+            for (l, (&bytes, &vol)) in loads.iter().zip(report.vol_traffic.iter()).enumerate() {
+                assert!(
+                    (bytes - vol * bytes_per_word).abs() <= 1e-9 * (1.0 + bytes.abs()),
+                    "{label} {}: link {l} loads disagree: netsim {bytes} vs metrics {vol}",
+                    m.topology().summary()
+                );
+            }
+            // WH identity: unit bandwidths on these presets make WH the
+            // sum of per-link volume traffic.
+            let total: f64 = report.vol_traffic.iter().sum();
+            assert!(
+                (report.wh - total).abs() <= 1e-9 * (1.0 + report.wh),
+                "{label}: WH {} vs summed link volume {total}",
+                report.wh
+            );
+        }
+    }
+}
