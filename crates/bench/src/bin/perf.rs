@@ -277,6 +277,22 @@ fn main() {
                 &mut scratch.cong,
             )
         }));
+        // Per-run engine counters of the row just measured (the scratch
+        // keeps the last run's stats): probe volume and the fraction of
+        // route computations served from the RouteCache slices.
+        let cong_stats = scratch.cong.stats();
+        metrics.push((metric("cong_probes"), cong_stats.probes as f64));
+        metrics.push((metric("cong_moves"), cong_stats.moves as f64));
+        metrics.push((
+            metric("cong_route_hit_rate"),
+            cong_stats.route_cache_hit_rate(),
+        ));
+        eprintln!(
+            "  cong_refine: {} probes, {} moves, route-cache hit rate {:.3}",
+            cong_stats.probes,
+            cong_stats.moves,
+            cong_stats.route_cache_hit_rate()
+        );
 
         // --- Multilevel coarsen–map–refine (warm hierarchy) ----------
         // A task graph ~10²× the allocation: the full engine run —

@@ -101,28 +101,101 @@ impl<'a> HopDist<'a> {
         t2: Option<u32>,
         node2: u32,
     ) -> f64 {
-        let r1 = self.router_of(mapping[t1 as usize]);
-        let r2 = self.router_of(node2);
+        let npr = self.nodes_per_router;
+        let pos = move |t: u32| mapping[t as usize] / npr;
+        self.swap_gain_over(tg, pos, pos(t1), t1, t2, self.router_of(node2))
+    }
+
+    /// Fills the WH **damage** (negated swap gain) of swapping `t1`
+    /// with each candidate in `cand` (`.1` = candidate task, `.0`
+    /// written), all candidates targeting router `r2`. One oracle-row
+    /// hoist serves the whole panel, and the `t1` half is computed once
+    /// and reused for every candidate that is not a neighbor of `t1`
+    /// (`is_nb`) — that half never takes the skip branch for a
+    /// non-neighbor, so reusing it is bitwise identical to evaluating
+    /// each candidate independently, at a fraction of the overhead.
+    /// `routers[t]` must equal `router_of(mapping[t])`, which also
+    /// removes the per-neighbor `node / nodes_per_router` division
+    /// [`swap_gain`](Self::swap_gain) pays.
+    pub(crate) fn fill_swap_damages(
+        &self,
+        tg: &TaskGraph,
+        routers: &[u32],
+        t1: u32,
+        r2: u32,
+        is_nb: impl Fn(u32) -> bool,
+        cand: &mut [(f64, u32)],
+    ) {
+        let pos = |t: u32| routers[t as usize];
+        let r1 = routers[t1 as usize];
+        match self.oracle {
+            Some(o) => {
+                let (row1, row2) = (o.row(r1), o.row(r2));
+                let fwd = |p: u32| i32::from(row1[p as usize]) - i32::from(row2[p as usize]);
+                let rev = |p: u32| i32::from(row2[p as usize]) - i32::from(row1[p as usize]);
+                let mut base: Option<f64> = None;
+                for slot in cand.iter_mut() {
+                    let t = slot.1;
+                    let half1 = if is_nb(t) {
+                        gain_half(tg, pos, t1, t, fwd)
+                    } else {
+                        *base.get_or_insert_with(|| gain_half(tg, pos, t1, u32::MAX, fwd))
+                    };
+                    slot.0 = -(half1 + gain_half(tg, pos, t, t1, rev));
+                }
+            }
+            None => {
+                let fwd =
+                    |p: u32| self.topo.distance(r1, p) as i32 - self.topo.distance(r2, p) as i32;
+                let rev =
+                    |p: u32| self.topo.distance(r2, p) as i32 - self.topo.distance(r1, p) as i32;
+                let mut base: Option<f64> = None;
+                for slot in cand.iter_mut() {
+                    let t = slot.1;
+                    let half1 = if is_nb(t) {
+                        gain_half(tg, pos, t1, t, fwd)
+                    } else {
+                        *base.get_or_insert_with(|| gain_half(tg, pos, t1, u32::MAX, fwd))
+                    };
+                    slot.0 = -(half1 + gain_half(tg, pos, t, t1, rev));
+                }
+            }
+        }
+    }
+
+    /// Shared body of the gain evaluations; `pos` resolves a task's
+    /// router and monomorphizes per caller (no dispatch in the
+    /// neighbor loop).
+    #[inline]
+    fn swap_gain_over(
+        &self,
+        tg: &TaskGraph,
+        pos: impl Fn(u32) -> u32 + Copy,
+        r1: u32,
+        t1: u32,
+        t2: Option<u32>,
+        r2: u32,
+    ) -> f64 {
         let skip1 = t2.unwrap_or(u32::MAX);
         match self.oracle {
             Some(o) => {
                 let (row1, row2) = (o.row(r1), o.row(r2));
-                let mut gain = gain_half(tg, mapping, self.nodes_per_router, t1, skip1, |p| {
+                let mut gain = gain_half(tg, pos, t1, skip1, |p| {
                     i32::from(row1[p as usize]) - i32::from(row2[p as usize])
                 });
                 if let Some(t2) = t2 {
-                    gain += gain_half(tg, mapping, self.nodes_per_router, t2, t1, |p| {
+                    gain += gain_half(tg, pos, t2, t1, |p| {
                         i32::from(row2[p as usize]) - i32::from(row1[p as usize])
                     });
                 }
                 gain
             }
             None => {
-                let mut gain = gain_half(tg, mapping, self.nodes_per_router, t1, skip1, |p| {
+                let mut gain = gain_half(tg, pos, t1, skip1, |p| {
                     self.topo.distance(r1, p) as i32 - self.topo.distance(r2, p) as i32
                 });
                 if let Some(t2) = t2 {
-                    gain += gain_half(tg, mapping, self.nodes_per_router, t2, t1, |p| {
+                    gain += gain_half(tg, pos, t2, t1, |p| {
                         self.topo.distance(r2, p) as i32 - self.topo.distance(r1, p) as i32
                     });
                 }
@@ -137,8 +210,7 @@ impl<'a> HopDist<'a> {
 #[inline]
 fn gain_half(
     tg: &TaskGraph,
-    mapping: &[u32],
-    nodes_per_router: u32,
+    pos: impl Fn(u32) -> u32,
     t: u32,
     skip: u32,
     hop_delta: impl Fn(u32) -> i32,
@@ -148,8 +220,7 @@ fn gain_half(
         if n == skip {
             continue;
         }
-        let p = mapping[n as usize] / nodes_per_router;
-        g += c * f64::from(hop_delta(p));
+        g += c * f64::from(hop_delta(pos(n)));
     }
     g
 }
@@ -212,6 +283,48 @@ mod tests {
                 let inc = dist.swap_gain(&tg, &mapping, t1, None, node2);
                 let brute = brute_gain(&tg, &m, &mapping, t1, None, node2);
                 assert!((inc - brute).abs() < 1e-9, "move {t1}->{node2}");
+            }
+        }
+    }
+
+    #[test]
+    fn panel_damages_match_per_candidate_swap_gains_bitwise() {
+        // The congestion engine's batched candidate scan must rank
+        // exactly as per-candidate evaluation would — including the
+        // shared-base shortcut for non-neighbors of the pivot.
+        for oracle_on in [true, false] {
+            let mut m = MachineConfig::small(&[4, 3], 1, 2).build();
+            if !oracle_on {
+                m.set_oracle_threshold(0);
+            }
+            let alloc = Allocation::generate(&m, &AllocSpec::sparse(6, 3));
+            let tg = TaskGraph::from_messages(
+                10,
+                (0..10u32).flat_map(|i| [(i, (i + 1) % 10, 2.0), (i, (i + 3) % 10, 0.5)]),
+                None,
+            );
+            let mapping: Vec<u32> = (0..10usize).map(|t| alloc.node(t % 6)).collect();
+            let routers: Vec<u32> = mapping.iter().map(|&n| m.router_of(n)).collect();
+            let dist = HopDist::new(&m);
+            for t1 in 0..10u32 {
+                let nbs: Vec<u32> = tg.symmetric().neighbors(t1).to_vec();
+                for r2 in 0..12u32 {
+                    let mut cand: Vec<(f64, u32)> =
+                        (0..10u32).filter(|&t| t != t1).map(|t| (0.0, t)).collect();
+                    dist.fill_swap_damages(&tg, &routers, t1, r2, |t| nbs.contains(&t), &mut cand);
+                    for &(damage, t) in &cand {
+                        // Reference: the mapping-based evaluation with the
+                        // partner virtually on some node of router r2 (the
+                        // gain only depends on the router).
+                        let node2 = r2 * m.params().nodes_per_router;
+                        let want = -dist.swap_gain(&tg, &mapping, t1, Some(t), node2);
+                        assert_eq!(
+                            damage.to_bits(),
+                            want.to_bits(),
+                            "t1={t1} t={t} r2={r2} oracle={oracle_on}"
+                        );
+                    }
+                }
             }
         }
     }

@@ -36,6 +36,8 @@
 pub const PARALLEL_ENABLED: bool = cfg!(feature = "parallel");
 
 pub mod baselines;
+#[doc(hidden)]
+pub mod cong_reference;
 pub mod cong_refine;
 pub(crate) mod gain;
 pub mod greedy;
@@ -48,7 +50,8 @@ pub mod wh_refine;
 
 pub use baselines::{def_mapping, smap_mapping, tmap_mapping};
 pub use cong_refine::{
-    congestion_refine, congestion_refine_scratch, CongRefineConfig, CongScratch, CongestionKind,
+    congestion_refine, congestion_refine_scratch, CongRefineConfig, CongRunStats, CongScratch,
+    CongestionKind,
 };
 pub use greedy::{greedy_map, greedy_map_into, GreedyConfig, GreedyScratch};
 pub use mapping::{fits, validate_mapping, CAPACITY_EPS};

@@ -14,6 +14,14 @@ pub struct EpochMarker {
     epoch: u32,
 }
 
+impl Default for EpochMarker {
+    /// A zero-capacity marker; grow it with
+    /// [`ensure_len`](Self::ensure_len).
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
 impl EpochMarker {
     /// Creates a marker for ids `0..len`, all unmarked.
     pub fn new(len: usize) -> Self {

@@ -23,6 +23,10 @@
 //!   behind `Machine::hops`/`Machine::dist_row`: one bounds-checked row
 //!   index per distance instead of enum dispatch plus per-dimension
 //!   arithmetic, with an analytic fallback above a size threshold;
+//! * [`route_cache`] — the oracle's routing sibling ([`RouteCache`])
+//!   behind `Machine::route_cache()`: static routes served as cached
+//!   link-id slices from lazily-built per-source rows, same
+//!   threshold-plus-fallback shape;
 //! * [`Machine`] — the full machine: topology + nodes-per-router +
 //!   bandwidths + latencies + the router graph in CSR form for BFS;
 //! * [`ordering`] — linear node orderings (lexicographic / serpentine
@@ -39,6 +43,7 @@ pub mod fat_tree;
 pub mod machine;
 pub mod oracle;
 pub mod ordering;
+pub mod route_cache;
 pub mod routing;
 pub mod topology;
 pub mod torus;
@@ -46,9 +51,13 @@ pub mod torus;
 pub use alloc::{AllocSpec, Allocation};
 pub use dragonfly::{Dragonfly, DragonflyConfig};
 pub use fat_tree::{FatTree, FatTreeConfig};
-pub use machine::{LinkMode, Machine, MachineConfig, MachineParams, DEFAULT_ORACLE_MAX_ROUTERS};
+pub use machine::{
+    LinkMode, Machine, MachineConfig, MachineParams, DEFAULT_ORACLE_MAX_ROUTERS,
+    DEFAULT_ROUTE_CACHE_MAX_ROUTERS,
+};
 pub use oracle::DistanceOracle;
 pub use ordering::NodeOrdering;
+pub use route_cache::{RouteCache, RouteRowView};
 pub use topology::{Topology, TorusNet};
 pub use torus::Torus;
 
@@ -60,6 +69,7 @@ pub mod prelude {
     pub use crate::machine::{LinkMode, Machine, MachineConfig, MachineParams};
     pub use crate::oracle::DistanceOracle;
     pub use crate::ordering::NodeOrdering;
+    pub use crate::route_cache::RouteCache;
     pub use crate::topology::{Topology, TorusNet};
     pub use crate::torus::Torus;
 }

@@ -13,6 +13,7 @@ use std::sync::OnceLock;
 use umpa_graph::{Graph, GraphBuilder};
 
 use crate::oracle::DistanceOracle;
+use crate::route_cache::RouteCache;
 use crate::topology::{Topology, TorusNet};
 use crate::torus::Torus;
 
@@ -20,6 +21,14 @@ use crate::torus::Torus;
 /// `2·n²` bytes the table tops out at 32 MiB here; larger machines fall
 /// back to the analytic [`Topology::distance`] path transparently.
 pub const DEFAULT_ORACLE_MAX_ROUTERS: usize = 4096;
+
+/// Default router-count ceiling for the [`RouteCache`]. Rows are built
+/// lazily per source router, so memory is proportional to the routers
+/// actually routed *from* (one row ≈ `4·(n + Σ_b distance(a, b))`
+/// bytes), not to `n²`; the ceiling only bounds the degenerate
+/// everything-routes-from-everywhere case. Larger machines fall back to
+/// the analytic route emitters transparently.
+pub const DEFAULT_ROUTE_CACHE_MAX_ROUTERS: usize = 4096;
 
 /// Whether congestion is accumulated per directed channel or per
 /// physical (undirected) link.
@@ -137,6 +146,15 @@ pub struct Machine {
     /// analytic distance.
     oracle: OnceLock<Option<DistanceOracle>>,
     oracle_max_routers: usize,
+    /// Lazily built per-source route memo; `None` inside means the
+    /// machine exceeds `route_cache_max_routers` and hot paths use the
+    /// analytic route emitters.
+    route_cache: OnceLock<Option<RouteCache>>,
+    route_cache_max_routers: usize,
+    /// Lazily built reciprocal channel bandwidths (`1 / bw` per channel
+    /// id), hoisted once so per-run congestion setup is a slice borrow
+    /// instead of `num_links` divisions.
+    inv_bw: OnceLock<Vec<f64>>,
 }
 
 impl Machine {
@@ -178,6 +196,9 @@ impl Machine {
             router_graph,
             oracle: OnceLock::new(),
             oracle_max_routers: DEFAULT_ORACLE_MAX_ROUTERS,
+            route_cache: OnceLock::new(),
+            route_cache_max_routers: DEFAULT_ROUTE_CACHE_MAX_ROUTERS,
+            inv_bw: OnceLock::new(),
         }
     }
 
@@ -204,6 +225,34 @@ impl Machine {
     pub fn set_oracle_threshold(&mut self, max_routers: usize) {
         self.oracle_max_routers = max_routers;
         self.oracle = OnceLock::new();
+    }
+
+    /// The route memo, instantiating it on first use; `None` when the
+    /// machine exceeds the router-count threshold (hot paths then emit
+    /// routes analytically). Instantiation is O(n) empty row slots —
+    /// rows themselves build on first route *from* each source, so the
+    /// first congestion refinement on a fresh allocation pays the row
+    /// builds and every later run reads warm slices (DESIGN.md §13).
+    #[inline]
+    pub fn route_cache(&self) -> Option<&RouteCache> {
+        self.route_cache
+            .get_or_init(|| {
+                RouteCache::build(
+                    &self.topo,
+                    self.params.link_mode,
+                    self.route_cache_max_routers,
+                )
+            })
+            .as_ref()
+    }
+
+    /// Overrides the route-cache router-count threshold (0 disables the
+    /// memo entirely — the analytic-fallback configuration the
+    /// cong-refine differential test pins). Discards any rows already
+    /// built.
+    pub fn set_route_cache_threshold(&mut self, max_routers: usize) {
+        self.route_cache_max_routers = max_routers;
+        self.route_cache = OnceLock::new();
     }
 
     /// Hop distances out of terminal router `r` as a dense row
@@ -336,6 +385,17 @@ impl Machine {
             LinkMode::Directed => 2 * self.topo.num_physical_links(),
             LinkMode::Undirected => self.topo.num_physical_links(),
         }
+    }
+
+    /// Reciprocal bandwidth (`1 / link_bandwidth`) of every channel id,
+    /// as one lazily-built shared slice — the per-link cost vector of
+    /// volume-congestion accounting, hoisted to machine lifetime.
+    pub fn inv_bandwidths(&self) -> &[f64] {
+        self.inv_bw.get_or_init(|| {
+            (0..self.num_links() as u32)
+                .map(|l| 1.0 / self.link_bandwidth(l))
+                .collect()
+        })
     }
 
     /// Bandwidth of channel `id` in GB/s.

@@ -39,6 +39,11 @@ impl DistanceOracle {
     /// Builds the table from the topology's static-route distances, or
     /// returns `None` when the machine is too large (`n > max_routers`)
     /// or a distance overflows `u16` (never for realistic diameters).
+    ///
+    /// Rows fill through [`Topology::fill_distance_row`] — per-source
+    /// sweeps instead of `n²` independent per-pair calls, which cut the
+    /// Hopper-torus build from ~365 ms to tens of ms (`oracle_build_ns`
+    /// in `BENCH_mapping.json`) while producing the identical table.
     pub fn build(topo: &Topology, max_routers: usize) -> Option<Self> {
         let n = topo.num_terminal_routers();
         if n == 0 || n > max_routers {
@@ -49,10 +54,7 @@ impl DistanceOracle {
         }
         let mut table = vec![0u16; n * n];
         for a in 0..n as u32 {
-            let row = &mut table[a as usize * n..(a as usize + 1) * n];
-            for (b, slot) in row.iter_mut().enumerate() {
-                *slot = topo.distance(a, b as u32) as u16;
-            }
+            topo.fill_distance_row(a, &mut table[a as usize * n..(a as usize + 1) * n]);
         }
         Some(Self { n, table })
     }

@@ -111,6 +111,26 @@ impl Topology {
         }
     }
 
+    /// Writes the hop distance from terminal router `a` to every
+    /// terminal router (id order) into `out[..num_terminal_routers]` —
+    /// the per-source sweep the [`DistanceOracle`]
+    /// (crate::oracle::DistanceOracle) build runs once per row. Tori
+    /// use the odometer sweep ([`Torus::fill_distances`]), which is
+    /// ~an order of magnitude cheaper than per-pair [`distance`]
+    /// (Self::distance) calls (no coordinate decode per destination);
+    /// the shallow fat-tree/dragonfly distance functions fall back to
+    /// the per-pair loop. Values are exactly `distance(a, b) as u16`.
+    pub fn fill_distance_row(&self, a: u32, out: &mut [u16]) {
+        match self {
+            Topology::Torus(t) => t.torus.fill_distances(a, out),
+            _ => {
+                for (b, slot) in out[..self.num_terminal_routers()].iter_mut().enumerate() {
+                    *slot = self.distance(a, b as u32) as u16;
+                }
+            }
+        }
+    }
+
     /// Maximum terminal-pair hop distance.
     #[inline]
     pub fn diameter(&self) -> u32 {

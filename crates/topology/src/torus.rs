@@ -140,6 +140,61 @@ impl Torus {
         hops
     }
 
+    /// Writes the hop distance from `a` to **every** router (in id
+    /// order) into `out[..num_routers]` — the per-source sweep behind
+    /// the distance-oracle build. Instead of decoding both endpoints'
+    /// coordinates per pair (`O(ndims)` div/mod each), the sweep
+    /// precomputes one per-dimension distance table from `a` and walks
+    /// the ids in row-major order with an odometer, updating the sum
+    /// incrementally — `O(1)` amortized per destination. Values are
+    /// exactly [`distance`](Self::distance)`(a, r)` (same integer
+    /// per-dimension terms), truncated to `u16` (callers bound the
+    /// diameter first).
+    pub fn fill_distances(&self, a: u32, out: &mut [u16]) {
+        let n = self.num_routers();
+        assert!(out.len() >= n, "output row shorter than the router count");
+        let nd = self.ndims();
+        let ca = self.coords(a);
+        // Flat per-dimension distance tables: dd[dim_off[d] + x] =
+        // ring/line distance from ca[d] to x along dimension d.
+        let mut dd: Vec<u16> = Vec::with_capacity(self.dims.iter().sum::<u32>() as usize);
+        let mut dim_off = [0usize; MAX_DIMS];
+        for d in 0..nd {
+            dim_off[d] = dd.len();
+            let k = self.dims[d];
+            for x in 0..k {
+                let dist = if self.wrap {
+                    let fwd = (x + k - ca[d]) % k;
+                    fwd.min(k - fwd)
+                } else {
+                    x.abs_diff(ca[d])
+                };
+                dd.push(dist as u16);
+            }
+        }
+        // Row-major odometer (dimension 0 fastest), keeping the running
+        // per-dimension sum in `total`.
+        let mut coord = [0usize; MAX_DIMS];
+        let mut total: u32 = (0..nd).map(|d| u32::from(dd[dim_off[d]])).sum();
+        for slot in out[..n].iter_mut() {
+            *slot = total as u16;
+            for d in 0..nd {
+                let k = self.dims[d] as usize;
+                let base = dim_off[d];
+                let c = coord[d];
+                total -= u32::from(dd[base + c]);
+                if c + 1 < k {
+                    coord[d] = c + 1;
+                    total += u32::from(dd[base + c + 1]);
+                    break;
+                }
+                coord[d] = 0;
+                total += u32::from(dd[base]);
+                // carry into the next dimension
+            }
+        }
+    }
+
     /// The router one step from `r` along dimension `d`; `positive`
     /// selects the +1 or −1 direction. On a mesh boundary where the
     /// step does not exist, `r` itself is returned (callers treat a
@@ -225,6 +280,31 @@ mod tests {
     fn diameter_3d() {
         let t = Torus::new(&[17, 8, 24]);
         assert_eq!(t.diameter(), 8 + 4 + 12);
+    }
+
+    #[test]
+    fn fill_distances_matches_per_pair_distance() {
+        for t in [
+            Torus::new(&[5, 4, 3]),
+            Torus::new(&[2, 4]),
+            Torus::new(&[1, 6]),
+            Torus::new_mesh(&[4, 3]),
+            Torus::new(&[8]),
+        ] {
+            let n = t.num_routers();
+            let mut row = vec![0u16; n];
+            for a in 0..n as u32 {
+                t.fill_distances(a, &mut row);
+                for b in 0..n as u32 {
+                    assert_eq!(
+                        u32::from(row[b as usize]),
+                        t.distance(a, b),
+                        "{:?} {a}->{b}",
+                        t.dims()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

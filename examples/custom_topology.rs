@@ -65,6 +65,28 @@ fn run(label: &str, machine: Machine) {
             m.th / tasks.num_messages() as f64
         );
     }
+
+    // The UMC mapper's congestion refinement serves static routes from
+    // the machine's RouteCache (lazily-built link-id slices; see
+    // DESIGN.md §13). Like the distance oracle's
+    // `set_oracle_threshold`, `set_route_cache_threshold(0)` disables
+    // the memo and falls back to the analytic route emitters —
+    // bit-identically, just slower per probe.
+    let mut analytic = machine.clone();
+    analytic.set_route_cache_threshold(0);
+    let cached = map_tasks(&tasks, &machine, &alloc, MapperKind::GreedyMc, &pipeline);
+    let fallback = map_tasks(&tasks, &analytic, &alloc, MapperKind::GreedyMc, &pipeline);
+    assert_eq!(
+        cached.fine_mapping, fallback.fine_mapping,
+        "route cache must not change any mapping"
+    );
+    if let Some(cache) = machine.route_cache() {
+        println!(
+            "  route cache: {} rows built on demand, {:.1} KiB (analytic fallback verified identical)",
+            cache.built_rows(),
+            cache.size_bytes() as f64 / 1024.0
+        );
+    }
 }
 
 fn main() {

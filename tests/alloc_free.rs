@@ -95,10 +95,13 @@ fn warm_scratch_mapping_engine_is_allocation_free() {
     // the §8 perf contract is backend-generic. One scratch serves all
     // three machines in sequence (buffers grow to the union high-water
     // mark and are then reused verbatim).
-    // Each backend runs twice: once with the distance-oracle table
-    // (built during warmup — the OnceLock build is a one-time cost, not
-    // steady state) and once with the table disabled, so both the
-    // §11 oracle path and the analytic fallback honor the contract.
+    // Each backend runs three times: once with the distance-oracle
+    // table and route cache (both built during warmup — the OnceLock
+    // builds are one-time costs, not steady state), once with the
+    // oracle disabled, and once with the §13 route cache disabled, so
+    // the oracle path, the analytic-distance fallback and the
+    // analytic-routing fallback of the rewritten congestion engine all
+    // honor the contract.
     let machines: Vec<Machine> = [
         MachineConfig::small(&[4, 4], 1, 4).build(),
         umpa::topology::FatTreeConfig::small(4, 1, 4).build(),
@@ -110,9 +113,11 @@ fn warm_scratch_mapping_engine_is_allocation_free() {
     ]
     .into_iter()
     .flat_map(|m| {
-        let mut fallback = m.clone();
-        fallback.set_oracle_threshold(0);
-        [m, fallback]
+        let mut no_oracle = m.clone();
+        no_oracle.set_oracle_threshold(0);
+        let mut no_routes = m.clone();
+        no_routes.set_route_cache_threshold(0);
+        [m, no_oracle, no_routes]
     })
     .collect();
     let tg = TaskGraph::from_messages(
@@ -150,10 +155,15 @@ fn warm_scratch_mapping_engine_is_allocation_free() {
         assert_eq!(
             counted,
             0,
-            "steady-state mapping engine allocated {} times over 5 warm runs on {} (oracle {})",
+            "steady-state mapping engine allocated {} times over 5 warm runs on {} (oracle {}, route cache {})",
             counted,
             machine.topology().summary(),
             if machine.oracle().is_some() {
+                "on"
+            } else {
+                "off"
+            },
+            if machine.route_cache().is_some() {
                 "on"
             } else {
                 "off"
