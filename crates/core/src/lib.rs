@@ -24,7 +24,11 @@
 //!   MC, AMC, AC);
 //! * [`pipeline`] — the two-phase flow of Section III-A: partition the
 //!   fine task graph into node groups, fix the balance with one FM
-//!   iteration, map the coarse graph, compose.
+//!   iteration, map the coarse graph, compose;
+//! * [`remap`] — fault-tolerant incremental remapping: repairs an
+//!   existing mapping after node/link failure or allocation churn by
+//!   local re-placement plus frontier-restricted refinement, instead
+//!   of a full re-map.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,16 +49,17 @@ pub mod mapping;
 pub mod metrics;
 pub mod multilevel;
 pub mod pipeline;
+pub mod remap;
 pub mod scratch;
 pub mod wh_refine;
 
 pub use baselines::{def_mapping, smap_mapping, tmap_mapping};
 pub use cong_refine::{
-    congestion_refine, congestion_refine_scratch, CongRefineConfig, CongRunStats, CongScratch,
-    CongestionKind,
+    congestion_refine, congestion_refine_frontier_scratch, congestion_refine_scratch,
+    CongRefineConfig, CongRunStats, CongScratch, CongestionKind,
 };
 pub use greedy::{greedy_map, greedy_map_into, GreedyConfig, GreedyScratch};
-pub use mapping::{fits, validate_mapping, CAPACITY_EPS};
+pub use mapping::{fits, is_valid_mapping, validate_mapping, MappingError, CAPACITY_EPS};
 pub use metrics::{evaluate, MetricsReport};
 pub use multilevel::{multilevel_map_into, MultilevelConfig, MultilevelScratch, MultilevelStats};
 pub use pipeline::{
@@ -62,8 +67,13 @@ pub use pipeline::{
     map_portfolio_strategy, map_tasks, map_tasks_with, MapRequest, MapStrategy, MapperKind,
     MappingOutcome, PipelineConfig,
 };
+pub use remap::{
+    remap_incremental, ChurnEvent, RemapConfig, RemapOutcome, RemapScratch, RemapStats,
+};
 pub use scratch::MapperScratch;
-pub use wh_refine::{wh_refine, wh_refine_scratch, WhRefineConfig, WhScratch};
+pub use wh_refine::{
+    wh_refine, wh_refine_frontier_scratch, wh_refine_scratch, WhRefineConfig, WhScratch,
+};
 
 /// Commonly used items.
 pub mod prelude {
@@ -77,6 +87,7 @@ pub mod prelude {
         map_portfolio_strategy, map_tasks, map_tasks_with, MapRequest, MapStrategy, MapperKind,
         MappingOutcome, PipelineConfig,
     };
+    pub use crate::remap::{remap_incremental, ChurnEvent, RemapConfig, RemapOutcome, RemapStats};
     pub use crate::scratch::MapperScratch;
     pub use crate::wh_refine::{wh_refine, WhRefineConfig};
 }

@@ -113,6 +113,14 @@ pub fn validate_mapping(
     Ok(())
 }
 
+/// Boolean convenience over [`validate_mapping`] for callers that only
+/// branch on feasibility (assertions, differential harnesses); the
+/// typed [`MappingError`] carries the diagnosis when you need it.
+#[inline]
+pub fn is_valid_mapping(tg: &TaskGraph, alloc: &Allocation, mapping: &[u32]) -> bool {
+    validate_mapping(tg, alloc, mapping).is_ok()
+}
+
 /// Remaining capacity per allocation slot under `mapping` (tasks may be
 /// partially placed: unmapped entries are `u32::MAX`).
 pub fn free_capacity(tg: &TaskGraph, alloc: &Allocation, mapping: &[u32]) -> Vec<f64> {

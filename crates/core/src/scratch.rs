@@ -19,6 +19,7 @@
 use crate::cong_refine::CongScratch;
 use crate::greedy::GreedyScratch;
 use crate::multilevel::MultilevelScratch;
+use crate::remap::RemapScratch;
 use crate::wh_refine::WhScratch;
 
 /// Owns every per-run buffer of the mapping engine. See the module
@@ -33,6 +34,8 @@ pub struct MapperScratch {
     pub cong: CongScratch,
     /// Multilevel coarsen–map–refine hierarchy and matching buffers.
     pub multilevel: MultilevelScratch,
+    /// Incremental-remap repair buffers.
+    pub remap: RemapScratch,
     /// Coarse-mapping buffer shared by the pipeline's phase 2.
     pub(crate) coarse: Vec<u32>,
 }

@@ -112,6 +112,40 @@ pub fn wh_refine_scratch(
     wh
 }
 
+/// Frontier-restricted form of [`wh_refine_scratch`] for incremental
+/// remap: only the tasks in `frontier` (each listed once) are
+/// reconsidered for swaps/moves — swap partners may still be any task
+/// the BFS candidate scan reaches — and passes stop at
+/// `cfg.max_passes` as usual, so repair cost scales with the damage
+/// neighborhood, not the job. Returns the final **global** WH.
+pub fn wh_refine_frontier_scratch(
+    tg: &TaskGraph,
+    machine: &Machine,
+    alloc: &Allocation,
+    mapping: &mut [u32],
+    frontier: &[u32],
+    cfg: &WhRefineConfig,
+    scratch: &mut WhScratch,
+) -> f64 {
+    assert_eq!(mapping.len(), tg.num_tasks());
+    let mut r = Refiner::new(tg, machine, alloc, mapping, scratch);
+    let mut wh = weighted_hops(tg, machine, r.mapping);
+    for _ in 0..cfg.max_passes {
+        let improved = r.run_pass_frontier(cfg.delta, frontier);
+        let new_wh = wh - improved;
+        debug_assert!(
+            (new_wh - weighted_hops(tg, machine, r.mapping)).abs() < 1e-6 * (1.0 + new_wh),
+            "incremental WH drifted"
+        );
+        if wh <= 0.0 || (wh - new_wh) / wh <= cfg.min_rel_improvement {
+            wh = new_wh;
+            break;
+        }
+        wh = new_wh;
+    }
+    wh
+}
+
 struct Refiner<'a> {
     tg: &'a TaskGraph,
     machine: &'a Machine,
@@ -216,6 +250,24 @@ impl<'a> Refiner<'a> {
             let key = self.task_wh(t);
             self.heap.push(t, key);
         }
+        self.drain_heap(delta)
+    }
+
+    /// A pass that pivots only on `frontier` tasks (each listed once):
+    /// the incremental-remap restriction. Swap *partners* are still
+    /// found anywhere the BFS reaches — only the set of tasks whose
+    /// placement is reconsidered is bounded.
+    fn run_pass_frontier(&mut self, delta: usize, frontier: &[u32]) -> f64 {
+        self.heap.reset(self.tg.num_tasks());
+        for &t in frontier {
+            let key = self.task_wh(t);
+            self.heap.push(t, key);
+        }
+        self.drain_heap(delta)
+    }
+
+    /// Pops tasks by incurred WH and applies first-improving swaps.
+    fn drain_heap(&mut self, delta: usize) -> f64 {
         let mut pass_gain = 0.0;
         while let Some((twh, key)) = self.heap.pop() {
             if key <= 0.0 {

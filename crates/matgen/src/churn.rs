@@ -1,0 +1,239 @@
+//! Seeded fault-injection churn sequences.
+//!
+//! Generates reproducible streams of [`ChurnEvent`]s — node failures,
+//! allocation shrink/growth batches, soft link degradations and
+//! (bounded) hard link failures — against a machine/allocation pair.
+//! The generator tracks the state its own events create (which nodes
+//! are gone, which links are degraded), so every event in the stream
+//! is *live*: failures hit nodes that are still allocated, growth
+//! returns capacity that actually left, restores target links that are
+//! actually degraded. The differential remap harness and the failover
+//! example replay these streams; same spec + same seed ⇒ same stream.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use umpa_topology::{Allocation, ChurnEvent, Machine};
+
+/// Parameters of a churn stream.
+#[derive(Clone, Debug)]
+pub struct ChurnSpec {
+    /// Number of events to generate.
+    pub events: usize,
+    /// Max nodes per shrink/growth batch.
+    pub max_batch: usize,
+    /// Cap on the fraction of the allocation simultaneously removed
+    /// (keeps most repairs feasible; growth is forced at the cap).
+    pub max_removed_fraction: f64,
+    /// Include soft link degradations (bandwidth factor in `0 < f < 1`)
+    /// and their restores.
+    pub link_degradations: bool,
+    /// Max simultaneously hard-failed links (`0` disables hard link
+    /// failures; keep at `1` to preserve connectivity on small
+    /// machines).
+    pub max_link_failures: usize,
+    /// RNG seed; streams are deterministic per seed.
+    pub seed: u64,
+}
+
+impl ChurnSpec {
+    /// A balanced stream: small batches, soft link noise, at most one
+    /// hard link failure outstanding.
+    pub fn new(events: usize, seed: u64) -> Self {
+        Self {
+            events,
+            max_batch: 2,
+            max_removed_fraction: 0.25,
+            link_degradations: true,
+            max_link_failures: 1,
+            seed,
+        }
+    }
+
+    /// Node churn only (no link events) — the allocation-free warm
+    /// repair path.
+    pub fn nodes_only(events: usize, seed: u64) -> Self {
+        Self {
+            link_degradations: false,
+            max_link_failures: 0,
+            ..Self::new(events, seed)
+        }
+    }
+}
+
+/// Generates `spec.events` churn events against `machine`/`alloc`.
+///
+/// The returned stream is meant to be applied in order (e.g. one
+/// `remap_incremental` call per event, or batched); the generator
+/// simulates the allocation and link state internally so it never
+/// emits a stale event.
+pub fn churn_sequence(machine: &Machine, alloc: &Allocation, spec: &ChurnSpec) -> Vec<ChurnEvent> {
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+    let mut allocated: Vec<u32> = alloc.nodes().to_vec();
+    let mut removed: Vec<u32> = Vec::new();
+    let mut soft: Vec<u32> = Vec::new(); // links at 0 < factor < 1
+    let mut hard: Vec<u32> = Vec::new(); // links at factor 0
+    let num_links = machine.topology().num_physical_links() as u32;
+    let max_batch = spec.max_batch.max(1);
+    let removed_cap =
+        ((alloc.num_nodes() as f64 * spec.max_removed_fraction) as usize).max(max_batch);
+    let mut events = Vec::with_capacity(spec.events);
+    while events.len() < spec.events {
+        let roll = rng.gen_range(0..100u32);
+        let ev = if removed.len() >= removed_cap && !removed.is_empty() {
+            // At the shrink cap: force growth so the job stays (mostly)
+            // feasible.
+            grow(&mut rng, &mut allocated, &mut removed, max_batch)
+        } else if roll < 25 && allocated.len() > 1 {
+            let i = rng.gen_range(0..allocated.len());
+            let node = allocated.swap_remove(i);
+            removed.push(node);
+            ChurnEvent::NodeFailed { node }
+        } else if roll < 45 && allocated.len() > max_batch {
+            let batch = rng.gen_range(1..=max_batch.min(allocated.len() - 1));
+            let mut nodes = Vec::with_capacity(batch);
+            for _ in 0..batch {
+                let i = rng.gen_range(0..allocated.len());
+                let node = allocated.swap_remove(i);
+                removed.push(node);
+                nodes.push(node);
+            }
+            ChurnEvent::NodesRemoved { nodes }
+        } else if roll < 70 && !removed.is_empty() {
+            grow(&mut rng, &mut allocated, &mut removed, max_batch)
+        } else if roll < 90 && spec.link_degradations && num_links > 0 {
+            if !soft.is_empty() && rng.gen_range(0..3u32) == 0 {
+                let i = rng.gen_range(0..soft.len());
+                ChurnEvent::LinkDegraded {
+                    link: soft.swap_remove(i),
+                    factor: 1.0,
+                }
+            } else {
+                let link = rng.gen_range(0..num_links);
+                if soft.contains(&link) || hard.contains(&link) {
+                    continue;
+                }
+                soft.push(link);
+                ChurnEvent::LinkDegraded {
+                    link,
+                    factor: 0.25 * f64::from(rng.gen_range(1..4u32)),
+                }
+            }
+        } else if spec.max_link_failures > 0 && num_links > 0 {
+            if hard.len() >= spec.max_link_failures {
+                let i = rng.gen_range(0..hard.len());
+                ChurnEvent::LinkDegraded {
+                    link: hard.swap_remove(i),
+                    factor: 1.0,
+                }
+            } else {
+                let link = rng.gen_range(0..num_links);
+                if soft.contains(&link) || hard.contains(&link) {
+                    continue;
+                }
+                hard.push(link);
+                ChurnEvent::LinkDegraded { link, factor: 0.0 }
+            }
+        } else {
+            // Nothing rolled is possible right now (e.g. link events
+            // disabled and nothing to grow); fail a node if we can.
+            if allocated.len() > 1 {
+                let i = rng.gen_range(0..allocated.len());
+                let node = allocated.swap_remove(i);
+                removed.push(node);
+                ChurnEvent::NodeFailed { node }
+            } else {
+                continue;
+            }
+        };
+        events.push(ev);
+    }
+    events
+}
+
+/// Growth batch: returns previously removed nodes to the allocation.
+fn grow(
+    rng: &mut ChaCha8Rng,
+    allocated: &mut Vec<u32>,
+    removed: &mut Vec<u32>,
+    max_batch: usize,
+) -> ChurnEvent {
+    let batch = rng.gen_range(1..=max_batch.min(removed.len()));
+    let mut nodes = Vec::with_capacity(batch);
+    for _ in 0..batch {
+        let i = rng.gen_range(0..removed.len());
+        let node = removed.swap_remove(i);
+        allocated.push(node);
+        nodes.push(node);
+    }
+    ChurnEvent::NodesAdded { nodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umpa_topology::{AllocSpec, MachineConfig};
+
+    fn setup() -> (Machine, Allocation) {
+        let machine = MachineConfig::small(&[4, 4], 1, 2).build();
+        let alloc = Allocation::generate(&machine, &AllocSpec::sparse(8, 3));
+        (machine, alloc)
+    }
+
+    #[test]
+    fn same_seed_reproduces_different_seeds_differ() {
+        let (m, a) = setup();
+        let s1 = churn_sequence(&m, &a, &ChurnSpec::new(40, 9));
+        let s2 = churn_sequence(&m, &a, &ChurnSpec::new(40, 9));
+        let s3 = churn_sequence(&m, &a, &ChurnSpec::new(40, 10));
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn events_are_live_when_replayed() {
+        let (mut m, mut a) = setup();
+        let events = churn_sequence(&m, &a, &ChurnSpec::new(60, 1));
+        assert_eq!(events.len(), 60);
+        for ev in &events {
+            match ev {
+                ChurnEvent::LinkDegraded { link, factor } => {
+                    assert_ne!(m.link_factor(*link), *factor, "stale link event");
+                    ev.apply(&mut m, &mut a);
+                    assert_eq!(m.link_factor(*link), *factor);
+                }
+                _ => {
+                    let changed = ev.apply(&mut m, &mut a);
+                    assert!(changed > 0, "stale event in stream: {ev:?}");
+                }
+            }
+        }
+        assert!(!a.nodes().is_empty());
+    }
+
+    #[test]
+    fn nodes_only_stream_has_no_link_events() {
+        let (m, a) = setup();
+        let events = churn_sequence(&m, &a, &ChurnSpec::nodes_only(50, 4));
+        assert!(events
+            .iter()
+            .all(|e| !matches!(e, ChurnEvent::LinkDegraded { .. })));
+    }
+
+    #[test]
+    fn hard_failures_respect_the_concurrency_cap() {
+        let (m, a) = setup();
+        let events = churn_sequence(&m, &a, &ChurnSpec::new(80, 12));
+        let mut failed = std::collections::HashSet::new();
+        for ev in &events {
+            if let ChurnEvent::LinkDegraded { link, factor } = ev {
+                if *factor == 0.0 {
+                    failed.insert(*link);
+                } else if *factor == 1.0 {
+                    failed.remove(link);
+                }
+                assert!(failed.len() <= 1, "more than one hard failure outstanding");
+            }
+        }
+    }
+}

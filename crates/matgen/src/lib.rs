@@ -24,11 +24,15 @@
 //! * [`taskgen`] — direct large task-graph generators (3-D stencil
 //!   halo exchange, power-law attachment) at 10⁵–10⁶ tasks with
 //!   capacity-respecting weights, feeding the multilevel engine;
-//! * [`mm`] — Matrix Market import/export for interoperability.
+//! * [`mm`] — Matrix Market import/export for interoperability;
+//! * [`churn`] — seeded fault-injection streams (node failures,
+//!   allocation shrink/growth, link degradation) feeding the
+//!   incremental-remap differential harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod dataset;
 pub mod gen;
 pub mod mm;
@@ -36,6 +40,7 @@ pub mod pattern;
 pub mod spmv;
 pub mod taskgen;
 
+pub use churn::{churn_sequence, ChurnSpec};
 pub use dataset::{DatasetEntry, MatrixClass, Scale};
 pub use pattern::SparsePattern;
 pub use spmv::{spmv_task_graph, CommStats};
@@ -43,6 +48,7 @@ pub use taskgen::{power_law_tasks, stencil3d_tasks, total_weight_for};
 
 /// Commonly used items.
 pub mod prelude {
+    pub use crate::churn::{churn_sequence, ChurnSpec};
     pub use crate::dataset::{DatasetEntry, MatrixClass, Scale};
     pub use crate::pattern::SparsePattern;
     pub use crate::spmv::{spmv_task_graph, CommStats};

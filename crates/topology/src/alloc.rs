@@ -200,17 +200,58 @@ impl Allocation {
         self.procs.iter().sum()
     }
 
-    /// Whether `node` belongs to the allocation.
+    /// Whether `node` belongs to the allocation. Out-of-range ids
+    /// (including the `u32::MAX` "unmapped" sentinel) are simply not
+    /// allocated, so validation paths need no pre-checks.
     #[inline]
     pub fn contains(&self, node: u32) -> bool {
-        self.slot_of[node as usize] != u32::MAX
+        self.slot_of
+            .get(node as usize)
+            .is_some_and(|&s| s != u32::MAX)
     }
 
-    /// Allocation slot of `node` (`None` if not allocated).
+    /// Allocation slot of `node` (`None` if not allocated or out of
+    /// range).
     #[inline]
     pub fn slot_of(&self, node: u32) -> Option<u32> {
-        let s = self.slot_of[node as usize];
+        let s = *self.slot_of.get(node as usize)?;
         (s != u32::MAX).then_some(s)
+    }
+
+    /// Removes `node` from the allocation — the shrink half of
+    /// allocation churn. Later slots renumber down by one (placement
+    /// order is preserved); mappings store node ids, not slots, so
+    /// they survive the renumbering — only tasks mapped to the removed
+    /// node itself are displaced. Returns `false` (and changes
+    /// nothing) when the node is not allocated, so failing an already
+    /// departed node is a safe no-op. Allocation-free.
+    pub fn remove_node(&mut self, node: u32) -> bool {
+        let Some(slot) = self.slot_of(node) else {
+            return false;
+        };
+        let s = slot as usize;
+        self.nodes.remove(s);
+        self.procs.remove(s);
+        self.slot_of[node as usize] = u32::MAX;
+        for (i, &n) in self.nodes[s..].iter().enumerate() {
+            self.slot_of[n as usize] = (s + i) as u32;
+        }
+        true
+    }
+
+    /// Adds `node` with `procs` processor capacity at the end of the
+    /// placement order — the growth half of allocation churn. Returns
+    /// `false` (and changes nothing) when the node is already
+    /// allocated or out of range for the machine this allocation was
+    /// built for.
+    pub fn add_node(&mut self, node: u32, procs: u32) -> bool {
+        if (node as usize) >= self.slot_of.len() || self.slot_of[node as usize] != u32::MAX {
+            return false;
+        }
+        self.slot_of[node as usize] = self.nodes.len() as u32;
+        self.nodes.push(node);
+        self.procs.push(procs);
+        true
     }
 
     /// Mean pairwise hop distance between allocated nodes — a

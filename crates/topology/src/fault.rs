@@ -1,0 +1,240 @@
+//! Failure-masked rebuilds of the distance oracle and route cache.
+//!
+//! The analytic backends ([`Topology`]) route with closed-form walks
+//! that know nothing about link health; once a physical link hard-fails
+//! (`factor == 0`), every cached *and* analytic product derived from
+//! the static routes is wrong. This module rebuilds the derived state
+//! from first principles: a per-source BFS over the **surviving**
+//! links yields shortest-path distances and parent-tree routes that
+//! avoid the failed links, emitted in the same channel-id space the
+//! analytic emitters use (`2·l` for the enumerated `a → b` direction
+//! of physical link `l`, `2·l + 1` for `b → a`; the plain `l` when
+//! undirected), so congestion accounting and bandwidth lookups keep
+//! working unchanged.
+//!
+//! Masked distances are graph geodesics over the surviving links —
+//! under failures there *is* no static minimal route to measure, so
+//! the geodesic is the honest replacement; route lengths equal the
+//! masked distances by construction (both come from the same BFS
+//! tree). Unreachable pairs (a failure cut the network) get the
+//! `u16::MAX` hop sentinel and an empty route: traffic between them is
+//! not accounted to any link and placement heuristics see an
+//! effectively infinite distance.
+//!
+//! The reverse (`rows_to`) table is built by transposing the forward
+//! rows rather than by destination-side BFS: BFS tie-breaking is
+//! source-dependent, and the congestion engine's probe/commit split
+//! requires `row_to(b).route(a)` to be byte-identical to
+//! `row_from(a).route(b)`.
+
+use crate::machine::LinkMode;
+use crate::route_cache::RouteRow;
+use crate::topology::Topology;
+
+/// Router adjacency over surviving links, annotated with the channel
+/// id each traversal direction uses.
+pub(crate) struct MaskedAdjacency {
+    offsets: Vec<u32>,
+    nbr: Vec<u32>,
+    chan: Vec<u32>,
+}
+
+impl MaskedAdjacency {
+    /// Builds the adjacency from the topology's link enumeration,
+    /// skipping links whose health `factor` is zero.
+    pub(crate) fn build(topo: &Topology, mode: LinkMode, factor: &[f64]) -> Self {
+        let n = topo.num_routers();
+        let mut deg = vec![0u32; n];
+        topo.for_each_link(|l, a, b, _| {
+            if factor[l as usize] > 0.0 {
+                deg[a as usize] += 1;
+                deg[b as usize] += 1;
+            }
+        });
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + deg[i];
+        }
+        let total = offsets[n] as usize;
+        let mut nbr = vec![0u32; total];
+        let mut chan = vec![0u32; total];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        topo.for_each_link(|l, a, b, _| {
+            if factor[l as usize] > 0.0 {
+                let (ab, ba) = match mode {
+                    LinkMode::Undirected => (l, l),
+                    LinkMode::Directed => (2 * l, 2 * l + 1),
+                };
+                let ia = cursor[a as usize] as usize;
+                cursor[a as usize] += 1;
+                nbr[ia] = b;
+                chan[ia] = ab;
+                let ib = cursor[b as usize] as usize;
+                cursor[b as usize] += 1;
+                nbr[ib] = a;
+                chan[ib] = ba;
+            }
+        });
+        Self { offsets, nbr, chan }
+    }
+
+    #[inline]
+    fn edges(&self, r: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let lo = self.offsets[r as usize] as usize;
+        let hi = self.offsets[r as usize + 1] as usize;
+        self.nbr[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.chan[lo..hi].iter().copied())
+    }
+}
+
+/// Everything the machine re-derives under a failure mask: the
+/// terminal-router hop table plus both route-cache tables.
+pub(crate) struct MaskedProducts {
+    /// Row-major `n_term × n_term` hop counts (`u16::MAX` = cut off).
+    pub(crate) table: Vec<u16>,
+    /// Forward routes, one built row per source terminal router.
+    pub(crate) rows_from: Vec<RouteRow>,
+    /// Reverse routes (transpose of `rows_from`).
+    pub(crate) rows_to: Vec<RouteRow>,
+}
+
+/// Runs the per-source BFS sweep and assembles the masked products.
+pub(crate) fn build_masked(topo: &Topology, mode: LinkMode, factor: &[f64]) -> MaskedProducts {
+    let n_all = topo.num_routers();
+    let n = topo.num_terminal_routers();
+    assert!(
+        n_all < u16::MAX as usize,
+        "failure masks need the u16::MAX hop sentinel: {n_all} routers overflow it"
+    );
+    let adj = MaskedAdjacency::build(topo, mode, factor);
+    let mut table = vec![u16::MAX; n * n];
+    let mut rows_from = Vec::with_capacity(n);
+    let mut dist = vec![u32::MAX; n_all];
+    let mut par_chan = vec![u32::MAX; n_all];
+    let mut par = vec![u32::MAX; n_all];
+    let mut queue = Vec::with_capacity(n_all);
+    for s in 0..n as u32 {
+        dist.fill(u32::MAX);
+        queue.clear();
+        dist[s as usize] = 0;
+        queue.push(s);
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            let dv = dist[v as usize];
+            for (w, c) in adj.edges(v) {
+                if dist[w as usize] == u32::MAX {
+                    dist[w as usize] = dv + 1;
+                    par[w as usize] = v;
+                    par_chan[w as usize] = c;
+                    queue.push(w);
+                }
+            }
+        }
+        let row = &mut table[s as usize * n..(s as usize + 1) * n];
+        for (d, slot) in row.iter_mut().enumerate() {
+            let h = dist[d];
+            *slot = if h == u32::MAX { u16::MAX } else { h as u16 };
+        }
+        // Extract the tree path to every terminal destination: walk the
+        // parent chain (appending channel ids back-to-front), then
+        // reverse the just-appended segment in place.
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut links = Vec::new();
+        offsets.push(0u32);
+        for d in 0..n as u32 {
+            if d != s && dist[d as usize] != u32::MAX {
+                let start = links.len();
+                let mut v = d;
+                while v != s {
+                    links.push(par_chan[v as usize]);
+                    v = par[v as usize];
+                }
+                links[start..].reverse();
+            }
+            offsets.push(links.len() as u32);
+        }
+        rows_from.push(RouteRow { offsets, links });
+    }
+    // Transpose: row_to(b).route(a) must be the identical byte sequence
+    // as row_from(a).route(b).
+    let mut rows_to = Vec::with_capacity(n);
+    for b in 0..n {
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut links = Vec::new();
+        offsets.push(0u32);
+        for row in rows_from.iter().take(n) {
+            let lo = row.offsets[b] as usize;
+            let hi = row.offsets[b + 1] as usize;
+            links.extend_from_slice(&row.links[lo..hi]);
+            offsets.push(links.len() as u32);
+        }
+        rows_to.push(RouteRow { offsets, links });
+    }
+    MaskedProducts {
+        table,
+        rows_from,
+        rows_to,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+
+    #[test]
+    fn healthy_mask_reproduces_geodesics_and_consistent_routes() {
+        let m = MachineConfig::small(&[3, 3], 1, 1).build();
+        let topo = m.topology();
+        let factor = vec![1.0; topo.num_physical_links()];
+        let p = build_masked(topo, m.link_mode(), &factor);
+        let n = topo.num_terminal_routers();
+        for a in 0..n {
+            for b in 0..n {
+                let h = p.table[a * n + b];
+                // Torus BFS geodesics equal dimension-ordered distances.
+                assert_eq!(u32::from(h), topo.distance(a as u32, b as u32));
+                let lo = p.rows_from[a].offsets[b] as usize;
+                let hi = p.rows_from[a].offsets[b + 1] as usize;
+                assert_eq!((hi - lo) as u16, h, "route length == masked hops");
+                // Transpose consistency.
+                let t_lo = p.rows_to[b].offsets[a] as usize;
+                let t_hi = p.rows_to[b].offsets[a + 1] as usize;
+                assert_eq!(
+                    &p.rows_from[a].links[lo..hi],
+                    &p.rows_to[b].links[t_lo..t_hi]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failed_link_is_routed_around() {
+        let m = MachineConfig::small(&[4, 4], 1, 1).build();
+        let topo = m.topology();
+        let mut factor = vec![1.0; topo.num_physical_links()];
+        // Fail the link of router 0's +x hop (0 -> 1).
+        let mut route = Vec::new();
+        topo.route_links(0, 1, m.link_mode(), &mut route);
+        let failed = route[0] / 2;
+        factor[failed as usize] = 0.0;
+        let p = build_masked(topo, m.link_mode(), &factor);
+        let n = topo.num_terminal_routers();
+        // Still reachable (torus redundancy) but longer than 1 hop…
+        let h = p.table[1];
+        assert!(h > 1 && h != u16::MAX);
+        // …and the route never crosses the failed physical link.
+        let lo = p.rows_from[0].offsets[1] as usize;
+        let hi = p.rows_from[0].offsets[2] as usize;
+        assert_eq!(hi - lo, h as usize);
+        for &c in &p.rows_from[0].links[lo..hi] {
+            assert_ne!(c / 2, failed);
+        }
+        // Unaffected pairs keep geodesic distances.
+        assert_eq!(u32::from(p.table[2 * n + 3]), topo.distance(2, 3));
+    }
+}

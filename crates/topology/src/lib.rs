@@ -32,14 +32,20 @@
 //! * [`ordering`] — linear node orderings (lexicographic / serpentine
 //!   space-filling curve) standing in for Cray's placement curve;
 //! * [`alloc`] — a fragmented-allocation generator reproducing the
-//!   paper's *sparse* (non-contiguous) node allocations.
+//!   paper's *sparse* (non-contiguous) node allocations;
+//! * [`churn`] — the [`ChurnEvent`] fault model (node failures,
+//!   allocation shrink/growth, link degradation) behind the
+//!   incremental-remap lifecycle, with failure-masked rebuilds of the
+//!   oracle/route-cache products (`Machine::degrade_link`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod churn;
 pub mod dragonfly;
 pub mod fat_tree;
+mod fault;
 pub mod machine;
 pub mod oracle;
 pub mod ordering;
@@ -49,6 +55,7 @@ pub mod topology;
 pub mod torus;
 
 pub use alloc::{AllocSpec, Allocation};
+pub use churn::ChurnEvent;
 pub use dragonfly::{Dragonfly, DragonflyConfig};
 pub use fat_tree::{FatTree, FatTreeConfig};
 pub use machine::{
@@ -64,6 +71,7 @@ pub use torus::Torus;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::alloc::{AllocSpec, Allocation};
+    pub use crate::churn::ChurnEvent;
     pub use crate::dragonfly::{Dragonfly, DragonflyConfig};
     pub use crate::fat_tree::{FatTree, FatTreeConfig};
     pub use crate::machine::{LinkMode, Machine, MachineConfig, MachineParams};

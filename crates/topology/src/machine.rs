@@ -12,6 +12,7 @@ use std::sync::OnceLock;
 
 use umpa_graph::{Graph, GraphBuilder};
 
+use crate::fault;
 use crate::oracle::DistanceOracle;
 use crate::route_cache::RouteCache;
 use crate::topology::{Topology, TorusNet};
@@ -134,6 +135,18 @@ impl MachineConfig {
     }
 }
 
+/// Per-physical-link health (the failure mask). Absent on a healthy
+/// machine so the fault-free fast paths stay branch-cheap.
+#[derive(Clone, Debug)]
+struct FaultState {
+    /// Bandwidth factor per physical link (`1.0` healthy, `0.0` failed).
+    factor: Vec<f64>,
+    /// Links with `factor == 0.0` (hard failures).
+    failed: usize,
+    /// Links with `factor != 1.0` (any degradation, incl. failures).
+    imperfect: usize,
+}
+
 /// The machine: topology graph `Gm`, node/processor layout, link ids and
 /// bandwidths, and O(1) hop distances.
 #[derive(Clone, Debug)]
@@ -141,6 +154,8 @@ pub struct Machine {
     topo: Topology,
     params: MachineParams,
     router_graph: Graph,
+    /// Failure mask; `None` = every link healthy (the common case).
+    faults: Option<FaultState>,
     /// Lazily built terminal-router hop table; `None` inside means the
     /// machine exceeds `oracle_max_routers` and hot paths use the
     /// analytic distance.
@@ -194,6 +209,7 @@ impl Machine {
             topo,
             params,
             router_graph,
+            faults: None,
             oracle: OnceLock::new(),
             oracle_max_routers: DEFAULT_ORACLE_MAX_ROUTERS,
             route_cache: OnceLock::new(),
@@ -212,10 +228,25 @@ impl Machine {
     /// subsequent mapping amortizes it. A latency-sensitive caller
     /// doing a single mapping on a large machine can opt out with
     /// [`set_oracle_threshold(0)`](Self::set_oracle_threshold).
+    /// Under a failure mask with hard-failed links the table is
+    /// **force-built** from the masked BFS sweep regardless of the
+    /// threshold: the analytic fallback would measure distances over
+    /// dead links, so in fault mode there is no fallback to fall back
+    /// to (correctness over the memory knob; `u16::MAX` entries mark
+    /// pairs the failures cut apart).
     #[inline]
     pub fn oracle(&self) -> Option<&DistanceOracle> {
         self.oracle
-            .get_or_init(|| DistanceOracle::build(&self.topo, self.oracle_max_routers))
+            .get_or_init(|| match self.failed_factors() {
+                Some(factor) => {
+                    let p = fault::build_masked(&self.topo, self.params.link_mode, factor);
+                    Some(DistanceOracle::from_table(
+                        self.topo.num_terminal_routers(),
+                        p.table,
+                    ))
+                }
+                None => DistanceOracle::build(&self.topo, self.oracle_max_routers),
+            })
             .as_ref()
     }
 
@@ -233,15 +264,29 @@ impl Machine {
     /// rows themselves build on first route *from* each source, so the
     /// first congestion refinement on a fresh allocation pays the row
     /// builds and every later run reads warm slices (DESIGN.md §13).
+    /// Under a failure mask with hard-failed links the cache is
+    /// **force-built eagerly** from the masked BFS sweep (every row of
+    /// both directions, regardless of the threshold): the analytic
+    /// emitters would route straight through dead links. The full
+    /// `4·Σ distance` footprint is the price of failures on very large
+    /// machines — see DESIGN.md §14.
     #[inline]
     pub fn route_cache(&self) -> Option<&RouteCache> {
         self.route_cache
-            .get_or_init(|| {
-                RouteCache::build(
+            .get_or_init(|| match self.failed_factors() {
+                Some(factor) => {
+                    let p = fault::build_masked(&self.topo, self.params.link_mode, factor);
+                    Some(RouteCache::from_prebuilt(
+                        self.params.link_mode,
+                        p.rows_from,
+                        p.rows_to,
+                    ))
+                }
+                None => RouteCache::build(
                     &self.topo,
                     self.params.link_mode,
                     self.route_cache_max_routers,
-                )
+                ),
             })
             .as_ref()
     }
@@ -252,6 +297,130 @@ impl Machine {
     /// built.
     pub fn set_route_cache_threshold(&mut self, max_routers: usize) {
         self.route_cache_max_routers = max_routers;
+        self.route_cache = OnceLock::new();
+    }
+
+    /// Applies the failure mask: scales physical link `link`'s
+    /// bandwidth to `factor` of nominal (`0.0` = hard failure, `1.0` =
+    /// fully restored).
+    ///
+    /// Invalidation rules (the stale-cache contract DESIGN.md §14
+    /// documents and `tests/remap.rs` pins):
+    ///
+    /// * a pure bandwidth degradation (`0 < factor`) changes no route
+    ///   and no distance — the memoized reciprocal bandwidths are
+    ///   patched **in place** (allocation-free, the warm-remap path);
+    /// * a hard failure or a recovery from one changes the set of
+    ///   usable links — the router graph is rebuilt over the survivors
+    ///   and the distance oracle and route cache are discarded, to be
+    ///   lazily re-derived from the masked BFS sweep (or the analytic
+    ///   builders once no failures remain).
+    ///
+    /// When every link is back at factor `1.0` the mask is dropped
+    /// entirely and the machine is indistinguishable from freshly
+    /// built.
+    pub fn degrade_link(&mut self, link: u32, factor: f64) {
+        assert!(
+            (0.0..=1.0).contains(&factor),
+            "bandwidth factor {factor} outside 0.0..=1.0"
+        );
+        let num_phys = self.topo.num_physical_links();
+        assert!(
+            (link as usize) < num_phys,
+            "physical link {link} out of range ({num_phys} links)"
+        );
+        let (was_failed, now_failed, drop_mask) = {
+            let faults = self.faults.get_or_insert_with(|| FaultState {
+                factor: vec![1.0; num_phys],
+                failed: 0,
+                imperfect: 0,
+            });
+            let old = faults.factor[link as usize];
+            if old == factor {
+                return;
+            }
+            faults.factor[link as usize] = factor;
+            let (was_failed, now_failed) = (old == 0.0, factor == 0.0);
+            faults.failed = faults.failed - usize::from(was_failed) + usize::from(now_failed);
+            faults.imperfect =
+                faults.imperfect - usize::from(old != 1.0) + usize::from(factor != 1.0);
+            (was_failed, now_failed, faults.imperfect == 0)
+        };
+        if let Some(inv) = self.inv_bw.get_mut() {
+            let inv_val = 1.0 / (self.topo.physical_link_bw(link) * factor);
+            match self.params.link_mode {
+                LinkMode::Directed => {
+                    inv[2 * link as usize] = inv_val;
+                    inv[2 * link as usize + 1] = inv_val;
+                }
+                LinkMode::Undirected => inv[link as usize] = inv_val,
+            }
+        }
+        if drop_mask {
+            self.faults = None;
+        }
+        if was_failed != now_failed {
+            self.rebuild_after_failure_change();
+        }
+    }
+
+    /// Restores physical link `link` to full health
+    /// (`degrade_link(link, 1.0)`).
+    pub fn restore_link(&mut self, link: u32) {
+        self.degrade_link(link, 1.0);
+    }
+
+    /// Drops the entire failure mask and re-derives every cache from
+    /// the pristine topology.
+    pub fn clear_faults(&mut self) {
+        if self.faults.take().is_some() {
+            self.inv_bw = OnceLock::new();
+            self.rebuild_after_failure_change();
+        }
+    }
+
+    /// Remaining bandwidth fraction of physical link `link` (`1.0`
+    /// when healthy, `0.0` when hard-failed).
+    #[inline]
+    pub fn link_factor(&self, link: u32) -> f64 {
+        match &self.faults {
+            Some(f) => f.factor[link as usize],
+            None => 1.0,
+        }
+    }
+
+    /// Whether any physical link is hard-failed (masked routing mode).
+    #[inline]
+    pub fn has_failed_links(&self) -> bool {
+        matches!(&self.faults, Some(f) if f.failed > 0)
+    }
+
+    /// The failure factors when at least one link is hard-failed.
+    #[inline]
+    fn failed_factors(&self) -> Option<&[f64]> {
+        match &self.faults {
+            Some(f) if f.failed > 0 => Some(&f.factor),
+            _ => None,
+        }
+    }
+
+    /// Rebuilds the router graph over surviving links and discards the
+    /// route/distance products (they lazily re-derive masked or
+    /// analytic as appropriate).
+    fn rebuild_after_failure_change(&mut self) {
+        let mut b = GraphBuilder::new(self.topo.num_routers());
+        match self.failed_factors() {
+            Some(factor) => self.topo.for_each_link(|l, u, v, bw| {
+                if factor[l as usize] > 0.0 {
+                    b.add_edge(u, v, bw);
+                }
+            }),
+            None => self.topo.for_each_link(|_, u, v, bw| {
+                b.add_edge(u, v, bw);
+            }),
+        }
+        self.router_graph = b.build_symmetric();
+        self.oracle = OnceLock::new();
         self.route_cache = OnceLock::new();
     }
 
@@ -398,12 +567,18 @@ impl Machine {
         })
     }
 
-    /// Bandwidth of channel `id` in GB/s.
+    /// Bandwidth of channel `id` in GB/s, scaled by the failure mask
+    /// (a hard-failed link reports zero bandwidth).
     #[inline]
     pub fn link_bandwidth(&self, id: u32) -> f64 {
-        match self.params.link_mode {
-            LinkMode::Directed => self.topo.physical_link_bw(id / 2),
-            LinkMode::Undirected => self.topo.physical_link_bw(id),
+        let phys = match self.params.link_mode {
+            LinkMode::Directed => id / 2,
+            LinkMode::Undirected => id,
+        };
+        let bw = self.topo.physical_link_bw(phys);
+        match &self.faults {
+            Some(f) => bw * f.factor[phys as usize],
+            None => bw,
         }
     }
 
@@ -417,10 +592,20 @@ impl Machine {
     /// and `b` onto `out` (empty when they share a router).
     /// Allocation-free once `out` has capacity — the engine's warm
     /// scratch contract depends on this.
+    /// Under a failure mask with hard-failed links, routes are served
+    /// from the masked route cache (built around the dead links); the
+    /// analytic emitters know nothing about link health.
     #[inline]
     pub fn route_links(&self, a: u32, b: u32, out: &mut Vec<u32>) {
         let (ra, rb) = (self.router_of(a), self.router_of(b));
         if ra == rb {
+            return;
+        }
+        if self.has_failed_links() {
+            let cache = self
+                .route_cache()
+                .expect("masked route cache is force-built under failures");
+            out.extend_from_slice(cache.route(&self.topo, ra, rb));
             return;
         }
         self.topo.route_links(ra, rb, self.params.link_mode, out);

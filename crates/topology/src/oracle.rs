@@ -59,6 +59,15 @@ impl DistanceOracle {
         Some(Self { n, table })
     }
 
+    /// Wraps a precomputed row-major `n × n` table — the constructor
+    /// the failure-masked rebuild uses (its BFS distances have no
+    /// analytic source to re-derive them from, and `u16::MAX` entries
+    /// mark unreachable pairs, so the `build` guards don't apply).
+    pub(crate) fn from_table(n: usize, table: Vec<u16>) -> Self {
+        debug_assert_eq!(table.len(), n * n);
+        Self { n, table }
+    }
+
     /// Number of terminal routers covered.
     #[inline]
     pub fn num_routers(&self) -> usize {

@@ -36,11 +36,11 @@ use crate::topology::Topology;
 
 /// One router's routes to (or from) every terminal router, in CSR form.
 #[derive(Clone, Debug)]
-struct RouteRow {
+pub(crate) struct RouteRow {
     /// `offsets[x]..offsets[x + 1]` indexes `links` for peer `x`.
-    offsets: Vec<u32>,
+    pub(crate) offsets: Vec<u32>,
     /// Concatenated channel ids of all routes of this row.
-    links: Vec<u32>,
+    pub(crate) links: Vec<u32>,
 }
 
 /// A borrowed row of cached routes sharing one endpoint: hot loops
@@ -106,6 +106,34 @@ impl RouteCache {
             rows_from,
             rows_to,
         })
+    }
+
+    /// Wraps fully prebuilt rows (both directions) — the constructor
+    /// the failure-masked rebuild uses. Every row slot is initialized,
+    /// so the lazy `get_or_init` closures never run and the analytic
+    /// emitters are never consulted.
+    pub(crate) fn from_prebuilt(
+        mode: LinkMode,
+        rows_from: Vec<RouteRow>,
+        rows_to: Vec<RouteRow>,
+    ) -> Self {
+        debug_assert_eq!(rows_from.len(), rows_to.len());
+        let n = rows_from.len();
+        let seal = |rows: Vec<RouteRow>| {
+            rows.into_iter()
+                .map(|row| {
+                    let lock = OnceLock::new();
+                    lock.set(row).expect("fresh lock");
+                    lock
+                })
+                .collect()
+        };
+        Self {
+            n,
+            mode,
+            rows_from: seal(rows_from),
+            rows_to: seal(rows_to),
+        }
     }
 
     /// Number of terminal routers covered.

@@ -298,6 +298,90 @@ fn heavy_first_pre_pass_is_also_allocation_free() {
 }
 
 #[test]
+fn warm_incremental_remap_is_allocation_free() {
+    let _guard = MEASURE.lock().unwrap_or_else(|e| e.into_inner());
+    // The DESIGN.md §14 contract: once the scratch is warm, repairing
+    // node churn and *soft* link degradation allocates nothing — on
+    // every topology backend. Hard link failures are excluded by
+    // design: they rebuild the distance oracle and route cache, which
+    // inherently allocates. The soft-degradation cycle alternates
+    // between two factors (never back to exactly 1.0) so the failure
+    // mask persists and the patch stays in place; a full restore drops
+    // the mask and the next degradation would re-create it.
+    use umpa::core::remap::{remap_incremental, ChurnEvent, RemapConfig};
+    let machines: Vec<Machine> = vec![
+        MachineConfig::small(&[4, 4], 1, 4).build(),
+        umpa::topology::FatTreeConfig::small(4, 1, 4).build(),
+        umpa::topology::DragonflyConfig {
+            procs_per_node: 4,
+            ..umpa::topology::DragonflyConfig::small(3, 3, 1)
+        }
+        .build(),
+    ];
+    let tg = TaskGraph::from_messages(
+        24,
+        (0..24u32).flat_map(|i| [(i, (i + 1) % 24, 4.0), (i, (i + 5) % 24, 1.0)]),
+        None,
+    );
+    let cfg = RemapConfig::default();
+    let mut scratch = MapperScratch::new();
+    for machine in machines {
+        let mut machine = machine;
+        // 8 nodes × 4 procs for 24 unit tasks: headroom for a failure.
+        let mut alloc = Allocation::generate(&machine, &AllocSpec::sparse(8, 2));
+        let mut mapping = Vec::new();
+        greedy_map_into(
+            &tg,
+            &machine,
+            &alloc,
+            &GreedyConfig::default(),
+            &mut scratch.greedy,
+            &mut mapping,
+        );
+        let victim = alloc.node(3);
+        // Events pre-constructed: the `NodesAdded` payload vector is
+        // part of the churn input, not of the repair.
+        let cycle = [
+            ChurnEvent::NodeFailed { node: victim },
+            ChurnEvent::NodesAdded {
+                nodes: vec![victim],
+            },
+            ChurnEvent::LinkDegraded {
+                link: 0,
+                factor: 0.5,
+            },
+            ChurnEvent::LinkDegraded {
+                link: 0,
+                factor: 0.75,
+            },
+        ];
+        let mut run = |scratch: &mut MapperScratch, mapping: &mut Vec<u32>| {
+            for ev in &cycle {
+                let out = remap_incremental(
+                    &tg,
+                    &mut machine,
+                    &mut alloc,
+                    mapping,
+                    std::slice::from_ref(ev),
+                    &cfg,
+                    scratch,
+                );
+                assert!(out.is_repaired());
+            }
+        };
+        // Warmup: size every repair buffer, build the oracle/route
+        // cache and the fault mask's factor vector.
+        run(&mut scratch, &mut mapping);
+        run(&mut scratch, &mut mapping);
+        let counted = measure_steady_state(|| run(&mut scratch, &mut mapping));
+        assert_eq!(
+            counted, 0,
+            "warm incremental remap allocated {counted} times over 5 warm cycles"
+        );
+    }
+}
+
+#[test]
 fn warm_pipeline_allocates_strictly_less_than_cold() {
     let _guard = MEASURE.lock().unwrap_or_else(|e| e.into_inner());
     let machine = MachineConfig::small(&[4, 4], 1, 4).build();
