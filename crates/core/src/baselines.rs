@@ -16,6 +16,7 @@
 //!   distance), the task set by min-cut bisection, and the halves are
 //!   matched.
 
+use crate::mapping::fits;
 use umpa_graph::TaskGraph;
 use umpa_partition::bisect::{multilevel_bisect, BisectConfig};
 use umpa_topology::{Allocation, Machine};
@@ -28,7 +29,7 @@ pub fn def_mapping(tg: &TaskGraph, alloc: &Allocation) -> Vec<u32> {
     let mut free = f64::from(alloc.procs(0));
     for t in 0..tg.num_tasks() as u32 {
         let w = tg.task_weight(t);
-        while free + 1e-9 < w {
+        while !fits(free, w) {
             slot += 1;
             assert!(
                 slot < alloc.num_nodes(),
@@ -179,9 +180,9 @@ fn enforce_capacity(sub: &umpa_graph::Graph, side: &mut [u8], cap1: f64, cap2: f
         for (i, &s) in side.iter().enumerate() {
             w[s as usize] += sub.vertex_weight(i as u32);
         }
-        let over = if w[0] > cap1 + 1e-9 {
+        let over = if !fits(cap1, w[0]) {
             0u8
-        } else if w[1] > cap2 + 1e-9 {
+        } else if !fits(cap2, w[1]) {
             1u8
         } else {
             break;

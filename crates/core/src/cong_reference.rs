@@ -22,6 +22,7 @@ use umpa_graph::{Bfs, TaskGraph};
 use umpa_topology::{Allocation, Machine};
 
 use crate::cong_refine::{CongRefineConfig, CongestionKind};
+use crate::eps::CONG_EPS;
 use crate::gain::HopDist;
 use crate::mapping::fits;
 
@@ -365,10 +366,10 @@ impl<'a> RefState<'a> {
             let after = before + d;
             if before == 0.0 && after > 0.0 {
                 self.used_links += 1;
-            } else if before > 0.0 && after <= 1e-12 {
+            } else if before > 0.0 && after <= CONG_EPS {
                 self.used_links -= 1;
             }
-            self.traffic[li] = if after.abs() < 1e-12 { 0.0 } else { after };
+            self.traffic[li] = if after.abs() < CONG_EPS { 0.0 } else { after };
             self.sum_key += d * self.inv_cost[li];
             self.heap
                 .change_key(l, self.traffic[li] * self.inv_cost[li]);
@@ -407,7 +408,8 @@ impl<'a> RefState<'a> {
         self.collect_affected_edges(tmc, t2);
         self.collect_deltas(tmc, t2, node2);
         let (new_mc, new_ac) = self.apply_deltas(false);
-        let improves = new_mc < mc - 1e-12 || (new_mc <= mc + 1e-12 && new_ac < ac - 1e-12);
+        let improves =
+            new_mc < mc - CONG_EPS || (new_mc <= mc + CONG_EPS && new_ac < ac - CONG_EPS);
         if improves {
             // Commit: fix commTasks (old routes removed with the
             // *pre-move* mapping), then move tasks.

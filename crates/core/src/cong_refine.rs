@@ -70,6 +70,7 @@ use umpa_ds::{EpochMarker, IndexedMaxHeap, SlotBuckets};
 use umpa_graph::{Bfs, TaskGraph};
 use umpa_topology::{Allocation, LinkMode, Machine, RouteCache, Topology};
 
+use crate::eps::CONG_EPS;
 use crate::gain::HopDist;
 use crate::mapping::fits;
 
@@ -1067,7 +1068,7 @@ impl<'a> CongState<'a> {
     /// walk) and the untouched maximum comes from a read-only
     /// [`IndexedMaxHeap::max_excluding`] descent.
     fn peek_deltas(&self, mc: f64) -> (f64, f64) {
-        let reject_above = mc + 1e-12;
+        let reject_above = mc + CONG_EPS;
         let mut sum = self.sum_key;
         let mut used = self.used_links;
         let mut touched_max = f64::NEG_INFINITY;
@@ -1083,10 +1084,10 @@ impl<'a> CongState<'a> {
                 let after = before + d;
                 if before == 0.0 && after > 0.0 {
                     used += 1;
-                } else if before > 0.0 && after <= 1e-12 {
+                } else if before > 0.0 && after <= CONG_EPS {
                     used -= 1;
                 }
-                let t = if after.abs() < 1e-12 { 0.0 } else { after };
+                let t = if after.abs() < CONG_EPS { 0.0 } else { after };
                 sum += d * self.inv_cost[li];
                 t * self.inv_cost[li]
             };
@@ -1097,19 +1098,19 @@ impl<'a> CongState<'a> {
                     // value: both accept clauses are false no matter
                     // what the remaining deltas or the untouched
                     // maximum contribute, so the probe is rejected
-                    // here. (`new_mc >= key > mc + 1e-12`; the returned
+                    // here. (`new_mc >= key > mc + CONG_EPS`; the returned
                     // pair only feeds that comparison.)
                     return (key, f64::INFINITY);
                 }
             }
         }
         // The untouched maximum matters only when every touched link
-        // ends below `mc - 1e-12`: otherwise the first accept clause is
-        // false and the second clause's `new_mc <= mc + 1e-12` test
-        // reduces to `touched_max <= mc + 1e-12` (untouched keys never
+        // ends below `mc - CONG_EPS`: otherwise the first accept clause is
+        // false and the second clause's `new_mc <= mc + CONG_EPS` test
+        // reduces to `touched_max <= mc + CONG_EPS` (untouched keys never
         // exceed the current maximum), so the returned pair feeds the
         // accept rule identically without the descent.
-        let new_mc = if touched_max < mc - 1e-12 {
+        let new_mc = if touched_max < mc - CONG_EPS {
             let epoch = u64::from(*self.link_epoch);
             let link_state = &*self.link_state;
             let untouched = self
@@ -1159,10 +1160,10 @@ impl<'a> CongState<'a> {
             if before == 0.0 && after > 0.0 {
                 self.used_links += 1;
                 self.used_list.push(l);
-            } else if before > 0.0 && after <= 1e-12 {
+            } else if before > 0.0 && after <= CONG_EPS {
                 self.used_links -= 1;
             }
-            self.link_state[li].traffic = if after.abs() < 1e-12 { 0.0 } else { after };
+            self.link_state[li].traffic = if after.abs() < CONG_EPS { 0.0 } else { after };
             self.sum_key += d * self.inv_cost[li];
             // A link gaining its first-ever traffic enters the sparse
             // heap here (and the used list, for the next run's lazy
@@ -1210,7 +1211,8 @@ impl<'a> CongState<'a> {
         self.collect_old_deltas(tmc, t2, epoch);
         self.collect_new_deltas(tmc, t2, r2, epoch);
         let (new_mc, new_ac) = self.peek_deltas(mc);
-        let improves = new_mc < mc - 1e-12 || (new_mc <= mc + 1e-12 && new_ac < ac - 1e-12);
+        let improves =
+            new_mc < mc - CONG_EPS || (new_mc <= mc + CONG_EPS && new_ac < ac - CONG_EPS);
         if !improves {
             return false; // read-only probe: nothing to roll back
         }

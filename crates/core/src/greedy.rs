@@ -49,6 +49,7 @@ pub struct GreedyConfig {
     pub heavy_first_fraction: f64,
 }
 
+// tidy-cold-region: config construction happens once per run, before the mapping loop
 impl Default for GreedyConfig {
     fn default() -> Self {
         Self {
@@ -57,6 +58,7 @@ impl Default for GreedyConfig {
         }
     }
 }
+// tidy-end-cold-region
 
 /// Reusable buffers for one greedy run — BFS workspaces, the `conn`
 /// heap, capacity vectors and the candidate/best mapping buffers. All
@@ -110,6 +112,8 @@ pub fn total_hops(tg: &TaskGraph, machine: &Machine, mapping: &[u32]) -> f64 {
 /// execute on worker threads; the reduction (lowest WH, ties toward the
 /// lower candidate index) makes the result bit-identical to the
 /// sequential path.
+// tidy-cold-region: convenience entry point that owns its scratch and result;
+// the allocation-free path is `greedy_map_into` with a warm scratch
 pub fn greedy_map(
     tg: &TaskGraph,
     machine: &Machine,
@@ -151,6 +155,7 @@ pub fn greedy_map(
     greedy_map_into(tg, machine, alloc, cfg, &mut scratch, &mut out);
     out
 }
+// tidy-end-cold-region
 
 /// Scratch-reusing form of [`greedy_map`]: writes the winning mapping
 /// into `out` and returns its WH. Allocation-free once `scratch` and
@@ -209,7 +214,7 @@ fn run_greedy(
     }
     let total_weight: f64 = (0..n as u32).map(|t| tg.task_weight(t)).sum();
     assert!(
-        total_weight <= f64::from(alloc.total_procs()) + 1e-9,
+        fits(f64::from(alloc.total_procs()), total_weight),
         "allocation too small: task weight {total_weight} > {} procs",
         alloc.total_procs()
     );

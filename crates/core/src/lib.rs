@@ -43,6 +43,7 @@ pub mod baselines;
 #[doc(hidden)]
 pub mod cong_reference;
 pub mod cong_refine;
+pub mod eps;
 pub(crate) mod gain;
 pub mod greedy;
 pub mod mapping;
@@ -58,6 +59,7 @@ pub use cong_refine::{
     congestion_refine, congestion_refine_frontier_scratch, congestion_refine_scratch,
     CongRefineConfig, CongRunStats, CongScratch, CongestionKind,
 };
+pub use eps::{CONG_EPS, DRIFT_EPS, GAIN_EPS};
 pub use greedy::{greedy_map, greedy_map_into, GreedyConfig, GreedyScratch};
 pub use mapping::{fits, is_valid_mapping, validate_mapping, MappingError, CAPACITY_EPS};
 pub use metrics::{evaluate, MetricsReport};

@@ -9,13 +9,10 @@
 use umpa_graph::TaskGraph;
 use umpa_topology::Allocation;
 
-/// Absolute tolerance of every capacity comparison in the mapping
-/// engine. Task weights and node capacities are small integers (or sums
-/// of them) represented as `f64`, so repeated increment/decrement can
-/// drift by ULPs; comparisons allow this much slack so a task that
-/// exactly fills a node still "fits". Centralized here so the tolerance
-/// cannot drift between call sites.
-pub const CAPACITY_EPS: f64 = 1e-9;
+// Re-exported from `eps` where all engine tolerances now live; kept
+// here because `fits` is its natural companion and downstream code
+// imports it from `mapping`.
+pub use crate::eps::CAPACITY_EPS;
 
 /// Whether a task of `weight` fits in `free` remaining capacity, under
 /// the engine-wide [`CAPACITY_EPS`] tolerance. For swap feasibility
@@ -188,6 +185,19 @@ mod tests {
                 node: outside
             })
         );
+    }
+
+    #[test]
+    fn mapping_error_composes_as_std_error() {
+        // `?` through `Box<dyn Error>`: the conversion only exists
+        // because MappingError implements std::error::Error + Display.
+        fn check(tg: &TaskGraph, alloc: &Allocation) -> Result<(), Box<dyn std::error::Error>> {
+            validate_mapping(tg, alloc, &[0, 1])?;
+            Ok(())
+        }
+        let (_, alloc, tg) = setup();
+        let err = check(&tg, &alloc).unwrap_err();
+        assert_eq!(err.to_string(), "mapping has 2 entries for 4 tasks");
     }
 
     #[test]

@@ -169,6 +169,7 @@ pub fn remap_incremental(
     cfg: &RemapConfig,
     scratch: &mut MapperScratch,
 ) -> RemapOutcome {
+    // tidy-allow: panic-freedom (API precondition checked on entry, before any event is applied or state touched; the never-panic contract covers the repair itself)
     assert_eq!(mapping.len(), tg.num_tasks(), "mapping/task-count mismatch");
     for ev in events {
         ev.apply(machine, alloc);
@@ -198,6 +199,7 @@ pub fn remap_incremental(
         .extend((0..alloc.num_nodes()).map(|s| f64::from(alloc.procs(s))));
     for (t, &node) in mapping.iter().enumerate() {
         if node != u32::MAX {
+            // tidy-allow: panic-freedom (unreachable: the displaced loop above just reset every entry not in the allocation to u32::MAX)
             let slot = alloc.slot_of(node).expect("surviving entry is allocated");
             remap.free[slot as usize] -= tg.task_weight(t as u32);
         }
@@ -210,6 +212,7 @@ pub fn remap_incremental(
     let have: f64 = remap.free.iter().map(|f| f.max(0.0)).sum();
     if need > have + CAPACITY_EPS {
         return RemapOutcome::Infeasible {
+            // tidy-allow: hot-path-alloc (cold infeasible exit; the outcome must own its unplaced list because the scratch is reused)
             unplaced: remap.displaced.clone(),
         };
     }
@@ -219,9 +222,10 @@ pub fn remap_incremental(
     remap.order.clear();
     remap.order.extend_from_slice(&remap.displaced);
     remap.order.sort_unstable_by(|&a, &b| {
+        // total_cmp: same order as partial_cmp for the finite weights
+        // the graph builder admits, and structurally panic-free.
         tg.task_weight(b)
-            .partial_cmp(&tg.task_weight(a))
-            .unwrap()
+            .total_cmp(&tg.task_weight(a))
             .then(a.cmp(&b))
     });
 
@@ -243,6 +247,7 @@ pub fn remap_incremental(
             t,
         ) {
             Some(node) => {
+                // tidy-allow: panic-freedom (unreachable: place_one only returns nodes drawn from the allocation's slot list)
                 let slot = alloc.slot_of(node).expect("placement is allocated");
                 remap.free[slot as usize] -= tg.task_weight(t);
                 mapping[t as usize] = node;
@@ -252,6 +257,7 @@ pub fn remap_incremental(
     }
     if !remap.unplaced.is_empty() {
         return RemapOutcome::Infeasible {
+            // tidy-allow: hot-path-alloc (cold infeasible exit; the outcome must own its unplaced list because the scratch is reused)
             unplaced: remap.unplaced.clone(),
         };
     }

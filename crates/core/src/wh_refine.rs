@@ -29,6 +29,7 @@ use umpa_ds::{IndexedMaxHeap, SlotBuckets};
 use umpa_graph::{Bfs, TaskGraph};
 use umpa_topology::{Allocation, Machine};
 
+use crate::eps::{DRIFT_EPS, GAIN_EPS};
 use crate::gain::HopDist;
 use crate::greedy::weighted_hops;
 use crate::mapping::fits;
@@ -100,7 +101,7 @@ pub fn wh_refine_scratch(
         let improved = r.run_pass(cfg.delta);
         let new_wh = wh - improved;
         debug_assert!(
-            (new_wh - weighted_hops(tg, machine, r.mapping)).abs() < 1e-6 * (1.0 + new_wh),
+            (new_wh - weighted_hops(tg, machine, r.mapping)).abs() < DRIFT_EPS * (1.0 + new_wh),
             "incremental WH drifted"
         );
         if wh <= 0.0 || (wh - new_wh) / wh <= cfg.min_rel_improvement {
@@ -134,7 +135,7 @@ pub fn wh_refine_frontier_scratch(
         let improved = r.run_pass_frontier(cfg.delta, frontier);
         let new_wh = wh - improved;
         debug_assert!(
-            (new_wh - weighted_hops(tg, machine, r.mapping)).abs() < 1e-6 * (1.0 + new_wh),
+            (new_wh - weighted_hops(tg, machine, r.mapping)).abs() < DRIFT_EPS * (1.0 + new_wh),
             "incremental WH drifted"
         );
         if wh <= 0.0 || (wh - new_wh) / wh <= cfg.min_rel_improvement {
@@ -334,7 +335,7 @@ impl<'a> Refiner<'a> {
                     }
                     let gain = self.swap_gain(twh, Some(t2), node2);
                     evaluated += 1;
-                    if gain > 1e-9 {
+                    if gain > GAIN_EPS {
                         return Some((gain, Some(t2), node2));
                     }
                     if evaluated >= delta {
@@ -344,7 +345,7 @@ impl<'a> Refiner<'a> {
                 if fits(self.free[slot2], w1) {
                     let gain = self.swap_gain(twh, None, node2);
                     evaluated += 1;
-                    if gain > 1e-9 {
+                    if gain > GAIN_EPS {
                         return Some((gain, None, node2));
                     }
                     if evaluated >= delta {

@@ -16,8 +16,6 @@
 //! * `MSV` — max per-part send volume,
 //! * `MSM` — max per-part sent-message count.
 
-use std::collections::HashMap;
-
 use umpa_ds::IndexedMaxHeap;
 use umpa_matgen::SparsePattern;
 
@@ -76,8 +74,12 @@ pub struct CommRefiner<'a> {
     col_parts: Vec<Vec<(u32, u32)>>,
     send_vol: MaxTracker,
     send_msgs: MaxTracker,
-    /// `(owner, needer)` → number of columns carried.
-    msgs: HashMap<(u32, u32), u32>,
+    /// Dense `k×k` message matrix: `msgs[o·k + p]` = number of columns
+    /// part `o` sends to part `p`. `k` is the part count (small), and
+    /// the matrix is only ever indexed by a known pair — never iterated
+    /// — so dense beats a hash map and keeps iteration order out of the
+    /// picture entirely.
+    msgs: Vec<u32>,
     tv: f64,
     tm: i64,
     loads: Vec<f64>,
@@ -115,7 +117,7 @@ impl<'a> CommRefiner<'a> {
             col_parts,
             send_vol: MaxTracker::new(k),
             send_msgs: MaxTracker::new(k),
-            msgs: HashMap::new(),
+            msgs: vec![0; k * k],
             tv: 0.0,
             tm: 0,
             loads,
@@ -155,10 +157,9 @@ impl<'a> CommRefiner<'a> {
                 continue;
             }
             needers += 1;
-            let e = self.msgs.get_mut(&(o, p)).expect("msg entry missing");
+            let e = &mut self.msgs[o as usize * self.k + p as usize];
             *e -= 1;
             if *e == 0 {
-                self.msgs.remove(&(o, p));
                 self.tm -= 1;
                 self.send_msgs.add(o, -1.0);
             }
@@ -177,7 +178,7 @@ impl<'a> CommRefiner<'a> {
                 continue;
             }
             needers += 1;
-            let e = self.msgs.entry((o, p)).or_insert(0);
+            let e = &mut self.msgs[o as usize * self.k + p as usize];
             if *e == 0 {
                 self.tm += 1;
                 self.send_msgs.add(o, 1.0);

@@ -1,0 +1,11 @@
+// Fixture for annotation-grammar diagnostics. Never compiled.
+
+pub fn unknown_lint() -> u32 {
+    // tidy-allow: no-such-lint (misspelled lint names must not silently suppress)
+    1
+}
+
+pub fn missing_reason() -> u32 {
+    // tidy-allow: determinism
+    2
+}

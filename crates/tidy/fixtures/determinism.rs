@@ -1,0 +1,24 @@
+// Fixture for the determinism lint. Linted under a virtual
+// deterministic-crate path by tests/fixtures.rs; never compiled.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap; // BAD: seeded iteration order
+
+pub fn build() -> BTreeMap<u32, u32> {
+    BTreeMap::new()
+}
+
+pub fn timed() {
+    // tidy-allow: determinism (wall clock feeds reporting only)
+    let _ = std::time::Instant::now();
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn tests_may_hash() {
+        let _ = HashSet::<u32>::new();
+    }
+}

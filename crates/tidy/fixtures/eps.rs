@@ -1,0 +1,19 @@
+// Fixture for the eps-discipline lint. Linted under a virtual
+// umpa-core path by tests/fixtures.rs; never compiled.
+
+pub fn accept(gain: f64) -> bool {
+    gain > 1e-9 // BAD: inline tolerance literal
+}
+
+pub fn accept_shared(gain: f64, gain_eps: f64) -> bool {
+    gain > gain_eps
+}
+
+pub fn scaled(x: f64) -> f64 {
+    x * 1e6 // positive exponent: not a tolerance
+}
+
+pub fn annotated(x: f64) -> bool {
+    // tidy-allow: eps-discipline (unit conversion factor, not an accept tolerance)
+    x < 2.5e-3
+}

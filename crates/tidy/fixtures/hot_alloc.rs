@@ -1,0 +1,26 @@
+// Fixture for the hot-path-alloc lint. Linted under a virtual
+// warm-module path by tests/fixtures.rs; never compiled.
+
+pub fn warm(n: usize) -> usize {
+    let v = vec![0u32; n]; // BAD: allocation outside any fence
+    v.len()
+}
+
+// tidy-cold-region: scratch construction happens once per run
+pub fn cold() -> Vec<u32> {
+    Vec::with_capacity(8)
+}
+// tidy-end-cold-region
+
+pub fn annotated() -> Vec<u32> {
+    // tidy-allow: hot-path-alloc (convenience entry point, measured cold)
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_allocate() {
+        let _ = vec![1, 2, 3];
+    }
+}

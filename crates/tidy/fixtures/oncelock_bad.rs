@@ -1,0 +1,23 @@
+// Fixture for the oncelock-invalidation lint: `route_cache` is
+// deliberately omitted from every fault-path function. Linted under
+// the virtual machine.rs path by tests/fixtures.rs; never compiled.
+
+use std::sync::OnceLock;
+
+pub struct Machine {
+    oracle: OnceLock<u32>,
+    route_cache: OnceLock<u32>, // BAD: never invalidated below
+    inv_bw: OnceLock<u32>,
+}
+
+impl Machine {
+    pub fn degrade_link(&mut self) {
+        if let Some(v) = self.inv_bw.get_mut() {
+            *v += 1;
+        }
+    }
+
+    pub fn rebuild_after_failure_change(&mut self) {
+        self.oracle = OnceLock::new();
+    }
+}

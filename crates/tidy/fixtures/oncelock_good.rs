@@ -1,0 +1,28 @@
+// Fixture for the oncelock-invalidation lint: every cache is
+// invalidated on some fault-path function, via all three accepted
+// forms (reassign, take, get_mut). Never compiled.
+
+use std::sync::OnceLock;
+
+pub struct Machine {
+    oracle: OnceLock<u32>,
+    route_cache: OnceLock<u32>,
+    inv_bw: OnceLock<u32>,
+}
+
+impl Machine {
+    pub fn degrade_link(&mut self) {
+        if let Some(v) = self.inv_bw.get_mut() {
+            *v += 1;
+        }
+    }
+
+    pub fn clear_faults(&mut self) {
+        let _ = self.route_cache.take();
+    }
+
+    pub fn rebuild_after_failure_change(&mut self) {
+        self.oracle = OnceLock::new();
+        self.route_cache = OnceLock::new();
+    }
+}

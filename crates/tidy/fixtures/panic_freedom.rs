@@ -1,0 +1,24 @@
+// Fixture for the panic-freedom lint. Linted under a virtual
+// never-panic path by tests/fixtures.rs; never compiled.
+
+pub fn repair(xs: &[u32]) -> u32 {
+    let first = xs.first().unwrap(); // BAD: panicking construct
+    *first
+}
+
+pub fn arm(v: Option<usize>, table: &[u32]) -> u32 {
+    match v {
+        Some(i) => table[i], // BAD: match-arm slice index
+        None => 0,
+    }
+}
+
+pub fn checked(xs: &[u32]) -> u32 {
+    debug_assert!(!xs.is_empty()); // legal: vanishes in release
+    xs.first().copied().unwrap_or(0)
+}
+
+pub fn annotated(xs: &[u32]) -> u32 {
+    // tidy-allow: panic-freedom (caller validates non-emptiness first)
+    xs.first().copied().expect("nonempty")
+}

@@ -1,0 +1,54 @@
+//! Diagnostics and the lint registry.
+
+use std::fmt;
+
+/// Names of every lint, in report order. Allow annotations must name
+/// one of these (`bad-annotation` itself is not suppressible).
+pub const LINT_NAMES: &[&str] = &[
+    "hot-path-alloc",
+    "determinism",
+    "panic-freedom",
+    "eps-discipline",
+    "oncelock-invalidation",
+    "bad-annotation",
+];
+
+/// One `file:line` finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative `/`-separated path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Lint name (one of [`LINT_NAMES`]).
+    pub lint: &'static str,
+    /// Human-readable description of the violation.
+    pub msg: String,
+}
+
+impl Diagnostic {
+    /// Builds a finding for `lint` at `path:line`.
+    pub fn new(lint: &'static str, path: &str, line: usize, msg: String) -> Self {
+        Self {
+            path: path.to_string(),
+            line,
+            lint,
+            msg,
+        }
+    }
+
+    /// Builds a malformed-annotation finding.
+    pub fn annotation(path: &str, line: usize, msg: String) -> Self {
+        Self::new("bad-annotation", path, line, msg)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.lint, self.msg
+        )
+    }
+}

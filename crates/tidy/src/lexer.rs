@@ -1,0 +1,559 @@
+//! A comment/string-aware line lexer for Rust sources.
+//!
+//! The lints in this crate are substring checks over *code*, so the
+//! lexer's job is to blank out everything that is not code — line and
+//! block comments (nested), string literals (plain, raw, byte), char
+//! literals — while preserving line numbers and column positions, and
+//! to annotate every line with the context the lints need:
+//!
+//! * the brace depth and whether the line sits inside a `#[cfg(test)]`
+//!   region (tests are exempt from every lint),
+//! * whether the line sits inside a `tidy-cold-region` fence (exempt
+//!   from the hot-path allocation lint),
+//! * which lints a `tidy-allow` annotation suppresses on the line.
+//!
+//! Annotations live in plain `//` comments (doc comments are
+//! documentation, not directives, and are never parsed):
+//!
+//! * an allow names one lint and must carry a parenthesized reason; it
+//!   suppresses the lint on its own line when trailing code, otherwise
+//!   on the next source line;
+//! * a cold-region fence opens with a reason and closes with the
+//!   matching end marker; fences must balance within the file.
+//!
+//! Malformed annotations (unknown lint, missing reason, unbalanced
+//! fence, an allow that precedes no code) are themselves diagnostics,
+//! reported under the `bad-annotation` lint.
+
+use crate::diag::{Diagnostic, LINT_NAMES};
+
+/// Fence/annotation spellings, assembled at runtime so the checker's
+/// own source never contains a well-formed marker in a plain comment.
+fn allow_marker() -> String {
+    ["tidy", "-allow:"].concat()
+}
+fn cold_begin_marker() -> String {
+    ["tidy", "-cold-region:"].concat()
+}
+fn cold_end_marker() -> String {
+    ["tidy", "-end-cold-region"].concat()
+}
+
+/// One lexed source line.
+pub struct Line {
+    /// Code text: the raw line with comments and literal contents
+    /// blanked to spaces (string/char delimiters are kept), so column
+    /// positions survive for diagnostics.
+    pub code: String,
+    /// Text of the line's plain `//` comment, if any (doc comments are
+    /// excluded — annotations are directives, not documentation).
+    pub comment: Option<String>,
+    /// The line is inside (or opens/closes) a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// The line is inside (or opens/closes) a cold-region fence.
+    pub in_cold: bool,
+    /// Lints suppressed on this line by `tidy-allow` annotations.
+    pub allows: Vec<&'static str>,
+}
+
+/// A lexed file: per-line context plus any annotation diagnostics.
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    /// Lexed lines, index 0 = line 1.
+    pub lines: Vec<Line>,
+    /// Malformed-annotation diagnostics found during lexing.
+    pub annotation_diags: Vec<Diagnostic>,
+}
+
+/// Cross-line lexer state.
+enum State {
+    /// Plain code.
+    Code,
+    /// Inside a block comment at the given nesting depth.
+    Block(u32),
+    /// Inside a `"…"` string literal.
+    Str,
+    /// Inside a raw string closed by `"` followed by this many `#`.
+    RawStr(usize),
+}
+
+impl SourceFile {
+    /// Lexes `text` as the file at `rel_path`.
+    pub fn lex(rel_path: &str, text: &str) -> SourceFile {
+        let allow_marker = allow_marker();
+        let cold_begin = cold_begin_marker();
+        let cold_end = cold_end_marker();
+
+        let mut lines = Vec::new();
+        let mut diags = Vec::new();
+        let mut state = State::Code;
+        let mut depth: u32 = 0;
+        // `#[cfg(test)]` seen at this depth; armed until a `{` opens the
+        // region or a `;` ends the attributed item.
+        let mut test_pending: Option<u32> = None;
+        // Depth the active test region closes back to.
+        let mut test_depth: Option<u32> = None;
+        let mut cold_active = false;
+        let mut cold_open_line = 0usize;
+        // (lint, line-of-annotation) waiting for the next code line.
+        let mut pending_allows: Vec<(&'static str, usize)> = Vec::new();
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let bytes = raw.as_bytes();
+            let mut code = String::with_capacity(raw.len());
+            let mut comment: Option<String> = None;
+            let mut test_any = test_depth.is_some();
+            let mut i = 0usize;
+
+            while i < bytes.len() {
+                match state {
+                    State::Block(ref mut d) => {
+                        if raw[i..].starts_with("*/") {
+                            *d -= 1;
+                            if *d == 0 {
+                                state = State::Code;
+                            }
+                            code.push_str("  ");
+                            i += 2;
+                        } else if raw[i..].starts_with("/*") {
+                            *d += 1;
+                            code.push_str("  ");
+                            i += 2;
+                        } else {
+                            push_blank(&mut code, raw, i);
+                            i += char_len(raw, i);
+                        }
+                    }
+                    State::Str => {
+                        if bytes[i] == b'\\' {
+                            code.push_str("  ");
+                            i += 1 + char_len_at(raw, i + 1);
+                        } else if bytes[i] == b'"' {
+                            code.push('"');
+                            state = State::Code;
+                            i += 1;
+                        } else {
+                            push_blank(&mut code, raw, i);
+                            i += char_len(raw, i);
+                        }
+                    }
+                    State::RawStr(hashes) => {
+                        if bytes[i] == b'"' && raw[i + 1..].starts_with(&"#".repeat(hashes)) {
+                            code.push('"');
+                            for _ in 0..hashes {
+                                code.push('#');
+                            }
+                            state = State::Code;
+                            i += 1 + hashes;
+                        } else {
+                            push_blank(&mut code, raw, i);
+                            i += char_len(raw, i);
+                        }
+                    }
+                    State::Code => {
+                        if raw[i..].starts_with("//") {
+                            let is_doc = raw[i..].starts_with("///") || raw[i..].starts_with("//!");
+                            if !is_doc {
+                                comment = Some(raw[i + 2..].trim().to_string());
+                            }
+                            while code.len() < raw.len() {
+                                code.push(' ');
+                            }
+                            break;
+                        } else if raw[i..].starts_with("/*") {
+                            state = State::Block(1);
+                            code.push_str("  ");
+                            i += 2;
+                        } else if let Some(hashes) = raw_string_open(raw, i) {
+                            // `r"`, `r#"`, `br#"` … — copy the opener so
+                            // columns line up, then mask the body.
+                            let opener = raw[i..].find('"').unwrap() + 1;
+                            code.push_str(&raw[i..i + opener]);
+                            state = State::RawStr(hashes);
+                            i += opener;
+                        } else if bytes[i] == b'"' {
+                            code.push('"');
+                            state = State::Str;
+                            i += 1;
+                        } else if bytes[i] == b'\'' {
+                            if let Some(end) = char_literal_end(raw, i) {
+                                code.push('\'');
+                                for _ in i + 1..end {
+                                    code.push(' ');
+                                }
+                                code.push('\'');
+                                i = end + 1;
+                            } else {
+                                // A lifetime — plain code.
+                                code.push('\'');
+                                i += 1;
+                            }
+                        } else if raw[i..].starts_with("#[cfg(test)]") {
+                            test_pending = Some(depth);
+                            code.push_str("#[cfg(test)]");
+                            i += "#[cfg(test)]".len();
+                        } else {
+                            let c = bytes[i];
+                            if c == b'{' {
+                                if test_pending == Some(depth) {
+                                    test_depth = Some(depth);
+                                    test_pending = None;
+                                }
+                                depth += 1;
+                                if test_depth.is_some() {
+                                    test_any = true;
+                                }
+                            } else if c == b'}' {
+                                depth = depth.saturating_sub(1);
+                                if test_depth == Some(depth) {
+                                    test_depth = None;
+                                    test_any = true;
+                                }
+                            } else if c == b';' && test_pending == Some(depth) {
+                                // `#[cfg(test)] use …;` — no region.
+                                test_pending = None;
+                            }
+                            push_blank_or(&mut code, raw, i);
+                            i += char_len(raw, i);
+                        }
+                    }
+                }
+            }
+
+            // Cold-region fences and allow annotations live in the
+            // line's plain comment.
+            let cold_at_start = cold_active;
+            let mut line_allows: Vec<&'static str> = Vec::new();
+            if let Some(c) = &comment {
+                if let Some(pos) = c.find(&cold_begin) {
+                    let reason = c[pos + cold_begin.len()..].trim();
+                    if cold_active {
+                        diags.push(Diagnostic::annotation(
+                            rel_path,
+                            lineno,
+                            format!("cold region opened twice (first at line {cold_open_line})"),
+                        ));
+                    } else if reason.is_empty() {
+                        diags.push(Diagnostic::annotation(
+                            rel_path,
+                            lineno,
+                            "cold-region fence needs a reason after the colon".to_string(),
+                        ));
+                    }
+                    cold_active = true;
+                    cold_open_line = lineno;
+                } else if c.contains(&cold_end) {
+                    if !cold_active {
+                        diags.push(Diagnostic::annotation(
+                            rel_path,
+                            lineno,
+                            "cold-region end marker without an open fence".to_string(),
+                        ));
+                    }
+                    cold_active = false;
+                } else if let Some(pos) = c.find(&allow_marker) {
+                    let rest = c[pos + allow_marker.len()..].trim();
+                    match parse_allow(rest) {
+                        Ok(lint) => line_allows.push(lint),
+                        Err(msg) => {
+                            diags.push(Diagnostic::annotation(rel_path, lineno, msg));
+                        }
+                    }
+                }
+            }
+
+            let has_code = !code.trim().is_empty();
+            let mut allows = Vec::new();
+            if has_code {
+                allows.extend(pending_allows.drain(..).map(|(l, _)| l));
+                allows.extend(line_allows);
+            } else {
+                pending_allows.extend(line_allows.into_iter().map(|l| (l, lineno)));
+            }
+
+            lines.push(Line {
+                code,
+                comment,
+                in_test: test_any,
+                in_cold: cold_at_start || cold_active,
+                allows,
+            });
+        }
+
+        if cold_active {
+            diags.push(Diagnostic::annotation(
+                rel_path,
+                cold_open_line,
+                "cold region never closed before end of file".to_string(),
+            ));
+        }
+        for (lint, lineno) in pending_allows {
+            diags.push(Diagnostic::annotation(
+                rel_path,
+                lineno,
+                format!("allow for `{lint}` precedes no code line"),
+            ));
+        }
+
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            lines,
+            annotation_diags: diags,
+        }
+    }
+}
+
+/// Parses the tail of an allow annotation: `<lint> (<reason>)`.
+fn parse_allow(rest: &str) -> Result<&'static str, String> {
+    let (name, tail) = match rest.find('(') {
+        Some(p) => (rest[..p].trim(), &rest[p..]),
+        None => (rest.trim(), ""),
+    };
+    let Some(&lint) = LINT_NAMES.iter().find(|&&l| l == name) else {
+        return Err(format!(
+            "unknown lint `{name}` in allow annotation (known: {})",
+            LINT_NAMES.join(", ")
+        ));
+    };
+    let reason = tail
+        .strip_prefix('(')
+        .and_then(|t| t.strip_suffix(')'))
+        .map(str::trim)
+        .unwrap_or("");
+    if reason.is_empty() {
+        return Err(format!(
+            "allow for `{lint}` needs a parenthesized reason: `({lint} is wrong here because …)`"
+        ));
+    }
+    Ok(lint)
+}
+
+/// Whether `raw[i..]` opens a raw string (`r"`, `r#"`, `br##"` …);
+/// returns the number of `#` in the delimiter.
+fn raw_string_open(raw: &str, i: usize) -> Option<usize> {
+    if i > 0 && is_ident_char(raw.as_bytes()[i - 1]) {
+        return None; // an identifier ending in r/b, not a literal prefix
+    }
+    let bytes = raw.as_bytes();
+    let mut j = i;
+    let mut saw_r = false;
+    while j < bytes.len() && (bytes[j] == b'r' || bytes[j] == b'b') && j - i < 2 {
+        saw_r |= bytes[j] == b'r';
+        j += 1;
+    }
+    if !saw_r {
+        return None;
+    }
+    let hashes = bytes[j..].iter().take_while(|&&c| c == b'#').count();
+    j += hashes;
+    (j < bytes.len() && bytes[j] == b'"').then_some(hashes)
+}
+
+/// Whether a `'` at `i` opens a char literal; returns the index of the
+/// closing quote. A lifetime (`'a`, `'static`) returns `None`.
+fn char_literal_end(raw: &str, i: usize) -> Option<usize> {
+    let bytes = raw.as_bytes();
+    if i + 1 >= bytes.len() {
+        return None;
+    }
+    if bytes[i + 1] == b'\\' {
+        // Escaped char: scan to the closing quote.
+        let mut j = i + 2 + char_len_at(raw, i + 2);
+        while j < bytes.len() && bytes[j] != b'\'' {
+            j += char_len(raw, j);
+        }
+        return (j < bytes.len()).then_some(j);
+    }
+    let after = i + 1 + char_len(raw, i + 1);
+    (after < bytes.len() && bytes[after] == b'\'').then_some(after)
+}
+
+#[inline]
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// UTF-8 length of the char starting at byte `i`.
+#[inline]
+fn char_len(raw: &str, i: usize) -> usize {
+    raw[i..].chars().next().map_or(1, char::len_utf8)
+}
+
+/// Like [`char_len`] but safe when `i` is past the end.
+#[inline]
+fn char_len_at(raw: &str, i: usize) -> usize {
+    if i >= raw.len() {
+        0
+    } else {
+        char_len(raw, i)
+    }
+}
+
+/// Pushes one blank per byte of the char at `i` (keeps columns).
+#[inline]
+fn push_blank(code: &mut String, raw: &str, i: usize) {
+    for _ in 0..char_len(raw, i) {
+        code.push(' ');
+    }
+}
+
+/// Copies the char at `i` into the code text.
+#[inline]
+fn push_blank_or(code: &mut String, raw: &str, i: usize) {
+    let n = char_len(raw, i);
+    code.push_str(&raw[i..i + n]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(text: &str) -> SourceFile {
+        SourceFile::lex("crates/x/src/lib.rs", text)
+    }
+
+    #[test]
+    fn line_comments_are_blanked_but_kept_as_comment_text() {
+        let f = lex("let x = 1; // Vec::new() here is commentary\n");
+        assert!(!f.lines[0].code.contains("Vec::new"));
+        assert!(f.lines[0].code.contains("let x = 1;"));
+        assert!(f.lines[0].comment.as_deref().unwrap().contains("Vec::new"));
+    }
+
+    #[test]
+    fn doc_comments_are_not_annotation_comments() {
+        let f = lex("/// docs with Vec::new()\n//! inner docs\nfn f() {}\n");
+        assert!(f.lines[0].comment.is_none());
+        assert!(f.lines[1].comment.is_none());
+        assert!(!f.lines[0].code.contains("Vec::new"));
+    }
+
+    #[test]
+    fn block_comments_span_lines_and_nest() {
+        let f = lex("/* open\n  still /* nested */ inside\n done */ let y = 2;\n");
+        assert!(f.lines[0].code.trim().is_empty());
+        assert!(f.lines[1].code.trim().is_empty());
+        assert_eq!(f.lines[2].code.trim(), "let y = 2;");
+    }
+
+    #[test]
+    fn string_contents_are_masked_including_comment_markers() {
+        let f = lex("let s = \"// not a comment, Vec::new()\"; let t = 1;\n");
+        let code = &f.lines[0].code;
+        assert!(!code.contains("Vec::new"));
+        assert!(!code.contains("//"));
+        assert!(code.contains("let t = 1;"));
+        assert!(f.lines[0].comment.is_none());
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_the_string() {
+        let f = lex(r#"let s = "a \" b"; let u = 3;"#);
+        assert!(f.lines[0].code.contains("let u = 3;"));
+        assert!(!f.lines[0].code.contains(" b\""));
+    }
+
+    #[test]
+    fn raw_strings_span_lines_and_mask_contents() {
+        // `r#"…"#` spans three lines; a bare `"` inside does not close
+        // it, the `"#` on the last line does.
+        let f = lex("let s = r#\"line \"one\"\nVec::new()\n\"#; let v = 4;\n");
+        assert!(!f.lines[0].code.contains("one"));
+        assert!(!f.lines[1].code.contains("Vec::new"));
+        assert!(f.lines[2].code.contains("let v = 4;"));
+    }
+
+    #[test]
+    fn raw_string_with_more_hashes_ignores_single_hash_close() {
+        let f = lex("let s = r##\"has \"# inside\"##; let w = 5;\n");
+        assert!(f.lines[0].code.contains("let w = 5;"));
+        assert!(!f.lines[0].code.contains("inside"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let f = lex("fn f<'a>(x: &'a str) { let c = '{'; let d = '\\''; }\n");
+        // The brace char literal must not skew depth: the fn body closes.
+        assert!(f.lines[0].code.contains("'a"));
+        assert!(!f.lines[0].code.contains("'{'"));
+        let g = lex("fn g() {}\nfn h() {}\n");
+        assert!(!g.lines[1].in_test);
+    }
+
+    #[test]
+    fn cfg_test_region_is_tracked_by_brace_depth() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x(); }\n}\nfn after() {}\n";
+        let f = lex(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_a_use_item_does_not_open_a_region() {
+        let f = lex("#[cfg(test)]\nuse foo::bar;\nfn live() {}\n");
+        assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn cold_fences_mark_lines_and_must_balance() {
+        let marker_begin = ["// tidy", "-cold-region: setup"].concat();
+        let marker_end = ["// tidy", "-end-cold-region"].concat();
+        let src = format!(
+            "fn f() {{\n{marker_begin}\nlet v = alloc();\n{marker_end}\nlet w = hot();\n}}\n"
+        );
+        let f = lex(&src);
+        assert!(f.annotation_diags.is_empty());
+        assert!(!f.lines[0].in_cold);
+        assert!(f.lines[2].in_cold);
+        assert!(f.lines[3].in_cold);
+        assert!(!f.lines[4].in_cold);
+
+        let unbalanced = format!("{marker_begin}\nlet v = 1;\n");
+        let f = SourceFile::lex("crates/x/src/lib.rs", &unbalanced);
+        assert_eq!(f.annotation_diags.len(), 1);
+    }
+
+    #[test]
+    fn fence_without_reason_is_flagged() {
+        let src = [
+            "// tidy",
+            "-cold-region:\nlet v = 1;\n// tidy",
+            "-end-cold-region\n",
+        ]
+        .concat();
+        let f = lex(&src);
+        assert_eq!(f.annotation_diags.len(), 1);
+    }
+
+    #[test]
+    fn allow_attaches_to_own_or_next_code_line() {
+        let trailing = ["let x = 1; // tidy", "-allow: determinism (test shim)"].concat();
+        let f = lex(&trailing);
+        assert_eq!(f.lines[0].allows, vec!["determinism"]);
+
+        let standalone = ["// tidy", "-allow: determinism (test shim)\n\nlet x = 1;\n"].concat();
+        let f = lex(&standalone);
+        assert!(f.lines[0].allows.is_empty());
+        assert_eq!(f.lines[2].allows, vec!["determinism"]);
+    }
+
+    #[test]
+    fn allow_needs_known_lint_and_reason() {
+        let unknown = ["// tidy", "-allow: no-such-lint (why)\nlet x = 1;\n"].concat();
+        let f = lex(&unknown);
+        assert_eq!(f.annotation_diags.len(), 1);
+
+        let no_reason = ["// tidy", "-allow: determinism\nlet x = 1;\n"].concat();
+        let f = lex(&no_reason);
+        assert_eq!(f.annotation_diags.len(), 1);
+
+        let dangling = ["// tidy", "-allow: determinism (why)\n"].concat();
+        let f = lex(&dangling);
+        assert_eq!(f.annotation_diags.len(), 1);
+    }
+}

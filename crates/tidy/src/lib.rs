@@ -1,0 +1,114 @@
+//! `umpa-tidy` — the workspace's static invariant checker.
+//!
+//! rust-lang/rust keeps a `tidy` tool that enforces repo-specific
+//! invariants no general linter knows about; this is ours. The engine's
+//! headline properties — zero-allocation warm paths, bit-identical
+//! mappings across engine configurations, never-panic incremental
+//! repair, correct `OnceLock` invalidation under faults, one shared
+//! epsilon per accept rule — are all enforced *dynamically* by the
+//! counting allocator and the differential harnesses. Those only catch
+//! a violation after someone writes one on a path the tests cover;
+//! `umpa-tidy` makes the same invariants fail CI with a `file:line`
+//! diagnostic the moment the pattern appears anywhere.
+//!
+//! The pipeline: walk every `.rs` file in the workspace, lex each with
+//! the comment/string-aware [`lexer`], run the path-scoped [`lints`],
+//! apply per-line `tidy-allow` suppression, report. DESIGN.md §15
+//! documents the invariant catalog, the annotation grammar and how to
+//! add a lint.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lexer;
+pub mod lints;
+
+use std::path::{Path, PathBuf};
+
+pub use diag::{Diagnostic, LINT_NAMES};
+pub use lexer::SourceFile;
+
+/// Lints one source text as if it lived at `rel_path` (workspace-
+/// relative, `/`-separated). This is the whole checker for one file:
+/// lex, run every lint that scopes to the path, apply suppression.
+/// Fixture tests drive this directly with virtual paths.
+pub fn check_source(rel_path: &str, text: &str) -> Vec<Diagnostic> {
+    let file = SourceFile::lex(rel_path, text);
+    let mut diags = file.annotation_diags.clone();
+    for lint in [
+        lints::hot_path_alloc::check,
+        lints::determinism::check,
+        lints::panic_freedom::check,
+        lints::eps_discipline::check,
+        lints::oncelock::check,
+    ] {
+        for d in lint(&file) {
+            let allowed = file.lines[d.line - 1].allows.contains(&d.lint);
+            if !allowed {
+                diags.push(d);
+            }
+        }
+    }
+    diags
+}
+
+/// Walks the workspace at `root` and lints every source file. Returns
+/// diagnostics sorted by path and line for stable output.
+pub fn check_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    collect_sources(root, root, &mut files)?;
+    files.sort();
+    let mut diags = Vec::new();
+    for rel in files {
+        let text = std::fs::read_to_string(root.join(&rel))?;
+        let rel_str = rel
+            .to_str()
+            .expect("source paths are UTF-8")
+            .replace('\\', "/");
+        diags.extend(check_source(&rel_str, &text));
+    }
+    diags.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(diags)
+}
+
+/// Directories the walk never descends into: build output, VCS, and
+/// this crate's deliberately-violating lint fixtures.
+fn skip_dir(rel: &Path) -> bool {
+    let Some(name) = rel.file_name().and_then(|n| n.to_str()) else {
+        return true;
+    };
+    name == "target" || name.starts_with('.') || rel.ends_with("crates/tidy/fixtures")
+}
+
+fn collect_sources(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let rel = path.strip_prefix(root).expect("walk stays under root");
+        if path.is_dir() {
+            if !skip_dir(rel) {
+                collect_sources(root, &path, out)?;
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(rel.to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+/// Locates the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}

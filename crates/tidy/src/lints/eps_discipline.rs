@@ -1,0 +1,90 @@
+//! `eps-discipline` — float tolerances come from `umpa_core::eps`.
+//!
+//! Accept rules compare floats against `mc`/capacity with a tolerance;
+//! if two call sites inline different literals (`1e-12` here, `1e-9`
+//! there) the accept rule silently diverges between engines that must
+//! stay bit-identical — exactly the drift the frozen congestion
+//! reference exists to catch dynamically. The canonical constants live
+//! in `umpa_core::eps` (`CAPACITY_EPS`, `CONG_EPS`, `GAIN_EPS`); this
+//! lint flags any scientific-notation literal with a negative exponent
+//! in non-test `umpa-core` code outside that module.
+
+use crate::diag::Diagnostic;
+use crate::lexer::SourceFile;
+
+/// The canonical definition site — the one file allowed to spell the
+/// values out.
+const CANONICAL: &str = "crates/core/src/eps.rs";
+
+/// Runs the lint over one file.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    if !file.rel_path.starts_with("crates/core/src/") || file.rel_path == CANONICAL {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if let Some(lit) = find_small_literal(&line.code) {
+            out.push(Diagnostic::new(
+                "eps-discipline",
+                &file.rel_path,
+                idx + 1,
+                format!(
+                    "inline tolerance literal `{lit}`; reference the shared constants in \
+                     `umpa_core::eps` so accept rules cannot drift between call sites"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Finds a scientific-notation float literal with a negative exponent
+/// (`1e-12`, `2.5E-9`, …) spelled directly in code.
+fn find_small_literal(code: &str) -> Option<&str> {
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_digit() && (i == 0 || !is_ident(bytes[i - 1])) {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                i += 1;
+            }
+            if i + 2 < bytes.len()
+                && (bytes[i] == b'e' || bytes[i] == b'E')
+                && bytes[i + 1] == b'-'
+                && bytes[i + 2].is_ascii_digit()
+            {
+                let mut j = i + 2;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                return Some(&code[start..j]);
+            }
+        } else {
+            i += 1;
+        }
+    }
+    None
+}
+
+#[inline]
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::find_small_literal;
+
+    #[test]
+    fn literal_detection() {
+        assert_eq!(find_small_literal("if x < mc - 1e-12 {"), Some("1e-12"));
+        assert_eq!(find_small_literal("let t = 2.5E-9;"), Some("2.5E-9"));
+        assert_eq!(find_small_literal("free + CAPACITY_EPS >= w"), None);
+        assert_eq!(find_small_literal("let big = 1e9;"), None);
+        assert_eq!(find_small_literal("ver2e-1"), None); // inside ident
+    }
+}

@@ -1,0 +1,58 @@
+//! The lint catalog: one module per lint plus shared text helpers.
+//!
+//! Every lint is a function from a lexed [`SourceFile`] to diagnostics;
+//! path scoping (which files a lint examines) lives in the lint itself
+//! so the engine stays a dumb loop. Lints skip `#[cfg(test)]` regions —
+//! tests are allowed to allocate, panic and hash — and the engine
+//! applies `tidy-allow` suppression afterwards.
+
+pub mod determinism;
+pub mod eps_discipline;
+pub mod hot_path_alloc;
+pub mod oncelock;
+pub mod panic_freedom;
+
+use crate::lexer::SourceFile;
+
+/// Finds `pat` in `code` as a token: when the pattern starts with an
+/// identifier character, the preceding character must not be one (so
+/// `assert!(` does not match inside `debug_assert!(`, while
+/// `std::collections::HashMap` still matches `HashMap`). Returns the
+/// byte offset.
+pub(crate) fn find_token(code: &str, pat: &str) -> Option<usize> {
+    let first_is_ident = pat
+        .as_bytes()
+        .first()
+        .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_');
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(pat) {
+        let at = from + rel;
+        let prev_ok = !first_is_ident
+            || at == 0
+            || !matches!(code.as_bytes()[at - 1], c if c.is_ascii_alphanumeric() || c == b'_');
+        if prev_ok {
+            return Some(at);
+        }
+        from = at + pat.len();
+    }
+    None
+}
+
+/// Whether the workspace-relative path is one of `files`.
+pub(crate) fn path_is_one_of(file: &SourceFile, files: &[&str]) -> bool {
+    files.iter().any(|f| file.rel_path == *f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_boundaries() {
+        assert!(find_token("assert!(x)", "assert!(").is_some());
+        assert!(find_token("debug_assert!(x)", "assert!(").is_none());
+        assert!(find_token("x.unwrap()", ".unwrap(").is_some());
+        assert!(find_token("x.unwrap_or(0)", ".unwrap(").is_none());
+        assert!(find_token("std::collections::HashMap::new()", "HashMap").is_some());
+    }
+}

@@ -1,0 +1,136 @@
+//! `oncelock-invalidation` — every cached `OnceLock` field of the
+//! machine is invalidated on the fault path.
+//!
+//! PR 6's stale-cache bug class, closed statically: the machine
+//! memoizes derived products in `OnceLock` fields (distance oracle,
+//! route cache, reciprocal bandwidths), and a hard link failure or
+//! recovery must discard or patch **all** of them — a field someone
+//! adds later and forgets to reset serves pre-failure routes to the
+//! repair engine. The dynamic tests only catch that on the products
+//! they query; this lint cross-checks the declarations against the
+//! fault path itself.
+//!
+//! Mechanically: collect the `OnceLock` fields declared in
+//! `crates/topology/src/machine.rs`, then require each to be
+//! reassigned (`self.field = OnceLock::new()`), taken
+//! (`self.field.take()`), or patched in place (`self.field.get_mut()`)
+//! somewhere in the bodies of the fault-path functions
+//! `degrade_link` / `clear_faults` / `rebuild_after_failure_change`.
+
+use crate::diag::Diagnostic;
+use crate::lexer::SourceFile;
+use crate::lints::find_token;
+
+/// The machine model file this lint cross-checks.
+const MACHINE_FILE: &str = "crates/topology/src/machine.rs";
+
+/// The functions that make up the fault/invalidation path.
+const RESET_FNS: &[&str] = &[
+    "degrade_link",
+    "clear_faults",
+    "rebuild_after_failure_change",
+];
+
+/// Runs the lint over one file.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    if file.rel_path != MACHINE_FILE {
+        return Vec::new();
+    }
+    // OnceLock field declarations: `name: OnceLock<…>` outside tests.
+    let mut fields: Vec<(String, usize)> = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.trim_start();
+        if let Some(colon) = code.find(':') {
+            let after = code[colon + 1..].trim_start();
+            if after.starts_with("OnceLock<") {
+                let name = code[..colon].trim().trim_start_matches("pub ").trim();
+                if !name.is_empty() && name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                    fields.push((name.to_string(), idx + 1));
+                }
+            }
+        }
+    }
+    if fields.is_empty() {
+        return Vec::new();
+    }
+
+    // Concatenated code of the fault-path function bodies.
+    let mut reset_body = String::new();
+    let mut found_any_fn = false;
+    for name in RESET_FNS {
+        if let Some(range) = fn_extent(file, name) {
+            found_any_fn = true;
+            for line in &file.lines[range.0..range.1] {
+                reset_body.push_str(&line.code);
+                reset_body.push('\n');
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    if !found_any_fn {
+        out.push(Diagnostic::new(
+            "oncelock-invalidation",
+            &file.rel_path,
+            fields[0].1,
+            format!(
+                "OnceLock caches are declared but none of the fault-path functions ({}) \
+                 exist to invalidate them",
+                RESET_FNS.join("/")
+            ),
+        ));
+        return out;
+    }
+    for (name, lineno) in fields {
+        let reset = reset_body.contains(&format!(".{name} = OnceLock::new()"))
+            || reset_body.contains(&format!(".{name}.take()"))
+            || reset_body.contains(&format!(".{name}.get_mut("));
+        if !reset {
+            out.push(Diagnostic::new(
+                "oncelock-invalidation",
+                &file.rel_path,
+                lineno,
+                format!(
+                    "OnceLock field `{name}` is never invalidated (reassigned, taken or \
+                     patched via get_mut) in the fault path ({}) — a hard link failure \
+                     would serve it stale",
+                    RESET_FNS.join("/")
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Line range (0-based, half-open) of `fn name`'s declaration and body,
+/// found by brace counting on the lexed code.
+fn fn_extent(file: &SourceFile, name: &str) -> Option<(usize, usize)> {
+    let pat = format!("fn {name}");
+    let start = file
+        .lines
+        .iter()
+        .position(|l| !l.in_test && find_token(&l.code, &pat).is_some())?;
+    // Track brace balance from the declaration line; the body ends when
+    // the balance returns to zero after having opened.
+    let mut balance: i64 = 0;
+    let mut opened = false;
+    for (idx, line) in file.lines.iter().enumerate().skip(start) {
+        for c in line.code.bytes() {
+            match c {
+                b'{' => {
+                    balance += 1;
+                    opened = true;
+                }
+                b'}' => balance -= 1,
+                _ => {}
+            }
+        }
+        if opened && balance <= 0 {
+            return Some((start, idx + 1));
+        }
+    }
+    Some((start, file.lines.len()))
+}

@@ -1,0 +1,54 @@
+//! `umpa-tidy` CLI: lint the workspace, print `file:line` diagnostics
+//! plus a per-lint summary, exit non-zero on any violation.
+//!
+//! Usage: `cargo run -p umpa-tidy --release [-- <workspace-root>]`.
+//! Without an argument the root is found by walking up from the
+//! current directory to the first `[workspace]` manifest, so the
+//! binary works from any subdirectory and from CI's checkout root.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use umpa_tidy::{check_workspace, find_workspace_root, LINT_NAMES};
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => {
+            let cwd = std::env::current_dir().expect("cwd is readable");
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "umpa-tidy: no [workspace] Cargo.toml above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    let diags = match check_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("umpa-tidy: walking {} failed: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if diags.is_empty() {
+        println!("umpa-tidy: workspace is tidy ({} clean)", root.display());
+        return ExitCode::SUCCESS;
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    // Per-lint summary so a CI log failure is actionable at a glance.
+    println!("\numpa-tidy: {} violation(s)", diags.len());
+    for lint in LINT_NAMES {
+        let n = diags.iter().filter(|d| d.lint == *lint).count();
+        if n > 0 {
+            println!("  {lint:<24} {n}");
+        }
+    }
+    ExitCode::FAILURE
+}

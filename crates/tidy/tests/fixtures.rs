@@ -1,0 +1,103 @@
+//! Per-lint fixture tests: each fixture under `fixtures/` carries a
+//! deliberate violation (marked `// BAD`) next to clean, fenced,
+//! test-exempt and allow-annotated variants of the same construct. The
+//! fixtures are linted as text under virtual workspace paths — they are
+//! never compiled, and the workspace walker skips the directory so the
+//! self-clean test stays green.
+
+use umpa_tidy::check_source;
+
+/// 1-based line number of the first line containing `needle`, so the
+/// assertions track the fixture text instead of hand-counted numbers.
+fn line_of(text: &str, needle: &str) -> usize {
+    text.lines()
+        .position(|l| l.contains(needle))
+        .unwrap_or_else(|| panic!("fixture lost its marker {needle:?}"))
+        + 1
+}
+
+fn render(diags: &[umpa_tidy::Diagnostic]) -> String {
+    diags
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn hot_path_alloc_fixture() {
+    let text = include_str!("../fixtures/hot_alloc.rs");
+    let diags = check_source("crates/core/src/greedy.rs", text);
+    assert_eq!(diags.len(), 1, "{}", render(&diags));
+    assert_eq!(diags[0].lint, "hot-path-alloc");
+    assert_eq!(diags[0].line, line_of(text, "vec![0u32; n]"));
+}
+
+#[test]
+fn hot_path_alloc_only_fires_in_warm_modules() {
+    let text = include_str!("../fixtures/hot_alloc.rs");
+    let diags = check_source("crates/core/src/metrics.rs", text);
+    assert!(
+        diags.iter().all(|d| d.lint != "hot-path-alloc"),
+        "{}",
+        render(&diags)
+    );
+}
+
+#[test]
+fn determinism_fixture() {
+    let text = include_str!("../fixtures/determinism.rs");
+    let diags = check_source("crates/ds/src/fixture.rs", text);
+    assert_eq!(diags.len(), 1, "{}", render(&diags));
+    assert_eq!(diags[0].lint, "determinism");
+    assert_eq!(
+        diags[0].line,
+        line_of(text, "use std::collections::HashMap;")
+    );
+}
+
+#[test]
+fn panic_freedom_fixture() {
+    let text = include_str!("../fixtures/panic_freedom.rs");
+    let diags = check_source("crates/core/src/remap.rs", text);
+    assert_eq!(diags.len(), 2, "{}", render(&diags));
+    assert!(diags.iter().all(|d| d.lint == "panic-freedom"));
+    assert_eq!(diags[0].line, line_of(text, ".unwrap()"));
+    assert_eq!(diags[1].line, line_of(text, "table[i]"));
+}
+
+#[test]
+fn eps_discipline_fixture() {
+    let text = include_str!("../fixtures/eps.rs");
+    let diags = check_source("crates/core/src/fixture.rs", text);
+    assert_eq!(diags.len(), 1, "{}", render(&diags));
+    assert_eq!(diags[0].lint, "eps-discipline");
+    assert_eq!(diags[0].line, line_of(text, "gain > 1e-9"));
+}
+
+#[test]
+fn oncelock_fixture_catches_missing_reset() {
+    let text = include_str!("../fixtures/oncelock_bad.rs");
+    let diags = check_source("crates/topology/src/machine.rs", text);
+    assert_eq!(diags.len(), 1, "{}", render(&diags));
+    assert_eq!(diags[0].lint, "oncelock-invalidation");
+    assert_eq!(diags[0].line, line_of(text, "route_cache: OnceLock<u32>,"));
+    assert!(diags[0].msg.contains("route_cache"), "{}", diags[0].msg);
+}
+
+#[test]
+fn oncelock_fixture_accepts_all_reset_forms() {
+    let text = include_str!("../fixtures/oncelock_good.rs");
+    let diags = check_source("crates/topology/src/machine.rs", text);
+    assert!(diags.is_empty(), "{}", render(&diags));
+}
+
+#[test]
+fn bad_annotations_are_diagnosed_not_ignored() {
+    let text = include_str!("../fixtures/bad_annotation.rs");
+    let diags = check_source("crates/analysis/src/fixture.rs", text);
+    assert_eq!(diags.len(), 2, "{}", render(&diags));
+    assert!(diags.iter().all(|d| d.lint == "bad-annotation"));
+    assert_eq!(diags[0].line, line_of(text, "no-such-lint"));
+    assert_eq!(diags[1].line, line_of(text, "tidy-allow: determinism"));
+}

@@ -1,0 +1,24 @@
+//! The workspace lints clean: the same invariant CI enforces, runnable
+//! locally as part of the ordinary test suite. If this fails, either
+//! fix the violation or annotate it with a reasoned `tidy-allow`.
+
+use std::path::Path;
+
+use umpa_tidy::{check_workspace, find_workspace_root};
+
+#[test]
+fn workspace_is_tidy() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("crates/tidy lives under the workspace root");
+    let diags = check_workspace(&root).expect("workspace sources are readable");
+    assert!(
+        diags.is_empty(),
+        "umpa-tidy found {} violation(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

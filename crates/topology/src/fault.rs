@@ -104,6 +104,7 @@ pub(crate) struct MaskedProducts {
 pub(crate) fn build_masked(topo: &Topology, mode: LinkMode, factor: &[f64]) -> MaskedProducts {
     let n_all = topo.num_routers();
     let n = topo.num_terminal_routers();
+    // tidy-allow: panic-freedom (machine-size precondition at mask build time, before any repair runs; >65534 routers is a build misconfiguration, not a runtime fault)
     assert!(
         n_all < u16::MAX as usize,
         "failure masks need the u16::MAX hop sentinel: {n_all} routers overflow it"
