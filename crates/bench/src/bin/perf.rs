@@ -25,7 +25,16 @@
 //!   WH / AC / MC ratios for a single node failure;
 //! * `map_many/batch{1,32,256}` — full pipeline requests per second
 //!   through the batched API (torus), plus the sequential reference and
-//!   the parallel speedup when the `parallel` feature is on.
+//!   the parallel speedup when the `parallel` feature is on;
+//! * `service` — one request round-trip through the always-on
+//!   [`MappingService`] (torus, empty queue, one worker): submit via
+//!   the bounded admission queue, block on the reply. The metrics
+//!   block adds a seeded request+churn replay under burst overload:
+//!   `service_p50_ns` / `service_p99_ns` reply latency (including
+//!   queue wait), `service_shed_rate` (admission rejections), and the
+//!   `service_ladder_*` per-rung serve counts showing how the deadline
+//!   ladder degraded under pressure. The replay runs even with
+//!   `--no-batch` — the service row is part of the regression gate.
 //!
 //! The metrics block records `oracle_enabled` and `oracle_build_ns` per
 //! backend so the perf trajectory distinguishes table-backed runs.
@@ -51,10 +60,14 @@ use umpa_graph::TaskGraph;
 use umpa_matgen::gen::{stencil2d, Stencil2D};
 use umpa_matgen::spmv::spmv_task_graph;
 use umpa_matgen::taskgen::{stencil3d_tasks, total_weight_for};
+use umpa_matgen::{load_sequence, ChurnSpec, LoadEvent, LoadSpec};
 use umpa_partition::PartitionerKind;
+use umpa_service::{MapJob, MapTicket, MappingService, ServiceConfig, Submit};
 use umpa_topology::{
     AllocSpec, Allocation, DragonflyConfig, FatTreeConfig, Machine, MachineConfig,
 };
+
+use std::sync::Arc;
 
 struct Preset {
     name: &'static str,
@@ -130,6 +143,20 @@ fn task_graph(preset: &Preset) -> TaskGraph {
     let a = stencil2d(preset.grid, preset.grid, Stencil2D::FivePoint);
     let part = PartitionerKind::Patoh.partition_matrix(&a, preset.parts, 42);
     spmv_task_graph(&a, &part, preset.parts)
+}
+
+/// Ring + chords with skewed weights — the service replay's per-request
+/// graphs, seeded from the load stream so each request differs.
+fn service_request_graph(n: u32, seed: u64) -> TaskGraph {
+    let n = n.max(4);
+    let msgs = (0..n).flat_map(move |i| {
+        let w = 1.0 + f64::from((i + seed as u32) % 5);
+        [
+            (i, (i + 1) % n, 2.0 * w),
+            (i, (i + n / 3).max(i + 1) % n, w),
+        ]
+    });
+    TaskGraph::from_messages(n as usize, msgs, None)
 }
 
 fn main() {
@@ -540,6 +567,150 @@ fn main() {
                 samples.push(seq);
             }
         }
+    }
+
+    // --- Always-on mapping service (torus fixture) -------------------
+    // Deliberately outside the --no-batch skip: the `service`
+    // round-trip row is part of the perf_gate regression set.
+    if let Some((_, machine)) = machines.iter().find(|(n, _)| *n == "torus") {
+        let tasks = Arc::new(tg.clone());
+
+        // Round-trip latency with an empty queue and one worker:
+        // submit through the bounded admission queue, block on the
+        // reply. Tracks the serving overhead (queue hop, ladder
+        // selection, reply channel) on top of the mapper itself.
+        let svc = MappingService::new(
+            machine.clone(),
+            Allocation::generate(machine, &AllocSpec::sparse(preset.nodes, 11)),
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let service_sample = bench_ns("service", &preset.opts, || {
+            match svc.submit_map(MapJob::new(Arc::clone(&tasks))) {
+                Submit::Accepted(ticket) => ticket.wait().is_ok(),
+                Submit::Rejected { .. } => false,
+            }
+        });
+        let service_ns = service_sample.median_ns;
+        samples.push(service_sample);
+        let _ = svc.shutdown();
+
+        // Seeded request+churn replay near saturation: exponential
+        // inter-arrival gaps scaled to the measured round-trip put the
+        // two workers around 80 % utilization, so arrival bursts
+        // deepen the queue enough to engage pressure shedding and the
+        // deadline ladder; reply latency includes queue wait.
+        let svc = MappingService::new(
+            machine.clone(),
+            Allocation::generate(machine, &AllocSpec::sparse(preset.nodes, 11)),
+            ServiceConfig {
+                workers: 2,
+                queue_capacity: 16,
+                pressure_depth: 8,
+                ..ServiceConfig::default()
+            },
+        );
+        svc.install_job(Arc::clone(&tasks));
+        // Requests must stay direct-mappable even after the churn
+        // generator's 25 % node-removal cap, so cap them at half the
+        // initial processor capacity.
+        let slots = svc.with_state(|_, a| a.total_procs());
+        // λ = 1/(0.6·service_ns) against μ = 2 workers/service_ns
+        // ≈ 0.83 utilization.
+        let spec = LoadSpec {
+            churn_fraction: 0.2,
+            tasks: (slots / 4, slots / 2),
+            mean_gap_ns: ((service_ns * 0.6) as u64).max(10_000),
+            // Node churn only: a hard link failure's masked-topology
+            // rebuild is a multi-second cold path (measured by the
+            // failover example) that would hold the write lock and
+            // turn the reply p99 into a rebuild benchmark.
+            churn: ChurnSpec::nodes_only(0, 0),
+            ..LoadSpec::new(if preset.name == "tiny" { 96 } else { 256 }, 7)
+        };
+        let stream = svc.with_state(|m, a| load_sequence(m, a, &spec));
+        // Pre-build the request graphs so generation stays out of the
+        // measured latencies.
+        let graphs: Vec<Arc<TaskGraph>> = stream
+            .iter()
+            .filter_map(|ev| match ev {
+                LoadEvent::Request { tasks, seed, .. } => {
+                    Some(Arc::new(service_request_graph(*tasks, *seed)))
+                }
+                LoadEvent::Churn { .. } => None,
+            })
+            .collect();
+        // Unbounded / comfortable / sub-cost deadlines cycle so the
+        // ladder has something to degrade and somewhere to stay.
+        let deadlines: [u64; 3] = [
+            u64::MAX,
+            (service_ns * 4.0) as u64,
+            ((service_ns * 0.5) as u64).max(1),
+        ];
+        let mut lat: Vec<f64> = Vec::new();
+        let mut pending: Vec<MapTicket> = Vec::new();
+        let drain = |pending: &mut Vec<MapTicket>, lat: &mut Vec<f64>| {
+            for ticket in pending.drain(..) {
+                if let Ok(reply) = ticket.wait() {
+                    lat.push(reply.total_ns as f64);
+                }
+            }
+        };
+        let (mut reqs, mut next_graph) = (0usize, 0usize);
+        for ev in &stream {
+            // Wait out the inter-arrival gap, yielding so the workers
+            // keep the core on small boxes (sleep granularity is
+            // coarser than the tiny preset's gaps).
+            let t0 = std::time::Instant::now();
+            while (t0.elapsed().as_nanos() as u64) < ev.gap_ns() {
+                std::thread::yield_now();
+            }
+            match ev {
+                LoadEvent::Churn { event, .. } => {
+                    svc.apply_churn(std::slice::from_ref(event));
+                }
+                LoadEvent::Request { .. } => {
+                    let job = MapJob::new(Arc::clone(&graphs[next_graph]))
+                        .with_deadline_ns(deadlines[reqs % deadlines.len()]);
+                    next_graph += 1;
+                    reqs += 1;
+                    if let Submit::Accepted(ticket) = svc.submit_map(job) {
+                        pending.push(ticket);
+                    }
+                    if pending.len() >= 24 {
+                        drain(&mut pending, &mut lat);
+                    }
+                }
+            }
+        }
+        drain(&mut pending, &mut lat);
+        let snap = svc.shutdown();
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (p50, p99) = if lat.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (
+                lat[lat.len() / 2],
+                lat[(lat.len() * 99 / 100).min(lat.len() - 1)],
+            )
+        };
+        metrics.push(("service_p50_ns".to_string(), p50));
+        metrics.push(("service_p99_ns".to_string(), p99));
+        metrics.push(("service_shed_rate".to_string(), snap.shed_rate()));
+        for (label, count) in snap.rung_counts() {
+            metrics.push((format!("service_ladder_{label}"), count as f64));
+        }
+        eprintln!(
+            "service replay: {reqs} requests ({} served), shed rate {:.3}, \
+             reply p50 {} p99 {}, rungs {:?}",
+            lat.len(),
+            snap.shed_rate(),
+            fmt_ns(p50),
+            fmt_ns(p99),
+            snap.rung_counts()
+        );
     }
 
     let threads = std::thread::available_parallelism()

@@ -21,7 +21,14 @@ use std::collections::BTreeMap;
 
 /// Row stems the gate enforces (suffixed variants like
 /// `wh_refine/fattree` are matched by their stem).
-const GATED_STEMS: &[&str] = &["greedy", "wh_refine", "cong_refine", "multilevel", "remap"];
+const GATED_STEMS: &[&str] = &[
+    "greedy",
+    "wh_refine",
+    "cong_refine",
+    "multilevel",
+    "remap",
+    "service",
+];
 
 /// Extracts `name → median_ns` from the hand-rolled perf JSON: one
 /// benchmark per line, `"<name>": {"median_ns": <float>, ...}`.

@@ -70,7 +70,7 @@ pub use pipeline::{
     MappingOutcome, PipelineConfig,
 };
 pub use remap::{
-    remap_incremental, ChurnEvent, RemapConfig, RemapOutcome, RemapScratch, RemapStats,
+    remap_incremental, ChurnEvent, RemapConfig, RemapDrift, RemapOutcome, RemapScratch, RemapStats,
 };
 pub use scratch::MapperScratch;
 pub use wh_refine::{
@@ -89,7 +89,9 @@ pub mod prelude {
         map_portfolio_strategy, map_tasks, map_tasks_with, MapRequest, MapStrategy, MapperKind,
         MappingOutcome, PipelineConfig,
     };
-    pub use crate::remap::{remap_incremental, ChurnEvent, RemapConfig, RemapOutcome, RemapStats};
+    pub use crate::remap::{
+        remap_incremental, ChurnEvent, RemapConfig, RemapDrift, RemapOutcome, RemapStats,
+    };
     pub use crate::scratch::MapperScratch;
     pub use crate::wh_refine::{wh_refine, WhRefineConfig};
 }

@@ -67,6 +67,25 @@ impl MapperKind {
         ]
     }
 
+    /// One step down the quality/cost ladder, or `None` from the floor.
+    ///
+    /// The ladder a deadline-bound serving layer (e.g. `umpa-service`)
+    /// walks when a request's time budget is tight or its queue is
+    /// deep: congestion refinement (`UMC`/`UMMC`) → WH refinement
+    /// (`UWH`) → greedy only (`UG`) → the instant `DEF` projection.
+    /// Each step strictly cheapens phase 2; `DEF` additionally skips
+    /// the phase-1 partitioning, so the floor costs microseconds. The
+    /// `TMAP`/`SMAP` baselines have no cheap intermediate form and
+    /// degrade straight to `DEF`.
+    pub fn degrade(self) -> Option<MapperKind> {
+        match self {
+            MapperKind::GreedyMc | MapperKind::GreedyMmc => Some(MapperKind::GreedyWh),
+            MapperKind::GreedyWh => Some(MapperKind::Greedy),
+            MapperKind::Greedy | MapperKind::Tmap | MapperKind::Smap => Some(MapperKind::Def),
+            MapperKind::Def => None,
+        }
+    }
+
     /// Paper display name.
     pub fn name(self) -> &'static str {
         match self {
@@ -647,6 +666,21 @@ mod tests {
             "fine refinement raised WH: {wh_coarse} -> {wh_fine}"
         );
         validate_mapping(&tg, &alloc, &fine.fine_mapping).unwrap();
+    }
+
+    #[test]
+    fn degradation_ladder_reaches_def_from_every_kind() {
+        for kind in MapperKind::all() {
+            let mut k = kind;
+            let mut steps = 0;
+            while let Some(next) = k.degrade() {
+                k = next;
+                steps += 1;
+                assert!(steps <= 4, "ladder from {} does not terminate", kind.name());
+            }
+            assert_eq!(k, MapperKind::Def, "ladder floor from {}", kind.name());
+        }
+        assert_eq!(MapperKind::Def.degrade(), None);
     }
 
     #[test]

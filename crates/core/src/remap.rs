@@ -96,8 +96,74 @@ pub struct RemapStats {
     pub displaced: usize,
     /// Tasks handed to the frontier refinement.
     pub frontier: usize,
+    /// Weighted hops of the mapping *entering* the repair, measured
+    /// after the events were applied and over the placed tasks only
+    /// (edges with a displaced endpoint contribute nothing — they had
+    /// no placement to measure). Together with [`wh_after`] this makes
+    /// per-repair quality drift observable without re-deriving metrics.
+    ///
+    /// [`wh_after`]: RemapStats::wh_after
+    pub wh_before: f64,
     /// Weighted hops of the repaired mapping.
     pub wh_after: f64,
+}
+
+impl RemapStats {
+    /// Per-repair WH delta (`wh_after − wh_before`). Positive when the
+    /// repair degraded the mapping (the usual case: displaced edges
+    /// re-enter the sum and re-placement is local, not global);
+    /// negative when the frontier polish more than paid for the
+    /// damage. The drift supervisor accumulates these.
+    pub fn wh_delta(&self) -> f64 {
+        self.wh_after - self.wh_before
+    }
+}
+
+/// Cumulative drift of a live mapping across a stream of repairs.
+///
+/// Frontier-local repair guarantees per-repair quality, not stream
+/// quality: every repair pays a small WH premium over a from-scratch
+/// re-map, and under *sustained* churn those premiums compound. This
+/// accumulator makes the compounding visible — feed it every
+/// [`RemapStats`] and a supervisor (e.g. `umpa-service`'s churn-drift
+/// supervisor) can decide when the live mapping has drifted far enough
+/// from from-scratch quality to warrant a re-map or polish.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RemapDrift {
+    /// Repairs accumulated.
+    pub repairs: u64,
+    /// Cumulative displaced-task count across all repairs.
+    pub displaced_total: u64,
+    /// Sum of per-repair WH deltas (`Σ wh_delta()`): the net WH the
+    /// stream of local repairs added on top of the pre-churn mapping.
+    pub wh_delta_total: f64,
+    /// WH of the live mapping after the most recent repair.
+    pub wh_last: f64,
+}
+
+impl RemapDrift {
+    /// Folds one repair into the running totals.
+    pub fn note(&mut self, stats: &RemapStats) {
+        self.repairs += 1;
+        self.displaced_total += stats.displaced as u64;
+        self.wh_delta_total += stats.wh_delta();
+        self.wh_last = stats.wh_after;
+    }
+
+    /// Mean displaced tasks per repair (0 when nothing accumulated).
+    pub fn mean_displaced(&self) -> f64 {
+        if self.repairs == 0 {
+            0.0
+        } else {
+            self.displaced_total as f64 / self.repairs as f64
+        }
+    }
+
+    /// Resets the totals (e.g. after a supervisor polish restored
+    /// from-scratch quality).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
 }
 
 /// Result of [`remap_incremental`].
@@ -191,6 +257,12 @@ pub fn remap_incremental(
         }
     }
 
+    // Pre-repair quality over the placed remainder (drift observability
+    // — see RemapStats::wh_before). One read-only O(E) sweep; edges
+    // with a displaced endpoint have no placement to measure.
+    let dist = HopDist::new(machine);
+    let wh_before = placed_weighted_hops(tg, &dist, mapping);
+
     // Free capacity of the surviving placement. Surviving slots kept
     // their processor counts, so survivors still fit.
     remap.free.clear();
@@ -231,7 +303,6 @@ pub fn remap_incremental(
 
     // Greedy local re-placement seeded around the damage.
     remap.unplaced.clear();
-    let dist = HopDist::new(machine);
     remap.bfs_routers.ensure(machine.num_routers());
     for i in 0..remap.order.len() {
         let t = remap.order[i];
@@ -311,8 +382,27 @@ pub fn remap_incremental(
     RemapOutcome::Repaired(RemapStats {
         displaced: remap.displaced.len(),
         frontier: remap.frontier.len(),
+        wh_before,
         wh_after,
     })
+}
+
+/// Weighted hops over the *placed* tasks of a possibly partial mapping:
+/// edges with an unplaced (`u32::MAX`) endpoint contribute nothing.
+/// The drift-observability sibling of
+/// [`weighted_hops`](crate::greedy::weighted_hops), which requires a
+/// fully placed mapping.
+fn placed_weighted_hops(tg: &TaskGraph, dist: &HopDist<'_>, mapping: &[u32]) -> f64 {
+    tg.messages()
+        .map(|(s, t, c)| {
+            let (a, b) = (mapping[s as usize], mapping[t as usize]);
+            if a == u32::MAX || b == u32::MAX {
+                0.0
+            } else {
+                f64::from(dist.node_hops(a, b)) * c
+            }
+        })
+        .sum()
 }
 
 /// `GETBESTNODE` for one displaced task: early-exiting BFS over the
@@ -540,6 +630,79 @@ mod tests {
         );
         assert_eq!(out.stats().unwrap().displaced, 0);
         assert_eq!(mapping, before);
+    }
+
+    #[test]
+    fn drift_stats_expose_per_repair_wh_delta() {
+        let (mut machine, mut alloc, tg, mut mapping) = setup(8, 12);
+        let mut scratch = MapperScratch::new();
+        let mut drift = RemapDrift::default();
+        let mut expected_delta = 0.0;
+        let mut expected_displaced = 0u64;
+        for i in 0..3 {
+            let victim = mapping[i];
+            let out = remap_incremental(
+                &tg,
+                &mut machine,
+                &mut alloc,
+                &mut mapping,
+                &[ChurnEvent::NodeFailed { node: victim }],
+                &RemapConfig::default(),
+                &mut scratch,
+            );
+            let stats = out.stats().expect("repairable");
+            // wh_before is the placed-pairs WH, wh_after the full WH of
+            // the repaired mapping; the delta is their difference.
+            assert!(stats.wh_before >= 0.0);
+            assert!((stats.wh_delta() - (stats.wh_after - stats.wh_before)).abs() < 1e-12);
+            expected_delta += stats.wh_delta();
+            expected_displaced += stats.displaced as u64;
+            drift.note(stats);
+            // Return capacity so the next failure stays repairable.
+            let back = [ChurnEvent::NodesAdded {
+                nodes: vec![victim],
+            }];
+            let out = remap_incremental(
+                &tg,
+                &mut machine,
+                &mut alloc,
+                &mut mapping,
+                &back,
+                &RemapConfig::default(),
+                &mut scratch,
+            );
+            expected_delta += out.stats().unwrap().wh_delta();
+            drift.note(out.stats().unwrap());
+        }
+        assert_eq!(drift.repairs, 6);
+        assert_eq!(drift.displaced_total, expected_displaced);
+        assert!((drift.wh_delta_total - expected_delta).abs() < 1e-9);
+        assert!(drift.mean_displaced() > 0.0);
+        assert_eq!(
+            drift.wh_last,
+            crate::greedy::weighted_hops(&tg, &machine, &mapping)
+        );
+        drift.reset();
+        assert_eq!(drift, RemapDrift::default());
+    }
+
+    #[test]
+    fn intact_repair_has_zero_wh_delta() {
+        let (mut machine, mut alloc, tg, mut mapping) = setup(8, 12);
+        let mut scratch = MapperScratch::new();
+        let out = remap_incremental(
+            &tg,
+            &mut machine,
+            &mut alloc,
+            &mut mapping,
+            &[],
+            &RemapConfig::default(),
+            &mut scratch,
+        );
+        let stats = out.stats().unwrap();
+        // Nothing displaced: before and after measure the same mapping.
+        assert_eq!(stats.wh_before, stats.wh_after);
+        assert_eq!(stats.wh_delta(), 0.0);
     }
 
     #[test]

@@ -169,6 +169,127 @@ fn grow(
     ChurnEvent::NodesAdded { nodes }
 }
 
+/// Parameters of an open-loop arrival process (map requests
+/// interleaved with churn events) for soak harnesses and the service
+/// example.
+#[derive(Clone, Debug)]
+pub struct LoadSpec {
+    /// Total number of arrivals (requests + churn events).
+    pub events: usize,
+    /// Mean inter-arrival gap in nanoseconds (exponentially
+    /// distributed, so the stream is Poisson-ish).
+    pub mean_gap_ns: u64,
+    /// Fraction of arrivals that are churn events (the rest are map
+    /// requests).
+    pub churn_fraction: f64,
+    /// Inclusive range of task counts drawn per map request.
+    pub tasks: (u32, u32),
+    /// Shape of the embedded churn stream (`events` and `seed` fields
+    /// are overridden by this spec's draw).
+    pub churn: ChurnSpec,
+    /// RNG seed; streams are deterministic per seed.
+    pub seed: u64,
+}
+
+impl LoadSpec {
+    /// A balanced open-loop stream: ~1 churn event per 4 requests,
+    /// small task graphs, 50 µs mean gap.
+    pub fn new(events: usize, seed: u64) -> Self {
+        Self {
+            events,
+            mean_gap_ns: 50_000,
+            churn_fraction: 0.2,
+            tasks: (32, 128),
+            churn: ChurnSpec::new(0, 0),
+            seed,
+        }
+    }
+}
+
+/// One arrival of an open-loop load stream. `gap_ns` is the delay
+/// since the *previous* arrival (0 for the first), so replaying the
+/// stream at generated pace is a running sum.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LoadEvent {
+    /// A map request for a fresh `tasks`-task graph; `seed` makes the
+    /// graph reproducible on the consumer side.
+    Request {
+        /// Delay since the previous arrival, nanoseconds.
+        gap_ns: u64,
+        /// Number of tasks in the requested graph.
+        tasks: u32,
+        /// Seed for generating the request's task graph.
+        seed: u64,
+    },
+    /// A churn event against the shared machine/allocation.
+    Churn {
+        /// Delay since the previous arrival, nanoseconds.
+        gap_ns: u64,
+        /// The fault/allocation event.
+        event: ChurnEvent,
+    },
+}
+
+impl LoadEvent {
+    /// The arrival's delay since the previous arrival, nanoseconds.
+    pub fn gap_ns(&self) -> u64 {
+        match self {
+            LoadEvent::Request { gap_ns, .. } | LoadEvent::Churn { gap_ns, .. } => *gap_ns,
+        }
+    }
+}
+
+/// Generates a seeded open-loop arrival stream of `spec.events` map
+/// requests and churn events against `machine`/`alloc`.
+///
+/// Inter-arrival gaps are exponential with mean `spec.mean_gap_ns`;
+/// each slot is a churn event with probability `spec.churn_fraction`.
+/// The embedded churn events come from [`churn_sequence`] and stay
+/// *live* under in-order replay because map requests never mutate the
+/// machine or the allocation.
+pub fn load_sequence(machine: &Machine, alloc: &Allocation, spec: &LoadSpec) -> Vec<LoadEvent> {
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+    // Draw slot kinds and gaps first so the churn sub-stream can be
+    // sized exactly to the churn slots it fills.
+    let mut slots = Vec::with_capacity(spec.events);
+    let mut churn_slots = 0usize;
+    for i in 0..spec.events {
+        let gap_ns = if i == 0 {
+            0
+        } else {
+            let u: f64 = rng.gen();
+            (-(spec.mean_gap_ns as f64) * (1.0 - u).ln()) as u64
+        };
+        let is_churn = rng.gen_bool(spec.churn_fraction.clamp(0.0, 1.0));
+        churn_slots += usize::from(is_churn);
+        slots.push((gap_ns, is_churn));
+    }
+    let churn_spec = ChurnSpec {
+        events: churn_slots,
+        seed: spec
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(1),
+        ..spec.churn.clone()
+    };
+    let mut churn = churn_sequence(machine, alloc, &churn_spec).into_iter();
+    let (lo, hi) = spec.tasks;
+    let (lo, hi) = (lo.min(hi).max(1), hi.max(lo).max(1));
+    slots
+        .into_iter()
+        .map(
+            |(gap_ns, is_churn)| match is_churn.then(|| churn.next()).flatten() {
+                Some(event) => LoadEvent::Churn { gap_ns, event },
+                None => LoadEvent::Request {
+                    gap_ns,
+                    tasks: rng.gen_range(lo..=hi),
+                    seed: rng.gen_range(0..u64::MAX),
+                },
+            },
+        )
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +339,58 @@ mod tests {
         assert!(events
             .iter()
             .all(|e| !matches!(e, ChurnEvent::LinkDegraded { .. })));
+    }
+
+    #[test]
+    fn load_sequence_is_seeded_and_mixes_kinds() {
+        let (m, a) = setup();
+        let spec = LoadSpec::new(200, 7);
+        let s1 = load_sequence(&m, &a, &spec);
+        let s2 = load_sequence(&m, &a, &spec);
+        let s3 = load_sequence(&m, &a, &LoadSpec::new(200, 8));
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3);
+        assert_eq!(s1.len(), 200);
+        let churn = s1
+            .iter()
+            .filter(|e| matches!(e, LoadEvent::Churn { .. }))
+            .count();
+        // ~20% of 200 slots; loose bounds, just "both kinds present".
+        assert!((10..=90).contains(&churn), "churn slots: {churn}");
+        assert_eq!(s1[0].gap_ns(), 0);
+        let mean = s1.iter().map(LoadEvent::gap_ns).sum::<u64>() / (s1.len() as u64 - 1);
+        assert!(
+            (10_000..=250_000).contains(&mean),
+            "mean gap off target: {mean}"
+        );
+        for ev in &s1 {
+            if let LoadEvent::Request { tasks, .. } = ev {
+                assert!((32..=128).contains(tasks));
+            }
+        }
+    }
+
+    #[test]
+    fn load_sequence_churn_stays_live_under_replay() {
+        let (mut m, mut a) = setup();
+        let events = load_sequence(&m, &a, &LoadSpec::new(300, 11));
+        let mut churn_seen = 0;
+        for ev in &events {
+            if let LoadEvent::Churn { event, .. } = ev {
+                churn_seen += 1;
+                match event {
+                    ChurnEvent::LinkDegraded { link, factor } => {
+                        assert_ne!(m.link_factor(*link), *factor, "stale link event");
+                    }
+                    _ => {
+                        assert!(event.apply(&mut m, &mut a) > 0, "stale event: {event:?}");
+                        continue;
+                    }
+                }
+                event.apply(&mut m, &mut a);
+            }
+        }
+        assert!(churn_seen > 0);
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! `umpa-service` — the always-on mapping service shell.
+//!
+//! The paper's premise is that topology-aware mapping is cheap enough
+//! to run *online*, at job-launch time. This crate supplies the
+//! long-running shell that premise implies (std-only, no async
+//! runtime): a [`MappingService`] owning the shared machine /
+//! allocation / resident-job state, with three robustness layers on
+//! top of the `umpa-core` engine:
+//!
+//! * **Bounded admission with explicit backpressure** — map requests
+//!   enter through a `sync_channel` of fixed capacity consumed by
+//!   worker threads (each with a warm [`MapperScratch`] pool); when
+//!   the queue is full the submitter gets
+//!   [`Submit::Rejected`]` { queue_depth }`, never unbounded growth.
+//! * **Per-request deadlines with a degradation ladder** — each
+//!   request carries a time budget; when the budget is tight or the
+//!   queue is deep the service steps down
+//!   `cong_refine → wh_refine → greedy-only → projection`
+//!   ([`LadderRung`]), recording which rung served the request, so
+//!   overload degrades quality instead of latency. Panicking requests
+//!   are isolated with `catch_unwind` and answered with a typed
+//!   [`ServiceError::Panicked`].
+//! * **Churn repair with bounded retry and a drift supervisor** —
+//!   churn events repair the resident job via `remap_incremental`;
+//!   transient `Infeasible` outcomes are retried on a bounded
+//!   exponential backoff (converging when `NodesAdded` restores
+//!   capacity, surfacing [`ServiceError::RepairExhausted`] after the
+//!   budget — never a panic), and a supervisor tracks the live
+//!   mapping's WH drift against a periodically refreshed from-scratch
+//!   baseline, polishing (or adopting the baseline) when drift
+//!   crosses the bound.
+//!
+//! See DESIGN.md §16 for the architecture and the policy contracts.
+//!
+//! [`MapperScratch`]: umpa_core::MapperScratch
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod config;
+pub mod ladder;
+pub mod request;
+pub mod service;
+pub mod stats;
+mod supervisor;
+mod worker;
+
+pub use clock::{ManualClock, ServiceClock};
+pub use config::{RetryPolicy, ServiceConfig, SupervisorPolicy};
+pub use ladder::LadderRung;
+pub use request::{MapJob, MapReply, MapTicket, RepairReport, ServiceError, Submit};
+pub use service::MappingService;
+pub use stats::StatsSnapshot;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::clock::{ManualClock, ServiceClock};
+    pub use crate::config::{RetryPolicy, ServiceConfig, SupervisorPolicy};
+    pub use crate::ladder::LadderRung;
+    pub use crate::request::{MapJob, MapReply, MapTicket, RepairReport, ServiceError, Submit};
+    pub use crate::service::MappingService;
+    pub use crate::stats::StatsSnapshot;
+}

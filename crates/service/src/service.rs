@@ -1,0 +1,503 @@
+//! The long-running [`MappingService`]: shared state, bounded
+//! admission, churn repair with bounded-backoff retry, and the drift
+//! supervisor's trigger points.
+//!
+//! Concurrency shape: one `RwLock` around the machine/allocation/job
+//! state. Map requests are read-locked (many in flight at once, they
+//! never mutate); churn repair, retries and supervisor polish are
+//! write-locked. Admission is a bounded `sync_channel` plus an atomic
+//! depth counter — `try_send` full means the caller gets
+//! [`Submit::Rejected`] with the observed depth, never an unbounded
+//! queue. Lock poisoning is absorbed with `into_inner`: a panicked
+//! request (already isolated by the worker's `catch_unwind`) must not
+//! wedge the service.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::thread::JoinHandle;
+
+use umpa_core::greedy::weighted_hops;
+use umpa_core::{
+    map_tasks_with, remap_incremental, ChurnEvent, MapperScratch, RemapDrift, RemapOutcome,
+};
+use umpa_graph::TaskGraph;
+use umpa_topology::{Allocation, Machine};
+
+use crate::clock::ServiceClock;
+use crate::config::ServiceConfig;
+use crate::ladder::CostModel;
+use crate::request::{Envelope, MapJob, MapTicket, RepairReport, ServiceError, Submit};
+use crate::stats::{ServiceStats, StatsSnapshot};
+use crate::supervisor::{PolishOutcome, Supervisor};
+use crate::worker;
+
+/// An infeasible repair awaiting capacity: retried on a bounded
+/// exponential backoff by idle workers, and immediately by any later
+/// churn application.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PendingRepair {
+    pub attempts: u32,
+    pub next_due_ns: u64,
+}
+
+/// The resident application whose live mapping the service repairs
+/// through churn.
+pub(crate) struct ResidentJob {
+    pub tasks: Arc<TaskGraph>,
+    pub mapping: Vec<u32>,
+    pub drift: RemapDrift,
+    pub pending: Option<PendingRepair>,
+    pub supervisor: Supervisor,
+    /// Warm scratch for repairs/polish; lives under the write lock.
+    pub scratch: MapperScratch,
+}
+
+/// Everything behind the lock.
+pub(crate) struct SharedState {
+    pub machine: Machine,
+    pub alloc: Allocation,
+    pub job: Option<ResidentJob>,
+}
+
+/// Shared between the handle and the workers.
+pub(crate) struct ServiceInner {
+    pub cfg: ServiceConfig,
+    pub clock: ServiceClock,
+    pub state: RwLock<SharedState>,
+    /// Current admission-queue depth.
+    pub depth: AtomicUsize,
+    /// When the pending repair's next timed retry is due
+    /// (`u64::MAX` = no timed retry scheduled) — lets idle workers
+    /// check without touching the lock.
+    pub pending_due_ns: AtomicU64,
+    pub costs: CostModel,
+    pub stats: ServiceStats,
+}
+
+impl ServiceInner {
+    pub(crate) fn read_state(&self) -> RwLockReadGuard<'_, SharedState> {
+        self.state.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn write_state(&self) -> RwLockWriteGuard<'_, SharedState> {
+        self.state.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn note_polish(&self, out: &PolishOutcome, report: &mut RepairReport) {
+        if out.checked {
+            self.stats.drift_checks.fetch_add(1, Ordering::AcqRel);
+        }
+        if out.polished {
+            self.stats.polishes.fetch_add(1, Ordering::AcqRel);
+        }
+        if out.adopted {
+            self.stats.baseline_adoptions.fetch_add(1, Ordering::AcqRel);
+        }
+        report.drift_checked = out.checked;
+        report.polished = out.polished;
+        report.adopted_baseline = out.adopted;
+    }
+
+    /// Applies churn events and repairs the resident job. Always
+    /// attempts the repair (even past the retry budget): new events
+    /// may have restored capacity, which is exactly how an exhausted
+    /// repair converges.
+    pub(crate) fn apply_churn(&self, events: &[ChurnEvent]) -> RepairReport {
+        let mut report = RepairReport {
+            applied_events: events.len(),
+            ..RepairReport::default()
+        };
+        let mut st = self.write_state();
+        let SharedState {
+            machine,
+            alloc,
+            job,
+        } = &mut *st;
+        let Some(job) = job.as_mut() else {
+            for ev in events {
+                ev.apply(machine, alloc);
+            }
+            report.fully_placed = true;
+            return report;
+        };
+        let was_pending = job.pending.is_some();
+        if was_pending {
+            self.stats.retries.fetch_add(1, Ordering::AcqRel);
+        }
+        let outcome = remap_incremental(
+            &job.tasks,
+            machine,
+            alloc,
+            &mut job.mapping,
+            events,
+            &self.cfg.remap,
+            &mut job.scratch,
+        );
+        self.settle_repair(machine, alloc, job, outcome, &mut report);
+        report
+    }
+
+    /// Retries a pending infeasible repair if its backoff elapsed
+    /// (`force` skips the due/attempt gate — the `retry_now` test
+    /// hook). Returns `None` when there was nothing to do.
+    pub(crate) fn retry_pending(&self, force: bool) -> Option<RepairReport> {
+        let now = self.clock.now_ns();
+        if !force && self.pending_due_ns.load(Ordering::Acquire) > now {
+            return None;
+        }
+        let mut st = self.write_state();
+        let SharedState {
+            machine,
+            alloc,
+            job,
+        } = &mut *st;
+        let job = job.as_mut()?;
+        let due = match &job.pending {
+            Some(p) if force => Some(*p),
+            Some(p) if p.attempts < self.cfg.retry.max_attempts && p.next_due_ns <= now => Some(*p),
+            _ => None,
+        };
+        due?;
+        self.stats.retries.fetch_add(1, Ordering::AcqRel);
+        let mut report = RepairReport::default();
+        let outcome = remap_incremental(
+            &job.tasks,
+            machine,
+            alloc,
+            &mut job.mapping,
+            &[],
+            &self.cfg.remap,
+            &mut job.scratch,
+        );
+        self.settle_repair(machine, alloc, job, outcome, &mut report);
+        Some(report)
+    }
+
+    /// Common post-repair bookkeeping: drift stats and the supervisor
+    /// on success, backoff scheduling (or the typed exhaustion error)
+    /// on continued infeasibility.
+    fn settle_repair(
+        &self,
+        machine: &mut Machine,
+        alloc: &mut Allocation,
+        job: &mut ResidentJob,
+        outcome: RemapOutcome,
+        report: &mut RepairReport,
+    ) {
+        match outcome {
+            RemapOutcome::Repaired(stats) => {
+                job.pending = None;
+                self.pending_due_ns.store(u64::MAX, Ordering::Release);
+                job.drift.note(&stats);
+                self.stats.repairs.fetch_add(1, Ordering::AcqRel);
+                report.fully_placed = true;
+                report.displaced = stats.displaced;
+                let ResidentJob {
+                    tasks,
+                    mapping,
+                    supervisor,
+                    scratch,
+                    ..
+                } = job;
+                let polish = supervisor.after_repair(
+                    &self.cfg.supervisor,
+                    &self.cfg.pipeline,
+                    tasks,
+                    machine,
+                    alloc,
+                    mapping,
+                    scratch,
+                    false,
+                );
+                self.note_polish(&polish, report);
+            }
+            RemapOutcome::Infeasible { unplaced } => {
+                self.stats.infeasible.fetch_add(1, Ordering::AcqRel);
+                report.fully_placed = false;
+                report.unplaced = unplaced.len();
+                let pending = job.pending.get_or_insert(PendingRepair {
+                    attempts: 0,
+                    next_due_ns: 0,
+                });
+                pending.attempts += 1;
+                if pending.attempts >= self.cfg.retry.max_attempts {
+                    // Typed give-up: timed retries stop, but any later
+                    // capacity-restoring event still re-attempts.
+                    self.stats.retry_exhausted.fetch_add(1, Ordering::AcqRel);
+                    self.pending_due_ns.store(u64::MAX, Ordering::Release);
+                    report.error = Some(ServiceError::RepairExhausted {
+                        unplaced: unplaced.len(),
+                        attempts: pending.attempts,
+                    });
+                } else {
+                    let due = self
+                        .clock
+                        .now_ns()
+                        .saturating_add(self.cfg.retry.backoff_ns(pending.attempts));
+                    pending.next_due_ns = due;
+                    self.pending_due_ns.store(due, Ordering::Release);
+                }
+            }
+        }
+    }
+}
+
+/// The always-on mapping service. Dropping (or [`shutdown`]) drains
+/// the admission queue, replies to every accepted request, and joins
+/// the workers.
+///
+/// [`shutdown`]: MappingService::shutdown
+pub struct MappingService {
+    inner: Arc<ServiceInner>,
+    tx: Option<SyncSender<Envelope>>,
+    /// Keeps the queue's receive side alive even with zero workers,
+    /// so a consumerless service buffers up to capacity and sheds
+    /// beyond it (the backpressure tests) instead of seeing a
+    /// disconnected channel.
+    _rx: Arc<Mutex<Receiver<Envelope>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl MappingService {
+    /// Starts the service on the wall clock.
+    pub fn new(machine: Machine, alloc: Allocation, cfg: ServiceConfig) -> Self {
+        Self::with_clock(machine, alloc, cfg, ServiceClock::monotonic())
+    }
+
+    /// Starts the service on an explicit clock (tests use
+    /// [`ServiceClock::manual`]).
+    pub fn with_clock(
+        machine: Machine,
+        alloc: Allocation,
+        cfg: ServiceConfig,
+        clock: ServiceClock,
+    ) -> Self {
+        let capacity = cfg.queue_capacity.max(1);
+        let inner = Arc::new(ServiceInner {
+            cfg,
+            clock,
+            state: RwLock::new(SharedState {
+                machine,
+                alloc,
+                job: None,
+            }),
+            depth: AtomicUsize::new(0),
+            pending_due_ns: AtomicU64::new(u64::MAX),
+            costs: CostModel::seeded(),
+            stats: ServiceStats::default(),
+        });
+        let (tx, rx) = mpsc::sync_channel(capacity);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = worker::spawn(&inner, &rx);
+        Self {
+            inner,
+            tx: Some(tx),
+            _rx: rx,
+            workers,
+        }
+    }
+
+    /// Installs (or replaces) the resident job: maps it from scratch
+    /// with the service's top-rung mapper and returns the initial WH.
+    /// Subsequent churn repairs and the drift supervisor operate on
+    /// this job's live mapping.
+    pub fn install_job(&self, tasks: Arc<TaskGraph>) -> f64 {
+        let mut scratch = MapperScratch::new();
+        let mut st = self.inner.write_state();
+        let outcome = map_tasks_with(
+            &tasks,
+            &st.machine,
+            &st.alloc,
+            self.inner.cfg.mapper,
+            &self.inner.cfg.pipeline,
+            &mut scratch,
+        );
+        let wh = weighted_hops(&tasks, &st.machine, &outcome.fine_mapping);
+        st.job = Some(ResidentJob {
+            tasks,
+            mapping: outcome.fine_mapping,
+            drift: RemapDrift::default(),
+            pending: None,
+            supervisor: Supervisor::default(),
+            scratch,
+        });
+        self.inner.pending_due_ns.store(u64::MAX, Ordering::Release);
+        wh
+    }
+
+    /// Submits a map request through the bounded admission queue.
+    pub fn submit_map(&self, job: MapJob) -> Submit<MapTicket> {
+        let submitted_ns = self.inner.clock.now_ns();
+        let (reply, rx) = mpsc::channel();
+        self.admit(
+            Envelope::Map {
+                job,
+                submitted_ns,
+                reply,
+            },
+            rx,
+        )
+    }
+
+    /// Submits a request whose service deliberately panics — the
+    /// isolation-test hook proving workers survive poisoned work.
+    #[doc(hidden)]
+    pub fn submit_poison(&self) -> Submit<MapTicket> {
+        let (reply, rx) = mpsc::channel();
+        self.admit(Envelope::Poison { reply }, rx)
+    }
+
+    fn admit(
+        &self,
+        env: Envelope,
+        rx: mpsc::Receiver<Result<crate::MapReply, ServiceError>>,
+    ) -> Submit<MapTicket> {
+        let inner = &self.inner;
+        let Some(tx) = &self.tx else {
+            inner.stats.rejected.fetch_add(1, Ordering::AcqRel);
+            return Submit::Rejected { queue_depth: 0 };
+        };
+        let depth = inner.depth.load(Ordering::Acquire);
+        if depth >= inner.cfg.queue_capacity.max(1) {
+            inner.stats.rejected.fetch_add(1, Ordering::AcqRel);
+            return Submit::Rejected { queue_depth: depth };
+        }
+        // Count the slot *before* sending: a worker may dequeue (and
+        // decrement) the envelope before this thread runs again.
+        let now_depth = inner.depth.fetch_add(1, Ordering::AcqRel) + 1;
+        match tx.try_send(env) {
+            Ok(()) => {
+                inner.stats.note_depth(now_depth);
+                inner.stats.accepted.fetch_add(1, Ordering::AcqRel);
+                Submit::Accepted(MapTicket { rx })
+            }
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                let observed = inner.depth.fetch_sub(1, Ordering::AcqRel) - 1;
+                inner.stats.rejected.fetch_add(1, Ordering::AcqRel);
+                Submit::Rejected {
+                    queue_depth: observed,
+                }
+            }
+        }
+    }
+
+    /// Applies churn to the shared machine/allocation and repairs the
+    /// resident job (synchronously, on the caller's thread — churn is
+    /// the infrastructure feed, not client admission). See
+    /// [`RepairReport`].
+    pub fn apply_churn(&self, events: &[ChurnEvent]) -> RepairReport {
+        self.inner.apply_churn(events)
+    }
+
+    /// Forces an immediate retry of a pending infeasible repair,
+    /// ignoring the backoff gate. `None` when nothing is pending.
+    pub fn retry_now(&self) -> Option<RepairReport> {
+        self.inner.retry_pending(true)
+    }
+
+    /// Forces a drift-supervisor pass on the resident job regardless
+    /// of the `check_every` ration.
+    pub fn polish_now(&self) -> RepairReport {
+        let inner = &self.inner;
+        let mut report = RepairReport::default();
+        let mut st = inner.write_state();
+        let SharedState {
+            machine,
+            alloc,
+            job,
+        } = &mut *st;
+        let Some(job) = job.as_mut() else {
+            return report;
+        };
+        report.unplaced = job.mapping.iter().filter(|&&n| n == u32::MAX).count();
+        report.fully_placed = report.unplaced == 0;
+        let ResidentJob {
+            tasks,
+            mapping,
+            supervisor,
+            scratch,
+            ..
+        } = job;
+        let polish = supervisor.after_repair(
+            &inner.cfg.supervisor,
+            &inner.cfg.pipeline,
+            tasks,
+            machine,
+            alloc,
+            mapping,
+            scratch,
+            true,
+        );
+        inner.note_polish(&polish, &mut report);
+        report
+    }
+
+    /// Weighted hops of the resident job's live mapping; `None`
+    /// without a job or while tasks are unplaced.
+    pub fn live_wh(&self) -> Option<f64> {
+        let st = self.inner.read_state();
+        let job = st.job.as_ref()?;
+        if job.mapping.contains(&u32::MAX) {
+            return None;
+        }
+        Some(weighted_hops(&job.tasks, &st.machine, &job.mapping))
+    }
+
+    /// Cumulative repair-drift statistics of the resident job.
+    pub fn drift(&self) -> Option<RemapDrift> {
+        self.inner.read_state().job.as_ref().map(|j| j.drift)
+    }
+
+    /// A copy of the resident job's live mapping (`u32::MAX` =
+    /// unplaced).
+    pub fn live_mapping(&self) -> Option<Vec<u32>> {
+        self.inner
+            .read_state()
+            .job
+            .as_ref()
+            .map(|j| j.mapping.clone())
+    }
+
+    /// Runs `f` against the shared machine/allocation under the read
+    /// lock (e.g. to compute a from-scratch comparison in tests).
+    pub fn with_state<R>(&self, f: impl FnOnce(&Machine, &Allocation) -> R) -> R {
+        let st = self.inner.read_state();
+        f(&st.machine, &st.alloc)
+    }
+
+    /// Current admission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.depth.load(Ordering::Acquire)
+    }
+
+    /// Nanoseconds on the service clock.
+    pub fn now_ns(&self) -> u64 {
+        self.inner.clock.now_ns()
+    }
+
+    /// Snapshot of the lifetime counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Drains the queue (replying to every accepted request), joins
+    /// the workers, and returns the final counters.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.finish();
+        self.inner.stats.snapshot()
+    }
+
+    fn finish(&mut self) {
+        self.tx = None; // workers drain the queue, then see Disconnected
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MappingService {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}

@@ -26,6 +26,10 @@ const SCOPES: &[&str] = &[
     "crates/graph/src/",
     "crates/partition/src/",
     "crates/ds/src/",
+    // The service's decisions (ladder, retry, supervisor) must be a
+    // pure function of seed + event stream + clock readings; the one
+    // wall-clock anchor lives in clock.rs behind an allow.
+    "crates/service/src/",
 ];
 
 const PATTERNS: &[(&str, &str)] = &[

@@ -38,14 +38,39 @@ pub(crate) fn find_token(code: &str, pat: &str) -> Option<usize> {
     None
 }
 
-/// Whether the workspace-relative path is one of `files`.
+/// Whether the workspace-relative path matches one of `files`: an
+/// entry ending in `/` is a directory prefix (scoping a whole source
+/// tree, e.g. `crates/service/src/`), anything else matches exactly.
 pub(crate) fn path_is_one_of(file: &SourceFile, files: &[&str]) -> bool {
-    files.iter().any(|f| file.rel_path == *f)
+    files.iter().any(|f| match f.strip_suffix('/') {
+        Some(_) => file.rel_path.starts_with(f),
+        None => file.rel_path == *f,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trailing_slash_entries_scope_whole_trees() {
+        use crate::lexer::SourceFile;
+        let file = |p: &str| SourceFile::lex(p, "fn main() {}\n");
+        let scopes = &["crates/core/src/remap.rs", "crates/service/src/"];
+        assert!(path_is_one_of(&file("crates/core/src/remap.rs"), scopes));
+        assert!(!path_is_one_of(&file("crates/core/src/greedy.rs"), scopes));
+        assert!(path_is_one_of(
+            &file("crates/service/src/worker.rs"),
+            scopes
+        ));
+        assert!(path_is_one_of(
+            &file("crates/service/src/nested/deep.rs"),
+            scopes
+        ));
+        // The prefix is the directory, not a name fragment.
+        assert!(!path_is_one_of(&file("crates/service/tests/x.rs"), scopes));
+        assert!(!path_is_one_of(&file("crates/service2/src/x.rs"), scopes));
+    }
 
     #[test]
     fn token_boundaries() {

@@ -1,9 +1,11 @@
 //! `panic-freedom` — no panicking constructs in the never-panic files.
 //!
-//! `umpa_core::remap` and `umpa_topology::fault` document a hard
-//! contract: incremental repair **never panics** — infeasibility is a
-//! typed [`RemapOutcome::Infeasible`], not a crash in a serving
-//! process that just lost hardware. This lint bans the panicking
+//! `umpa_core::remap`, `umpa_topology::fault` and the whole of
+//! `umpa_service` document a hard contract: incremental repair and
+//! the serving loop **never panic** — infeasibility is a typed
+//! [`RemapOutcome::Infeasible`] (the service's analog is a typed
+//! [`ServiceError`]), not a crash in a serving process that just lost
+//! hardware. This lint bans the panicking
 //! constructs (`unwrap`/`expect`/`panic!`/`todo!`/asserts) plus a
 //! heuristic for the sneakiest variant: direct slice indexing inside a
 //! match arm, where a refactor of the matched shape turns a formerly
@@ -14,8 +16,15 @@ use crate::diag::Diagnostic;
 use crate::lexer::SourceFile;
 use crate::lints::{find_token, path_is_one_of};
 
-/// Files whose documented contract is "never panics".
-const NEVER_PANIC_FILES: &[&str] = &["crates/core/src/remap.rs", "crates/topology/src/fault.rs"];
+/// Files whose documented contract is "never panics". Entries ending
+/// in `/` scope a whole source tree: the service's worker loop and
+/// supervisor serve requests in a long-running process, so the entire
+/// crate carries the contract.
+const NEVER_PANIC_FILES: &[&str] = &[
+    "crates/core/src/remap.rs",
+    "crates/topology/src/fault.rs",
+    "crates/service/src/",
+];
 
 const PATTERNS: &[&str] = &[
     ".unwrap(",

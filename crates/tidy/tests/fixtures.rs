@@ -67,6 +67,37 @@ fn panic_freedom_fixture() {
 }
 
 #[test]
+fn panic_freedom_scopes_the_whole_service_tree() {
+    let text = include_str!("../fixtures/panic_freedom.rs");
+    // Any file under crates/service/src/ carries the never-panic
+    // contract via the trailing-slash prefix entry.
+    let diags = check_source("crates/service/src/worker.rs", text);
+    assert_eq!(diags.len(), 2, "{}", render(&diags));
+    assert!(diags.iter().all(|d| d.lint == "panic-freedom"));
+    let diags = check_source("crates/service/src/nested/module.rs", text);
+    assert_eq!(diags.len(), 2, "{}", render(&diags));
+    // The service's tests tree is not scoped — tests may assert.
+    let diags = check_source("crates/service/tests/soak.rs", text);
+    assert!(
+        diags.iter().all(|d| d.lint != "panic-freedom"),
+        "{}",
+        render(&diags)
+    );
+}
+
+#[test]
+fn determinism_scopes_the_service_tree() {
+    let text = include_str!("../fixtures/determinism.rs");
+    let diags = check_source("crates/service/src/supervisor.rs", text);
+    assert_eq!(diags.len(), 1, "{}", render(&diags));
+    assert_eq!(diags[0].lint, "determinism");
+    assert_eq!(
+        diags[0].line,
+        line_of(text, "use std::collections::HashMap;")
+    );
+}
+
+#[test]
 fn eps_discipline_fixture() {
     let text = include_str!("../fixtures/eps.rs");
     let diags = check_source("crates/core/src/fixture.rs", text);

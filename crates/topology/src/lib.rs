@@ -59,7 +59,7 @@ pub use churn::ChurnEvent;
 pub use dragonfly::{Dragonfly, DragonflyConfig};
 pub use fat_tree::{FatTree, FatTreeConfig};
 pub use machine::{
-    LinkMode, Machine, MachineConfig, MachineParams, DEFAULT_ORACLE_MAX_ROUTERS,
+    FaultSnapshot, LinkMode, Machine, MachineConfig, MachineParams, DEFAULT_ORACLE_MAX_ROUTERS,
     DEFAULT_ROUTE_CACHE_MAX_ROUTERS,
 };
 pub use oracle::DistanceOracle;
@@ -74,7 +74,7 @@ pub mod prelude {
     pub use crate::churn::ChurnEvent;
     pub use crate::dragonfly::{Dragonfly, DragonflyConfig};
     pub use crate::fat_tree::{FatTree, FatTreeConfig};
-    pub use crate::machine::{LinkMode, Machine, MachineConfig, MachineParams};
+    pub use crate::machine::{FaultSnapshot, LinkMode, Machine, MachineConfig, MachineParams};
     pub use crate::oracle::DistanceOracle;
     pub use crate::ordering::NodeOrdering;
     pub use crate::route_cache::RouteCache;

@@ -135,6 +135,30 @@ impl MachineConfig {
     }
 }
 
+/// A point-in-time summary of the machine's failure mask, cheap to
+/// compare and to hold across lock boundaries. A long-running
+/// supervisor (e.g. `umpa-service`'s churn-drift supervisor) snapshots
+/// this to detect fault-state transitions between inspections —
+/// distances and routes change whenever `hard_failed` does, so a
+/// quality baseline computed under a different snapshot is stale.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultSnapshot {
+    /// Every link currently below nominal bandwidth, as
+    /// `(physical link id, remaining bandwidth fraction)`, ascending by
+    /// link id. Hard failures appear with factor `0.0`.
+    pub degraded: Vec<(u32, f64)>,
+    /// Number of hard-failed links (`factor == 0.0`): when nonzero the
+    /// machine routes over the failure-masked BFS products.
+    pub hard_failed: usize,
+}
+
+impl FaultSnapshot {
+    /// Whether every link is at nominal bandwidth.
+    pub fn is_healthy(&self) -> bool {
+        self.degraded.is_empty()
+    }
+}
+
 /// Per-physical-link health (the failure mask). Absent on a healthy
 /// machine so the fault-free fast paths stay branch-cheap.
 #[derive(Clone, Debug)]
@@ -395,6 +419,27 @@ impl Machine {
         matches!(&self.faults, Some(f) if f.failed > 0)
     }
 
+    /// Snapshots the current failure mask into a comparable value (see
+    /// [`FaultSnapshot`]). Returns the default (healthy) snapshot when
+    /// no fault has ever been injected or after [`Machine::clear_faults`].
+    pub fn fault_snapshot(&self) -> FaultSnapshot {
+        match &self.faults {
+            None => FaultSnapshot::default(),
+            Some(f) => {
+                let mut degraded = Vec::with_capacity(f.failed + f.imperfect);
+                for (l, &factor) in f.factor.iter().enumerate() {
+                    if factor != 1.0 {
+                        degraded.push((l as u32, factor));
+                    }
+                }
+                FaultSnapshot {
+                    degraded,
+                    hard_failed: f.failed,
+                }
+            }
+        }
+    }
+
     /// The failure factors when at least one link is hard-failed.
     #[inline]
     fn failed_factors(&self) -> Option<&[f64]> {
@@ -638,6 +683,30 @@ mod tests {
         assert_eq!(m.router_of(1), 0);
         assert_eq!(m.router_of(2), 1);
         assert_eq!(m.nodes_of_router(3), 6..8);
+    }
+
+    #[test]
+    fn fault_snapshot_tracks_degradations_and_clears() {
+        let mut m = m222();
+        assert_eq!(m.fault_snapshot(), FaultSnapshot::default());
+        assert!(m.fault_snapshot().is_healthy());
+
+        m.degrade_link(3, 0.5);
+        m.degrade_link(7, 0.0);
+        let snap = m.fault_snapshot();
+        assert_eq!(snap.degraded, vec![(3, 0.5), (7, 0.0)]);
+        assert_eq!(snap.hard_failed, 1);
+        assert!(!snap.is_healthy());
+        // Stable across reads: the snapshot is a pure function of the mask.
+        assert_eq!(m.fault_snapshot(), snap);
+
+        m.restore_link(7);
+        let snap = m.fault_snapshot();
+        assert_eq!(snap.degraded, vec![(3, 0.5)]);
+        assert_eq!(snap.hard_failed, 0);
+
+        m.clear_faults();
+        assert_eq!(m.fault_snapshot(), FaultSnapshot::default());
     }
 
     #[test]

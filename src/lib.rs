@@ -21,6 +21,7 @@ pub use umpa_graph as graph;
 pub use umpa_matgen as matgen;
 pub use umpa_netsim as netsim;
 pub use umpa_partition as partition;
+pub use umpa_service as service;
 pub use umpa_topology as topology;
 
 /// Commonly used items, importable with a single `use umpa::prelude::*`.
@@ -30,5 +31,6 @@ pub mod prelude {
     pub use umpa_matgen::prelude::*;
     pub use umpa_netsim::prelude::*;
     pub use umpa_partition::prelude::*;
+    pub use umpa_service::prelude::*;
     pub use umpa_topology::prelude::*;
 }
