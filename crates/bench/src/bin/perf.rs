@@ -288,6 +288,17 @@ fn main() {
         });
         let greedy_ns = greedy_sample.median_ns;
         samples.push(greedy_sample);
+        // Gain-kernel counters of the row just measured (the scratch
+        // keeps the last run's stats): candidate placements the batch
+        // kernel scored, and distance lookups the compact slot panel
+        // absorbed (0 = per-lookup fallback ran instead).
+        let greedy_stats = scratch.greedy.stats();
+        metrics.push((metric("greedy_probes"), greedy_stats.probes as f64));
+        metrics.push((metric("greedy_row_hits"), greedy_stats.row_hits as f64));
+        eprintln!(
+            "  greedy: {} kernel probes, {} panel row hits",
+            greedy_stats.probes, greedy_stats.row_hits
+        );
         // Refinements start from a fresh greedy mapping each op
         // (refining a fixed point is a no-op and would flatter the
         // numbers).

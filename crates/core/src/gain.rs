@@ -29,7 +29,14 @@
 //! gains (and therefore bit-identical refinement decisions).
 
 use umpa_graph::TaskGraph;
-use umpa_topology::{DistanceOracle, Machine, Topology};
+use umpa_topology::{Allocation, DistanceOracle, Machine, Topology};
+
+/// Largest allocation (in slots) for which [`HopDist::build_slot_panel`]
+/// materializes the compact slot×slot distance panel. Beyond this the
+/// quadratic build and footprint stop paying for themselves (the
+/// multilevel coarsest-level greedy can see thousands of slots) and
+/// callers fall back to per-lookup [`HopDist`] dispatch.
+pub(crate) const MAX_PANEL_SLOTS: usize = 128;
 
 /// Hop-distance access for one refinement run: the oracle table when
 /// built, the analytic backend otherwise. Cheap to construct; hot loops
@@ -163,6 +170,88 @@ impl<'a> HopDist<'a> {
         }
     }
 
+    /// Builds the compact slot×slot hop-distance panel for `alloc`:
+    /// `out[a * s + b]` is the router hop distance between the nodes of
+    /// slots `a` and `b`, with `s = alloc.num_nodes()` returned as the
+    /// stride. Every distance greedy evaluates is between two allocated
+    /// slots, so this pulls the whole working set out of the (on big
+    /// machines, tens-of-MB) oracle table into a few cache-resident KB.
+    /// Values are read through the same oracle-or-analytic dispatch as
+    /// [`node_hops`](Self::node_hops) — exact integer hop counts either
+    /// way — so sums over panel entries are bit-identical to sums over
+    /// per-lookup distances. Returns 0 (panel disabled, `out` cleared)
+    /// when the allocation exceeds [`MAX_PANEL_SLOTS`].
+    pub(crate) fn build_slot_panel(&self, alloc: &Allocation, out: &mut Vec<u16>) -> usize {
+        let s = alloc.num_nodes();
+        out.clear();
+        if s > MAX_PANEL_SLOTS {
+            return 0;
+        }
+        out.resize(s * s, 0);
+        // The router graph is undirected and both distance backends are
+        // symmetric, so fill the upper triangle and mirror — one oracle
+        // row hoist serves a whole panel row.
+        for a in 0..s {
+            let ra = self.router_of(alloc.node(a));
+            match self.oracle {
+                Some(o) => {
+                    let row = o.row(ra);
+                    for b in a..s {
+                        let d = row[self.router_of(alloc.node(b)) as usize];
+                        out[a * s + b] = d;
+                        out[b * s + a] = d;
+                    }
+                }
+                None => {
+                    for b in a..s {
+                        let d = self.topo.distance(ra, self.router_of(alloc.node(b)));
+                        debug_assert!(d <= u32::from(u16::MAX));
+                        out[a * s + b] = d as u16;
+                        out[b * s + a] = d as u16;
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    /// Placement-cost kernel, per-lookup fallback arm: for each
+    /// candidate router in `keys`, the weighted-hop increase of placing
+    /// the pivot there — `Σ d(key, nb_router) · w` over the mapped
+    /// neighbors, terms in neighbor order. Used when the allocation is
+    /// too large for the compact panel; one oracle-row hoist still
+    /// serves each candidate's whole neighbor scan.
+    pub(crate) fn fill_place_costs_hops(
+        &self,
+        nb_routers: &[u32],
+        nb_ws: &[f64],
+        keys: &[u32],
+        costs: &mut Vec<f64>,
+    ) {
+        costs.clear();
+        match self.oracle {
+            Some(o) => {
+                for &r in keys {
+                    let row = o.row(r);
+                    let mut inc = 0.0;
+                    for (&p, &w) in nb_routers.iter().zip(nb_ws) {
+                        inc += f64::from(row[p as usize]) * w;
+                    }
+                    costs.push(inc);
+                }
+            }
+            None => {
+                for &r in keys {
+                    let mut inc = 0.0;
+                    for (&p, &w) in nb_routers.iter().zip(nb_ws) {
+                        inc += f64::from(self.topo.distance(r, p)) * w;
+                    }
+                    costs.push(inc);
+                }
+            }
+        }
+    }
+
     /// Shared body of the gain evaluations; `pos` resolves a task's
     /// router and monomorphizes per caller (no dispatch in the
     /// neighbor loop).
@@ -202,6 +291,34 @@ impl<'a> HopDist<'a> {
                 gain
             }
         }
+    }
+}
+
+/// Placement-cost kernel, panel arm: for each candidate slot in
+/// `keys`, the weighted-hop increase of placing the pivot there —
+/// `Σ d(key, nb_slot) · w` over the mapped neighbors (`nb_slots` /
+/// `nb_ws` parallel, terms in neighbor order). `panel` is the
+/// [`HopDist::build_slot_panel`] matrix with the given `stride`; one
+/// panel row is hoisted per candidate and the whole scan runs on
+/// cache-resident u16 rows with no dispatch — the SIMD-friendly shape.
+/// Term order and the `f64::from(hops) * w` orientation match the
+/// per-candidate reference evaluation bit for bit.
+pub(crate) fn fill_place_costs(
+    panel: &[u16],
+    stride: usize,
+    nb_slots: &[u32],
+    nb_ws: &[f64],
+    keys: &[u32],
+    costs: &mut Vec<f64>,
+) {
+    costs.clear();
+    for &k in keys {
+        let row = &panel[k as usize * stride..][..stride];
+        let mut inc = 0.0;
+        for (&s, &w) in nb_slots.iter().zip(nb_ws) {
+            inc += f64::from(row[s as usize]) * w;
+        }
+        costs.push(inc);
     }
 }
 
@@ -325,6 +442,84 @@ mod tests {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn slot_panel_matches_machine_hops_on_every_pair() {
+        for oracle_on in [true, false] {
+            let mut m = MachineConfig::small(&[4, 3, 2], 2, 2).build();
+            if !oracle_on {
+                m.set_oracle_threshold(0);
+            }
+            let alloc = Allocation::generate(&m, &AllocSpec::sparse(9, 5));
+            let dist = HopDist::new(&m);
+            let mut panel = Vec::new();
+            let stride = dist.build_slot_panel(&alloc, &mut panel);
+            assert_eq!(stride, alloc.num_nodes());
+            for a in 0..stride {
+                for b in 0..stride {
+                    assert_eq!(
+                        u32::from(panel[a * stride + b]),
+                        m.hops(alloc.node(a), alloc.node(b)),
+                        "slots {a},{b} oracle={oracle_on}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slot_panel_disabled_beyond_the_size_cap() {
+        let m = MachineConfig::small(&[16, 16], 1, 1).build();
+        let alloc = Allocation::generate(&m, &AllocSpec::sparse(MAX_PANEL_SLOTS + 1, 5));
+        let dist = HopDist::new(&m);
+        let mut panel = vec![7u16; 4];
+        assert_eq!(dist.build_slot_panel(&alloc, &mut panel), 0);
+        assert!(panel.is_empty());
+    }
+
+    #[test]
+    fn place_cost_kernels_match_per_candidate_reference_bitwise() {
+        // Both kernel arms (panel rows, per-lookup hops) must reproduce
+        // the frozen reference's per-candidate `Σ f64::from(hops) * w`
+        // accumulation bit for bit, since greedy breaks float ties by
+        // strict `<` over these sums.
+        for oracle_on in [true, false] {
+            let mut m = MachineConfig::small(&[4, 3], 2, 2).build();
+            if !oracle_on {
+                m.set_oracle_threshold(0);
+            }
+            let alloc = Allocation::generate(&m, &AllocSpec::sparse(8, 3));
+            let dist = HopDist::new(&m);
+            let mut panel = Vec::new();
+            let stride = dist.build_slot_panel(&alloc, &mut panel);
+            // Pretend tasks sit on slots 0..5 with skewed weights.
+            let nb_slots: Vec<u32> = vec![0, 3, 1, 4, 2];
+            let nb_ws: Vec<f64> = vec![2.0, 0.5, 1.25, 3.0, 0.75];
+            let keys: Vec<u32> = (0..stride as u32).collect();
+            let mut costs = Vec::new();
+            fill_place_costs(&panel, stride, &nb_slots, &nb_ws, &keys, &mut costs);
+            let nb_routers: Vec<u32> = nb_slots
+                .iter()
+                .map(|&s| m.router_of(alloc.node(s as usize)))
+                .collect();
+            let key_routers: Vec<u32> = keys
+                .iter()
+                .map(|&s| m.router_of(alloc.node(s as usize)))
+                .collect();
+            let mut costs_hops = Vec::new();
+            dist.fill_place_costs_hops(&nb_routers, &nb_ws, &key_routers, &mut costs_hops);
+            for (i, &k) in keys.iter().enumerate() {
+                let node = alloc.node(k as usize);
+                let want: f64 = nb_slots
+                    .iter()
+                    .zip(&nb_ws)
+                    .map(|(&s, &w)| f64::from(m.hops(node, alloc.node(s as usize))) * w)
+                    .sum();
+                assert_eq!(costs[i].to_bits(), want.to_bits(), "panel k={k}");
+                assert_eq!(costs_hops[i].to_bits(), want.to_bits(), "hops k={k}");
             }
         }
     }

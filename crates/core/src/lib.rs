@@ -46,6 +46,8 @@ pub mod cong_refine;
 pub mod eps;
 pub(crate) mod gain;
 pub mod greedy;
+#[doc(hidden)]
+pub mod greedy_reference;
 pub mod mapping;
 pub mod metrics;
 pub mod multilevel;
@@ -60,7 +62,7 @@ pub use cong_refine::{
     CongRefineConfig, CongRunStats, CongScratch, CongestionKind,
 };
 pub use eps::{CONG_EPS, DRIFT_EPS, GAIN_EPS};
-pub use greedy::{greedy_map, greedy_map_into, GreedyConfig, GreedyScratch};
+pub use greedy::{greedy_map, greedy_map_into, GreedyConfig, GreedyRunStats, GreedyScratch};
 pub use mapping::{fits, is_valid_mapping, validate_mapping, MappingError, CAPACITY_EPS};
 pub use metrics::{evaluate, MetricsReport};
 pub use multilevel::{multilevel_map_into, MultilevelConfig, MultilevelScratch, MultilevelStats};

@@ -84,6 +84,31 @@ impl Bfs {
         Some(BfsEvent { vertex: v, level })
     }
 
+    /// Like [`next`](Self::next), but expands the popped vertex's
+    /// neighbors only when its level is strictly below `cap`.
+    ///
+    /// For a consumer that stops at the end of level `cap` this yields
+    /// exactly the same event sequence as [`next`](Self::next) — the
+    /// suppressed children would all sit at levels `> cap` and are
+    /// never popped — while skipping the neighbor scans of the final
+    /// level. Mixing the two steppers in one traversal is fine as long
+    /// as `cap` never decreases below a level already expanded.
+    pub fn next_capped(&mut self, g: &Graph, cap: u32) -> Option<BfsEvent> {
+        if self.head >= self.queue.len() {
+            return None;
+        }
+        let (v, level) = self.queue[self.head];
+        self.head += 1;
+        if level < cap {
+            for &n in g.neighbors(v) {
+                if !self.visited.mark(n as usize) {
+                    self.queue.push((n, level + 1));
+                }
+            }
+        }
+        Some(BfsEvent { vertex: v, level })
+    }
+
     /// Whether `v` has been visited in the current traversal.
     #[inline]
     pub fn was_visited(&self, v: u32) -> bool {
@@ -199,6 +224,57 @@ mod tests {
         let mut bfs = Bfs::new(5);
         let evs = bfs.levels_from(&g, [1, 1, 1]);
         assert_eq!(evs.iter().filter(|e| e.vertex == 1).count(), 1);
+    }
+
+    #[test]
+    fn capped_stepper_matches_next_up_to_the_cap() {
+        // Star-of-paths: compare full vs capped event streams through
+        // the end of level 2, where the capped run must be identical.
+        let mut b = GraphBuilder::new(8);
+        b.add_edge(0, 1, 1.0)
+            .add_edge(0, 2, 1.0)
+            .add_edge(1, 3, 1.0)
+            .add_edge(2, 4, 1.0)
+            .add_edge(3, 5, 1.0)
+            .add_edge(4, 6, 1.0)
+            .add_edge(5, 7, 1.0);
+        let g = b.build_symmetric();
+        let mut full = Bfs::new(8);
+        full.start([0]);
+        let mut a = Vec::new();
+        while let Some(ev) = full.next(&g) {
+            if ev.level > 2 {
+                break;
+            }
+            a.push(ev);
+        }
+        let mut capped = Bfs::new(8);
+        capped.start([0]);
+        let mut c = Vec::new();
+        while let Some(ev) = capped.next_capped(&g, 2) {
+            if ev.level > 2 {
+                break;
+            }
+            c.push(ev);
+        }
+        assert_eq!(a, c);
+        // And the capped engine never enqueued level-3 vertices.
+        assert!(!capped.was_visited(5));
+        assert!(!capped.was_visited(6));
+    }
+
+    #[test]
+    fn capped_at_zero_yields_sources_only() {
+        let g = path4();
+        let mut bfs = Bfs::new(5);
+        bfs.start([1, 2]);
+        let mut seen = Vec::new();
+        while let Some(ev) = bfs.next_capped(&g, 0) {
+            seen.push((ev.vertex, ev.level));
+        }
+        assert_eq!(seen, vec![(1, 0), (2, 0)]);
+        assert!(!bfs.was_visited(0));
+        assert!(!bfs.was_visited(3));
     }
 
     #[test]

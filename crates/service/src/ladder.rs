@@ -192,6 +192,60 @@ mod tests {
     }
 
     #[test]
+    fn cold_estimates_are_the_seed_priors_and_one_observation_folds_in() {
+        let costs = CostModel::seeded();
+        for (rung, seed) in LadderRung::all().into_iter().zip(SEED_NS) {
+            assert_eq!(costs.estimate_ns(rung), seed, "{}", rung.label());
+        }
+        // First observation folds at the EWMA weight, not a hard reset:
+        // new = seed - seed/4 + obs/4.
+        costs.observe(LadderRung::Full, 100_000);
+        assert_eq!(
+            costs.estimate_ns(LadderRung::Full),
+            4_000_000 - 4_000_000 / 4 + 100_000 / 4
+        );
+    }
+
+    #[test]
+    fn pathological_service_times_never_wrap_the_estimate() {
+        // Repeated worst-case observations drive the EWMA toward
+        // u64::MAX; `old - old/4 + ns/4` must stay in range at the
+        // fixed point (debug builds panic on wrap, so this test proves
+        // it). The ladder keeps serving off the saturated estimate.
+        let costs = CostModel::seeded();
+        let mut prev = costs.estimate_ns(LadderRung::Projection);
+        for _ in 0..256 {
+            costs.observe(LadderRung::Projection, u64::MAX);
+            let est = costs.estimate_ns(LadderRung::Projection);
+            assert!(est >= prev, "saturating estimate regressed: {est} < {prev}");
+            prev = est;
+        }
+        assert!(
+            prev > u64::MAX / 2,
+            "estimate should approach the observations"
+        );
+        let k = select_kind(MapperKind::Def, 1_000, 0, &cfg(), &costs);
+        assert_eq!(k, MapperKind::Def);
+    }
+
+    #[test]
+    fn ladder_serves_the_floor_when_every_rung_exceeds_the_budget() {
+        // Learn expensive costs into every rung, then ask with a budget
+        // none of them fits: the walk must bottom out at Def — the
+        // ladder never rejects — instead of looping or panicking.
+        let costs = CostModel::seeded();
+        for rung in LadderRung::all() {
+            for _ in 0..64 {
+                costs.observe(rung, 10_000_000_000);
+            }
+        }
+        for budget in [0, 1, 1_000_000] {
+            let k = select_kind(MapperKind::GreedyMc, budget, 0, &cfg(), &costs);
+            assert_eq!(k, MapperKind::Def, "budget {budget}");
+        }
+    }
+
+    #[test]
     fn rung_indices_are_dense_and_labels_stable() {
         let mut seen = [false; LadderRung::COUNT];
         for r in LadderRung::all() {

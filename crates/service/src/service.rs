@@ -348,6 +348,14 @@ impl MappingService {
         self.admit(Envelope::Poison { reply }, rx)
     }
 
+    /// Closes the admission intake without draining or joining — the
+    /// backpressure-test hook for the post-shutdown rejection path,
+    /// where queued work is still in flight when a submit arrives.
+    #[doc(hidden)]
+    pub fn close_intake(&mut self) {
+        self.tx = None;
+    }
+
     fn admit(
         &self,
         env: Envelope,
@@ -355,8 +363,12 @@ impl MappingService {
     ) -> Submit<MapTicket> {
         let inner = &self.inner;
         let Some(tx) = &self.tx else {
+            // Post-shutdown rejections still report the depth actually
+            // observed at rejection time — in-flight work may not have
+            // drained yet, and callers size their backoff on this.
+            let queue_depth = inner.depth.load(Ordering::Acquire);
             inner.stats.rejected.fetch_add(1, Ordering::AcqRel);
-            return Submit::Rejected { queue_depth: 0 };
+            return Submit::Rejected { queue_depth };
         };
         let depth = inner.depth.load(Ordering::Acquire);
         if depth >= inner.cfg.queue_capacity.max(1) {

@@ -237,7 +237,7 @@ fn backpressure_rejects_with_observed_depth_when_queue_fills() {
         queue_capacity: 4,
         ..ServiceConfig::default()
     };
-    let service = MappingService::new(machine, alloc, cfg);
+    let mut service = MappingService::new(machine, alloc, cfg);
     let tasks = Arc::new(task_graph(16, 1));
 
     let mut admitted = Vec::new();
@@ -260,6 +260,16 @@ fn backpressure_rejects_with_observed_depth_when_queue_fills() {
     assert_eq!(stats.rejected, 1);
     assert!((stats.shed_rate() - 0.2).abs() < 1e-12);
     assert_eq!(stats.max_queue_depth, 4);
+
+    // Once intake closes, rejections must still carry the depth
+    // observed at rejection time — the 4 queued envelopes have not
+    // drained — not a hardwired zero.
+    service.close_intake();
+    match service.submit_map(MapJob::new(Arc::clone(&tasks))) {
+        Submit::Accepted(_) => panic!("admitted past shutdown"),
+        Submit::Rejected { queue_depth } => assert_eq!(queue_depth, 4),
+    }
+    assert_eq!(service.stats().rejected, 2);
 }
 
 #[test]
