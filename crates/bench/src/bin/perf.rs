@@ -62,7 +62,8 @@ use umpa_matgen::spmv::spmv_task_graph;
 use umpa_matgen::taskgen::{stencil3d_tasks, total_weight_for};
 use umpa_matgen::{load_sequence, ChurnSpec, LoadEvent, LoadSpec};
 use umpa_partition::PartitionerKind;
-use umpa_service::{MapJob, MapTicket, MappingService, ServiceConfig, Submit};
+use umpa_service::journal::Durability;
+use umpa_service::{DurabilityConfig, MapJob, MapTicket, MappingService, ServiceConfig, Submit};
 use umpa_topology::{
     AllocSpec, Allocation, DragonflyConfig, FatTreeConfig, Machine, MachineConfig,
 };
@@ -722,6 +723,38 @@ fn main() {
             fmt_ns(p99),
             snap.rung_counts()
         );
+    }
+
+    // --- Journal overhead (durability subsystem) ---------------------
+    // Cost of one write-ahead churn frame: encode + CRC + buffered
+    // write + flush, no fsync — the durability tax each churn
+    // mutation pays. A tracked metric, not a gated row; the gated
+    // `service` row above runs durability-off, pinning the promise
+    // that journaling stays off the map-request hot path.
+    {
+        let dir = std::env::temp_dir().join(format!("umpa-perf-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        match Durability::create(&DurabilityConfig::new(&dir)) {
+            Ok(mut journal) => {
+                let events = [
+                    ChurnEvent::NodesRemoved { nodes: vec![3, 5] },
+                    ChurnEvent::LinkDegraded {
+                        link: 1,
+                        factor: 0.5,
+                    },
+                ];
+                let sample = bench_ns("journal_append", &preset.opts, || {
+                    journal.append_churn(&events).is_ok()
+                });
+                metrics.push(("journal_append_ns".to_string(), sample.median_ns));
+                eprintln!(
+                    "journal append: {} per 2-event churn frame",
+                    fmt_ns(sample.median_ns)
+                );
+            }
+            Err(e) => eprintln!("perf: journal bench skipped: {e}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     let threads = std::thread::available_parallelism()

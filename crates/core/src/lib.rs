@@ -72,7 +72,8 @@ pub use pipeline::{
     MappingOutcome, PipelineConfig,
 };
 pub use remap::{
-    remap_incremental, ChurnEvent, RemapConfig, RemapDrift, RemapOutcome, RemapScratch, RemapStats,
+    apply_events, remap_incremental, ChurnEvent, RemapConfig, RemapDrift, RemapOutcome,
+    RemapScratch, RemapStats,
 };
 pub use scratch::MapperScratch;
 pub use wh_refine::{
@@ -92,7 +93,8 @@ pub mod prelude {
         MappingOutcome, PipelineConfig,
     };
     pub use crate::remap::{
-        remap_incremental, ChurnEvent, RemapConfig, RemapDrift, RemapOutcome, RemapStats,
+        apply_events, remap_incremental, ChurnEvent, RemapConfig, RemapDrift, RemapOutcome,
+        RemapStats,
     };
     pub use crate::scratch::MapperScratch;
     pub use crate::wh_refine::{wh_refine, WhRefineConfig};

@@ -218,6 +218,20 @@ impl RemapScratch {
     }
 }
 
+/// Applies a batch of churn events to the machine/allocation *without*
+/// repairing any mapping — the replay entry point shared by the service
+/// when no resident job exists and by crash-recovery journal replay
+/// (`umpa-service`), so both walk the exact event-application path
+/// [`remap_incremental`] walks and land on bit-identical machine state.
+/// Returns the total number of allocation slots the batch changed.
+pub fn apply_events(machine: &mut Machine, alloc: &mut Allocation, events: &[ChurnEvent]) -> usize {
+    let mut changed = 0usize;
+    for ev in events {
+        changed += ev.apply(machine, alloc);
+    }
+    changed
+}
+
 /// Applies `events` to the machine/allocation and repairs `mapping` in
 /// place. See the module docs for the algorithm; returns what happened.
 ///
@@ -237,9 +251,7 @@ pub fn remap_incremental(
 ) -> RemapOutcome {
     // tidy-allow: panic-freedom (API precondition checked on entry, before any event is applied or state touched; the never-panic contract covers the repair itself)
     assert_eq!(mapping.len(), tg.num_tasks(), "mapping/task-count mismatch");
-    for ev in events {
-        ev.apply(machine, alloc);
-    }
+    apply_events(machine, alloc, events);
     let machine = &*machine;
     let MapperScratch {
         remap, wh, cong, ..

@@ -290,6 +290,31 @@ pub fn load_sequence(machine: &Machine, alloc: &Allocation, spec: &LoadSpec) -> 
         .collect()
 }
 
+/// A seeded byte-corruption plan for a journal tail: `count` pairs of
+/// `(byte offset, xor mask)` with offsets in `tail_from..len` and
+/// masks guaranteed nonzero (every point flips at least one bit).
+/// Deterministic per seed so a crash-recovery chaos harness can
+/// corrupt a write-ahead log's tail reproducibly and assert the typed
+/// torn-tail truncation path — never a panic — on replay. Offsets are
+/// ascending and deduplicated; returns an empty plan when the tail
+/// window `tail_from..len` is empty.
+pub fn corruption_points(len: u64, tail_from: u64, count: usize, seed: u64) -> Vec<(u64, u8)> {
+    if tail_from >= len || count == 0 {
+        return Vec::new();
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut points: Vec<(u64, u8)> = (0..count)
+        .map(|_| {
+            let off = rng.gen_range(tail_from..len);
+            let mask = rng.gen_range(1..=u8::MAX);
+            (off, mask)
+        })
+        .collect();
+    points.sort_unstable_by_key(|&(off, _)| off);
+    points.dedup_by_key(|&mut (off, _)| off);
+    points
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,6 +416,22 @@ mod tests {
             }
         }
         assert!(churn_seen > 0);
+    }
+
+    #[test]
+    fn corruption_points_are_deterministic_in_window_and_nonzero() {
+        let a = corruption_points(1000, 600, 16, 42);
+        let b = corruption_points(1000, 600, 16, 42);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.windows(2).all(|w| w[0].0 < w[1].0), "offsets ascending");
+        for &(off, mask) in &a {
+            assert!((600..1000).contains(&off));
+            assert_ne!(mask, 0);
+        }
+        assert_ne!(a, corruption_points(1000, 600, 16, 43), "seed matters");
+        assert!(corruption_points(100, 100, 8, 1).is_empty());
+        assert!(corruption_points(100, 40, 0, 1).is_empty());
     }
 
     #[test]

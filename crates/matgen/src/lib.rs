@@ -40,7 +40,7 @@ pub mod pattern;
 pub mod spmv;
 pub mod taskgen;
 
-pub use churn::{churn_sequence, load_sequence, ChurnSpec, LoadEvent, LoadSpec};
+pub use churn::{churn_sequence, corruption_points, load_sequence, ChurnSpec, LoadEvent, LoadSpec};
 pub use dataset::{DatasetEntry, MatrixClass, Scale};
 pub use pattern::SparsePattern;
 pub use spmv::{spmv_task_graph, CommStats};
@@ -48,7 +48,9 @@ pub use taskgen::{power_law_tasks, stencil3d_tasks, total_weight_for};
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::churn::{churn_sequence, load_sequence, ChurnSpec, LoadEvent, LoadSpec};
+    pub use crate::churn::{
+        churn_sequence, corruption_points, load_sequence, ChurnSpec, LoadEvent, LoadSpec,
+    };
     pub use crate::dataset::{DatasetEntry, MatrixClass, Scale};
     pub use crate::pattern::SparsePattern;
     pub use crate::spmv::{spmv_task_graph, CommStats};

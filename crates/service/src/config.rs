@@ -1,7 +1,47 @@
-//! Service configuration: admission, deadlines, retry and supervision
-//! policies.
+//! Service configuration: admission, deadlines, retry, supervision and
+//! durability policies.
+
+use std::path::PathBuf;
 
 use umpa_core::{MapperKind, PipelineConfig, RemapConfig};
+
+use crate::journal::CrashSwitch;
+
+/// Crash-safety settings (DESIGN.md §18): where the write-ahead churn
+/// journal and checksummed snapshots live, and how often state is
+/// snapshotted. Durability is opt-in
+/// (`ServiceConfig::durability: Option<_>`) and entirely off the
+/// map-request hot path — only churn/commit mutations append frames.
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Directory holding `journal.bin`, `snapshot.bin` and
+    /// `snapshot.old.bin`. Created if absent.
+    pub dir: PathBuf,
+    /// Appended frames between snapshots (`0` = journal only, never
+    /// snapshot). Snapshots bound recovery *replay* time; the journal
+    /// itself is append-only and grows with churn volume.
+    pub snapshot_every: u64,
+    /// `fsync` the journal after every frame (durability against OS
+    /// crashes, not just process death). Off by default: the frame is
+    /// flushed to the OS either way.
+    pub fsync: bool,
+    /// Deterministic crash injection for the chaos harness
+    /// (`tests/recovery.rs`); `None` in production.
+    #[doc(hidden)]
+    pub crash: Option<CrashSwitch>,
+}
+
+impl DurabilityConfig {
+    /// Durability rooted at `dir` with the default snapshot ration.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            snapshot_every: 64,
+            fsync: false,
+            crash: None,
+        }
+    }
+}
 
 /// Bounded-backoff policy for transient `Infeasible` repairs: how
 /// often (and how long) the service keeps retrying displaced work
@@ -99,6 +139,9 @@ pub struct ServiceConfig {
     pub retry: RetryPolicy,
     /// Drift-supervisor policy.
     pub supervisor: SupervisorPolicy,
+    /// Crash-safe durability (write-ahead journal + snapshots);
+    /// `None` (the default) keeps all state in memory.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -114,6 +157,7 @@ impl Default for ServiceConfig {
             remap: RemapConfig::default(),
             retry: RetryPolicy::default(),
             supervisor: SupervisorPolicy::default(),
+            durability: None,
         }
     }
 }

@@ -30,7 +30,18 @@
 //!   baseline, polishing (or adopting the baseline) when drift
 //!   crosses the bound.
 //!
-//! See DESIGN.md §16 for the architecture and the policy contracts.
+//! A fourth layer makes the state crash-safe: every accepted mutation
+//! is written ahead to an on-disk journal with in-tree CRC32 framing,
+//! periodically compacted into checksummed snapshots published by
+//! atomic rename, and [`MappingService::recover`] rebuilds a resident
+//! job **bit-identical** to an uninterrupted run — torn or corrupt
+//! journal tails are truncated with a typed report, never a panic
+//! ([`RecoveryError`]). A deterministic [`CrashPoint`] injection seam
+//! lets the chaos harness kill the write path at every byte boundary
+//! that matters.
+//!
+//! See DESIGN.md §16 for the architecture and the policy contracts,
+//! and §18 for the durability formats and recovery contract.
 //!
 //! [`MapperScratch`]: umpa_core::MapperScratch
 
@@ -39,7 +50,9 @@
 
 pub mod clock;
 pub mod config;
+pub mod journal;
 pub mod ladder;
+pub mod recovery;
 pub mod request;
 pub mod service;
 pub mod stats;
@@ -47,8 +60,10 @@ mod supervisor;
 mod worker;
 
 pub use clock::{ManualClock, ServiceClock};
-pub use config::{RetryPolicy, ServiceConfig, SupervisorPolicy};
+pub use config::{DurabilityConfig, RetryPolicy, ServiceConfig, SupervisorPolicy};
+pub use journal::{CrashPoint, CrashSwitch, JournalError};
 pub use ladder::LadderRung;
+pub use recovery::{RecoveryError, RecoveryReport, SnapshotSource};
 pub use request::{MapJob, MapReply, MapTicket, RepairReport, ServiceError, Submit};
 pub use service::MappingService;
 pub use stats::StatsSnapshot;
@@ -56,8 +71,10 @@ pub use stats::StatsSnapshot;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::clock::{ManualClock, ServiceClock};
-    pub use crate::config::{RetryPolicy, ServiceConfig, SupervisorPolicy};
+    pub use crate::config::{DurabilityConfig, RetryPolicy, ServiceConfig, SupervisorPolicy};
+    pub use crate::journal::{CrashPoint, CrashSwitch, JournalError};
     pub use crate::ladder::LadderRung;
+    pub use crate::recovery::{RecoveryError, RecoveryReport, SnapshotSource};
     pub use crate::request::{MapJob, MapReply, MapTicket, RepairReport, ServiceError, Submit};
     pub use crate::service::MappingService;
     pub use crate::stats::StatsSnapshot;

@@ -19,14 +19,17 @@ use std::thread::JoinHandle;
 
 use umpa_core::greedy::weighted_hops;
 use umpa_core::{
-    map_tasks_with, remap_incremental, ChurnEvent, MapperScratch, RemapDrift, RemapOutcome,
+    apply_events, map_tasks_with, remap_incremental, ChurnEvent, MapperScratch, RemapDrift,
+    RemapOutcome,
 };
 use umpa_graph::TaskGraph;
 use umpa_topology::{Allocation, Machine};
 
 use crate::clock::ServiceClock;
 use crate::config::ServiceConfig;
+use crate::journal::{Durability, JournalRecord};
 use crate::ladder::CostModel;
+use crate::recovery;
 use crate::request::{Envelope, MapJob, MapTicket, RepairReport, ServiceError, Submit};
 use crate::stats::{ServiceStats, StatsSnapshot};
 use crate::supervisor::{PolishOutcome, Supervisor};
@@ -73,6 +76,12 @@ pub(crate) struct ServiceInner {
     pub pending_due_ns: AtomicU64,
     pub costs: CostModel,
     pub stats: ServiceStats,
+    /// Write-ahead durability sink (DESIGN.md §18); `None` while
+    /// durability is off — including during recovery replay, which
+    /// must not re-journal the frames it replays. Only ever locked
+    /// while the state write lock is held, so frame order is
+    /// execution order.
+    pub journal: Mutex<Option<Durability>>,
 }
 
 impl ServiceInner {
@@ -82,6 +91,52 @@ impl ServiceInner {
 
     pub(crate) fn write_state(&self) -> RwLockWriteGuard<'_, SharedState> {
         self.state.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Appends one record to the write-ahead journal (callers hold
+    /// the state write lock and append **before** mutating, so an
+    /// acked mutation is always on disk first). Durability failures —
+    /// a full disk, or the chaos harness's injected crash — are
+    /// counted and absorbed: the service keeps serving from memory.
+    pub(crate) fn journal_append(&self, rec: &JournalRecord) {
+        let mut guard = self.journal.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(journal) = guard.as_mut() else {
+            return;
+        };
+        match journal.append(rec) {
+            Ok(info) => {
+                self.stats.journal_appends.fetch_add(1, Ordering::AcqRel);
+                self.stats
+                    .journal_bytes
+                    .fetch_add(info.bytes, Ordering::AcqRel);
+            }
+            Err(_) => {
+                self.stats.journal_errors.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+    }
+
+    /// Writes a checksummed snapshot of the post-mutation state when
+    /// the frame ration has elapsed. Called at the tail of every
+    /// journaled operation, still under the write lock, so the
+    /// snapshot is consistent with the journal watermark it records.
+    pub(crate) fn maybe_snapshot(&self, st: &SharedState) {
+        let mut guard = self.journal.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(journal) = guard.as_mut() else {
+            return;
+        };
+        if !journal.should_snapshot() {
+            return;
+        }
+        let payload = recovery::encode_snapshot_payload(st, journal.last_seq());
+        match journal.write_snapshot(&payload) {
+            Ok(()) => {
+                self.stats.snapshots_written.fetch_add(1, Ordering::AcqRel);
+            }
+            Err(_) => {
+                self.stats.journal_errors.fetch_add(1, Ordering::AcqRel);
+            }
+        }
     }
 
     fn note_polish(&self, out: &PolishOutcome, report: &mut RepairReport) {
@@ -109,16 +164,16 @@ impl ServiceInner {
             ..RepairReport::default()
         };
         let mut st = self.write_state();
+        self.journal_append(&JournalRecord::Churn(events.to_vec()));
         let SharedState {
             machine,
             alloc,
             job,
         } = &mut *st;
         let Some(job) = job.as_mut() else {
-            for ev in events {
-                ev.apply(machine, alloc);
-            }
+            apply_events(machine, alloc, events);
             report.fully_placed = true;
+            self.maybe_snapshot(&st);
             return report;
         };
         let was_pending = job.pending.is_some();
@@ -135,6 +190,7 @@ impl ServiceInner {
             &mut job.scratch,
         );
         self.settle_repair(machine, alloc, job, outcome, &mut report);
+        self.maybe_snapshot(&st);
         report
     }
 
@@ -147,18 +203,26 @@ impl ServiceInner {
             return None;
         }
         let mut st = self.write_state();
+        {
+            let job = st.job.as_mut()?;
+            let due = match &job.pending {
+                Some(p) if force => Some(*p),
+                Some(p) if p.attempts < self.cfg.retry.max_attempts && p.next_due_ns <= now => {
+                    Some(*p)
+                }
+                _ => None,
+            };
+            due?;
+        }
+        // The retry will run: journal it so replay re-executes it at
+        // the same point in the op sequence.
+        self.journal_append(&JournalRecord::Retry);
         let SharedState {
             machine,
             alloc,
             job,
         } = &mut *st;
         let job = job.as_mut()?;
-        let due = match &job.pending {
-            Some(p) if force => Some(*p),
-            Some(p) if p.attempts < self.cfg.retry.max_attempts && p.next_due_ns <= now => Some(*p),
-            _ => None,
-        };
-        due?;
         self.stats.retries.fetch_add(1, Ordering::AcqRel);
         let mut report = RepairReport::default();
         let outcome = remap_incremental(
@@ -171,7 +235,25 @@ impl ServiceInner {
             &mut job.scratch,
         );
         self.settle_repair(machine, alloc, job, outcome, &mut report);
+        self.maybe_snapshot(&st);
         Some(report)
+    }
+
+    /// Publishes the resident job's cumulative drift into the atomic
+    /// stats mirror (readable without the state lock).
+    pub(crate) fn mirror_drift(&self, drift: &RemapDrift) {
+        self.stats
+            .drift_repairs
+            .store(drift.repairs, Ordering::Release);
+        self.stats
+            .drift_displaced_total
+            .store(drift.displaced_total, Ordering::Release);
+        self.stats
+            .drift_wh_delta_bits
+            .store(drift.wh_delta_total.to_bits(), Ordering::Release);
+        self.stats
+            .drift_wh_last_bits
+            .store(drift.wh_last.to_bits(), Ordering::Release);
     }
 
     /// Common post-repair bookkeeping: drift stats and the supervisor
@@ -191,6 +273,7 @@ impl ServiceInner {
                 self.pending_due_ns.store(u64::MAX, Ordering::Release);
                 job.drift.note(&stats);
                 self.stats.repairs.fetch_add(1, Ordering::AcqRel);
+                self.mirror_drift(&job.drift);
                 report.fully_placed = true;
                 report.displaced = stats.displaced;
                 let ResidentJob {
@@ -241,6 +324,76 @@ impl ServiceInner {
             }
         }
     }
+
+    /// Installs (or replaces) the resident job; the write-lock core of
+    /// [`MappingService::install_job`], shared with recovery replay
+    /// (which re-runs the same from-scratch map deterministically).
+    pub(crate) fn install_job(&self, tasks: Arc<TaskGraph>) -> f64 {
+        let mut scratch = MapperScratch::new();
+        let mut st = self.write_state();
+        self.journal_append(&JournalRecord::install(&tasks));
+        let outcome = map_tasks_with(
+            &tasks,
+            &st.machine,
+            &st.alloc,
+            self.cfg.mapper,
+            &self.cfg.pipeline,
+            &mut scratch,
+        );
+        let wh = weighted_hops(&tasks, &st.machine, &outcome.fine_mapping);
+        st.job = Some(ResidentJob {
+            tasks,
+            mapping: outcome.fine_mapping,
+            drift: RemapDrift::default(),
+            pending: None,
+            supervisor: Supervisor::default(),
+            scratch,
+        });
+        self.pending_due_ns.store(u64::MAX, Ordering::Release);
+        self.maybe_snapshot(&st);
+        wh
+    }
+
+    /// Forced supervisor pass; the write-lock core of
+    /// [`MappingService::polish_now`], shared with recovery replay.
+    pub(crate) fn polish_now(&self) -> RepairReport {
+        let mut report = RepairReport::default();
+        let mut st = self.write_state();
+        if st.job.is_none() {
+            return report;
+        }
+        self.journal_append(&JournalRecord::Polish);
+        let SharedState {
+            machine,
+            alloc,
+            job,
+        } = &mut *st;
+        let Some(job) = job.as_mut() else {
+            return report;
+        };
+        report.unplaced = job.mapping.iter().filter(|&&n| n == u32::MAX).count();
+        report.fully_placed = report.unplaced == 0;
+        let ResidentJob {
+            tasks,
+            mapping,
+            supervisor,
+            scratch,
+            ..
+        } = job;
+        let polish = supervisor.after_repair(
+            &self.cfg.supervisor,
+            &self.cfg.pipeline,
+            tasks,
+            machine,
+            alloc,
+            mapping,
+            scratch,
+            true,
+        );
+        self.note_polish(&polish, &mut report);
+        self.maybe_snapshot(&st);
+        report
+    }
 }
 
 /// The always-on mapping service. Dropping (or [`shutdown`]) drains
@@ -273,8 +426,34 @@ impl MappingService {
         cfg: ServiceConfig,
         clock: ServiceClock,
     ) -> Self {
-        let capacity = cfg.queue_capacity.max(1);
-        let inner = Arc::new(ServiceInner {
+        let inner = Self::build_inner(machine, alloc, cfg, clock);
+        if let Some(dur_cfg) = inner.cfg.durability.clone() {
+            // A brand-new service starts a fresh history. Failures are
+            // availability-first: counted, and the service runs
+            // non-durable rather than not at all.
+            match Durability::create(&dur_cfg) {
+                Ok(journal) => {
+                    *inner.journal.lock().unwrap_or_else(|e| e.into_inner()) = Some(journal);
+                }
+                Err(_) => {
+                    inner.stats.journal_errors.fetch_add(1, Ordering::AcqRel);
+                }
+            }
+        }
+        Self::start(inner)
+    }
+
+    /// Builds the shared inner state with no workers, no admission
+    /// channel and no journal attached — the common base of
+    /// [`MappingService::with_clock`] and crash recovery (which must
+    /// replay the journal before any worker can race a timed retry).
+    pub(crate) fn build_inner(
+        machine: Machine,
+        alloc: Allocation,
+        cfg: ServiceConfig,
+        clock: ServiceClock,
+    ) -> Arc<ServiceInner> {
+        Arc::new(ServiceInner {
             cfg,
             clock,
             state: RwLock::new(SharedState {
@@ -286,7 +465,14 @@ impl MappingService {
             pending_due_ns: AtomicU64::new(u64::MAX),
             costs: CostModel::seeded(),
             stats: ServiceStats::default(),
-        });
+            journal: Mutex::new(None),
+        })
+    }
+
+    /// Opens the admission channel and spawns the worker pool over a
+    /// fully initialized inner state.
+    pub(crate) fn start(inner: Arc<ServiceInner>) -> Self {
+        let capacity = inner.cfg.queue_capacity.max(1);
         let (tx, rx) = mpsc::sync_channel(capacity);
         let rx = Arc::new(Mutex::new(rx));
         let workers = worker::spawn(&inner, &rx);
@@ -303,27 +489,7 @@ impl MappingService {
     /// Subsequent churn repairs and the drift supervisor operate on
     /// this job's live mapping.
     pub fn install_job(&self, tasks: Arc<TaskGraph>) -> f64 {
-        let mut scratch = MapperScratch::new();
-        let mut st = self.inner.write_state();
-        let outcome = map_tasks_with(
-            &tasks,
-            &st.machine,
-            &st.alloc,
-            self.inner.cfg.mapper,
-            &self.inner.cfg.pipeline,
-            &mut scratch,
-        );
-        let wh = weighted_hops(&tasks, &st.machine, &outcome.fine_mapping);
-        st.job = Some(ResidentJob {
-            tasks,
-            mapping: outcome.fine_mapping,
-            drift: RemapDrift::default(),
-            pending: None,
-            supervisor: Supervisor::default(),
-            scratch,
-        });
-        self.inner.pending_due_ns.store(u64::MAX, Ordering::Release);
-        wh
+        self.inner.install_job(tasks)
     }
 
     /// Submits a map request through the bounded admission queue.
@@ -411,38 +577,21 @@ impl MappingService {
     /// Forces a drift-supervisor pass on the resident job regardless
     /// of the `check_every` ration.
     pub fn polish_now(&self) -> RepairReport {
-        let inner = &self.inner;
-        let mut report = RepairReport::default();
-        let mut st = inner.write_state();
-        let SharedState {
-            machine,
-            alloc,
-            job,
-        } = &mut *st;
-        let Some(job) = job.as_mut() else {
-            return report;
-        };
-        report.unplaced = job.mapping.iter().filter(|&&n| n == u32::MAX).count();
-        report.fully_placed = report.unplaced == 0;
-        let ResidentJob {
-            tasks,
-            mapping,
-            supervisor,
-            scratch,
-            ..
-        } = job;
-        let polish = supervisor.after_repair(
-            &inner.cfg.supervisor,
-            &inner.cfg.pipeline,
-            tasks,
-            machine,
-            alloc,
-            mapping,
-            scratch,
-            true,
-        );
-        inner.note_polish(&polish, &mut report);
-        report
+        self.inner.polish_now()
+    }
+
+    /// Panics a writer while it holds the state `RwLock`, poisoning
+    /// it — the robustness-test hook proving the `into_inner`
+    /// absorption path keeps `submit_map` / `apply_churn` serving
+    /// afterwards. The panic is caught here; only the poison escapes.
+    #[doc(hidden)]
+    pub fn poison_state_lock(&self) {
+        let inner = Arc::clone(&self.inner);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _guard = inner.write_state();
+            // tidy-allow: panic-freedom (deliberate poison for the lock-absorption test; caught by the catch_unwind above)
+            panic!("deliberate state-lock poisoning (test hook)");
+        }));
     }
 
     /// Weighted hops of the resident job's live mapping; `None`

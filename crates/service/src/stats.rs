@@ -20,6 +20,17 @@ pub(crate) struct ServiceStats {
     pub polishes: AtomicU64,
     pub baseline_adoptions: AtomicU64,
     pub max_queue_depth: AtomicUsize,
+    pub journal_appends: AtomicU64,
+    pub journal_bytes: AtomicU64,
+    pub journal_errors: AtomicU64,
+    pub snapshots_written: AtomicU64,
+    /// Mirrors of the resident job's `RemapDrift`, refreshed on every
+    /// successful repair so readers get drift without the state lock.
+    /// The `f64` members travel as raw bits.
+    pub drift_repairs: AtomicU64,
+    pub drift_displaced_total: AtomicU64,
+    pub drift_wh_delta_bits: AtomicU64,
+    pub drift_wh_last_bits: AtomicU64,
 }
 
 impl ServiceStats {
@@ -49,12 +60,20 @@ impl ServiceStats {
             polishes: load(&self.polishes),
             baseline_adoptions: load(&self.baseline_adoptions),
             max_queue_depth: self.max_queue_depth.load(Ordering::Acquire),
+            journal_appends: load(&self.journal_appends),
+            journal_bytes: load(&self.journal_bytes),
+            journal_errors: load(&self.journal_errors),
+            snapshots_written: load(&self.snapshots_written),
+            drift_repairs: load(&self.drift_repairs),
+            drift_displaced_total: load(&self.drift_displaced_total),
+            drift_wh_delta_total: f64::from_bits(load(&self.drift_wh_delta_bits)),
+            drift_wh_last: f64::from_bits(load(&self.drift_wh_last_bits)),
         }
     }
 }
 
 /// Point-in-time copy of the service counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct StatsSnapshot {
     /// Map requests admitted.
     pub accepted: u64,
@@ -83,6 +102,24 @@ pub struct StatsSnapshot {
     pub baseline_adoptions: u64,
     /// Highest admission-queue depth observed.
     pub max_queue_depth: usize,
+    /// Journal frames appended (WAL write-path commits).
+    pub journal_appends: u64,
+    /// Journal bytes appended (frame heads + payloads).
+    pub journal_bytes: u64,
+    /// Durability write failures absorbed (I/O errors or an injected
+    /// crash); the service kept serving from memory.
+    pub journal_errors: u64,
+    /// Checksummed snapshots atomically published.
+    pub snapshots_written: u64,
+    /// Resident job's cumulative successful repairs
+    /// (`RemapDrift::repairs`, mirrored at the last repair).
+    pub drift_repairs: u64,
+    /// Tasks displaced across all repairs (`RemapDrift::displaced_total`).
+    pub drift_displaced_total: u64,
+    /// Cumulative repair WH delta (`RemapDrift::wh_delta_total`).
+    pub drift_wh_delta_total: f64,
+    /// Live WH recorded by the most recent repair (`RemapDrift::wh_last`).
+    pub drift_wh_last: f64,
 }
 
 impl StatsSnapshot {

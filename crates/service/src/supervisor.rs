@@ -56,6 +56,24 @@ pub(crate) struct Supervisor {
 }
 
 impl Supervisor {
+    /// Repairs since the last drift check — the only supervisor state
+    /// that must survive a crash. The baseline cache is deliberately
+    /// *not* persisted: it is a deterministic function of the fault
+    /// state and allocation it is keyed on, so recovery recomputes it
+    /// on demand and lands on bit-identical check outcomes.
+    pub(crate) fn repairs_since_check(&self) -> u32 {
+        self.repairs_since_check
+    }
+
+    /// Rebuilds supervisor state from a recovery snapshot (empty
+    /// baseline cache, see [`Supervisor::repairs_since_check`]).
+    pub(crate) fn restored(repairs_since_check: u32) -> Self {
+        Supervisor {
+            repairs_since_check,
+            baseline: None,
+        }
+    }
+
     /// Called after each successful repair (and by `polish_now` with
     /// `force`). Rations the drift check to every
     /// `policy.check_every` repairs; a partial (infeasible) mapping is

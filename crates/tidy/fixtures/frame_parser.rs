@@ -1,0 +1,58 @@
+// Fixture: a journal-style length-prefixed frame parser, in the shape
+// the durability subsystem's decode paths must NOT take (panicking
+// slicing/unwraps, per-process hash state) next to the clean
+// typed-error form they must. Linted under the virtual path
+// crates/service/src/journal.rs by tests/fixtures.rs; never compiled.
+
+pub enum FrameError {
+    Truncated,
+    BadChecksum,
+}
+
+/// The panicking strawman: every line here is a crash waiting for a
+/// torn tail.
+pub fn parse_frame_bad(bytes: &[u8]) -> (u64, Vec<u8>) {
+    let head: [u8; 4] = bytes[..4].try_into().unwrap(); // BAD: unwrap on torn input
+    let len = u32::from_le_bytes(head) as usize;
+    match bytes.get(4) {
+        Some(_) => (len as u64, bytes[8..8 + len].to_vec()), // BAD: match-arm slice index
+        None => panic!("torn frame"), // BAD: panic on corrupt input
+    }
+}
+
+/// Per-process hash state in a decode path loses replay determinism.
+pub fn dedup_seqs_bad(seqs: &[u64]) -> usize {
+    let mut seen = std::collections::HashSet::new(); // BAD: seeded iteration order
+    seqs.iter().filter(|s| seen.insert(**s)).count()
+}
+
+/// The clean form: bounds-checked reads, typed errors, no panics —
+/// corrupt bytes come back as `FrameError`, never a crash.
+pub fn parse_frame(bytes: &[u8]) -> Result<(u64, Vec<u8>), FrameError> {
+    let head = bytes
+        .get(..4)
+        .and_then(|b| <[u8; 4]>::try_from(b).ok())
+        .ok_or(FrameError::Truncated)?;
+    let len = u32::from_le_bytes(head) as usize;
+    let payload = bytes.get(8..8 + len).ok_or(FrameError::Truncated)?;
+    let crc = bytes
+        .get(4..8)
+        .and_then(|b| <[u8; 4]>::try_from(b).ok())
+        .map(u32::from_le_bytes)
+        .ok_or(FrameError::Truncated)?;
+    if crc == 0 {
+        return Err(FrameError::BadChecksum);
+    }
+    Ok((len as u64, payload.to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torn_input_is_a_typed_error() {
+        // Tests are exempt: asserting here is the point.
+        assert!(parse_frame(&[1, 0]).is_err());
+    }
+}

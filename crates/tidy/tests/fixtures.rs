@@ -132,3 +132,37 @@ fn bad_annotations_are_diagnosed_not_ignored() {
     assert_eq!(diags[0].line, line_of(text, "no-such-lint"));
     assert_eq!(diags[1].line, line_of(text, "tidy-allow: determinism"));
 }
+
+#[test]
+fn frame_parser_fixture_catches_panicking_decode_paths() {
+    let text = include_str!("../fixtures/frame_parser.rs");
+    // Under the durability subsystem's own path both contracts apply:
+    // decode paths must neither panic on torn input nor hash-iterate.
+    let diags = check_source("crates/service/src/journal.rs", text);
+    assert_eq!(diags.len(), 4, "{}", render(&diags));
+    let panics: Vec<_> = diags.iter().filter(|d| d.lint == "panic-freedom").collect();
+    assert_eq!(panics.len(), 3, "{}", render(&diags));
+    assert_eq!(panics[0].line, line_of(text, ".try_into().unwrap()"));
+    assert_eq!(panics[1].line, line_of(text, "bytes[8..8 + len].to_vec()"));
+    assert_eq!(panics[2].line, line_of(text, "panic!(\"torn frame\")"));
+    let det: Vec<_> = diags.iter().filter(|d| d.lint == "determinism").collect();
+    assert_eq!(det.len(), 1, "{}", render(&diags));
+    assert_eq!(det[0].line, line_of(text, "HashSet::new()"));
+}
+
+#[test]
+fn frame_parser_fixture_clean_form_and_tests_pass() {
+    let text = include_str!("../fixtures/frame_parser.rs");
+    let diags = check_source("crates/service/src/journal.rs", text);
+    // Every diagnostic sits in the two BAD functions; the typed-error
+    // parser and the #[cfg(test)] assertions are clean.
+    let clean_from = line_of(text, "pub fn parse_frame(");
+    assert!(
+        diags.iter().all(|d| d.line < clean_from),
+        "{}",
+        render(&diags)
+    );
+    // Outside the scoped trees the same text is not linted at all.
+    let diags = check_source("crates/bench/src/bin/fixture.rs", text);
+    assert!(diags.is_empty(), "{}", render(&diags));
+}

@@ -157,6 +157,74 @@ impl FaultSnapshot {
     pub fn is_healthy(&self) -> bool {
         self.degraded.is_empty()
     }
+
+    /// Appends a canonical little-endian binary encoding of the
+    /// snapshot to `out`: `[count: u32][(link: u32, factor bits: u64)…]`.
+    /// `hard_failed` is not stored — it is derivable (factor == 0.0)
+    /// and recomputed on decode, so the two can never disagree.
+    /// Factors round-trip via [`f64::to_bits`] so a decode is
+    /// bit-identical to the encoded state (the crash-recovery
+    /// differential contract in `umpa-service`).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.degraded.len() as u32).to_le_bytes());
+        for &(link, factor) in &self.degraded {
+            out.extend_from_slice(&link.to_le_bytes());
+            out.extend_from_slice(&factor.to_bits().to_le_bytes());
+        }
+    }
+
+    /// Decodes a snapshot previously written by
+    /// [`FaultSnapshot::encode_into`] from the front of `bytes`.
+    /// Returns the snapshot and the number of bytes consumed, or `None`
+    /// if `bytes` is truncated or structurally invalid (factor not
+    /// finite / outside `[0, 1]`, link ids not strictly ascending).
+    /// Never panics: corrupt input is a decode failure, not a crash.
+    pub fn decode(bytes: &[u8]) -> Option<(Self, usize)> {
+        let head = bytes.get(..4)?;
+        let count = u32::from_le_bytes([head[0], head[1], head[2], head[3]]) as usize;
+        let mut off = 4usize;
+        let mut degraded = Vec::with_capacity(count.min(bytes.len() / 12));
+        let mut hard_failed = 0usize;
+        let mut prev_link: Option<u32> = None;
+        for _ in 0..count {
+            let rec = bytes.get(off..off + 12)?;
+            let link = u32::from_le_bytes([rec[0], rec[1], rec[2], rec[3]]);
+            let factor = f64::from_bits(u64::from_le_bytes([
+                rec[4], rec[5], rec[6], rec[7], rec[8], rec[9], rec[10], rec[11],
+            ]));
+            if !factor.is_finite() || !(0.0..=1.0).contains(&factor) || factor == 1.0 {
+                return None;
+            }
+            if prev_link.is_some_and(|p| p >= link) {
+                return None;
+            }
+            prev_link = Some(link);
+            if factor == 0.0 {
+                hard_failed += 1;
+            }
+            degraded.push((link, factor));
+            off += 12;
+        }
+        Some((
+            FaultSnapshot {
+                degraded,
+                hard_failed,
+            },
+            off,
+        ))
+    }
+
+    /// Whether every degraded link id is a valid physical link of
+    /// `machine`. Decoded snapshots must pass this before
+    /// [`Machine::apply_fault_snapshot`] — a snapshot taken on a
+    /// different topology (or corrupted in storage) fails here instead
+    /// of panicking inside `degrade_link`.
+    pub fn is_valid_for(&self, machine: &Machine) -> bool {
+        let num_phys = machine.topology().num_physical_links() as u32;
+        self.degraded.iter().all(|&(link, factor)| {
+            link < num_phys && factor.is_finite() && (0.0..=1.0).contains(&factor)
+        })
+    }
 }
 
 /// Per-physical-link health (the failure mask). Absent on a healthy
@@ -438,6 +506,30 @@ impl Machine {
                 }
             }
         }
+    }
+
+    /// Re-imposes a previously captured failure mask onto this machine,
+    /// replacing whatever mask it currently carries. Returns `false`
+    /// (leaving the machine untouched) when the snapshot does not
+    /// validate against this topology ([`FaultSnapshot::is_valid_for`])
+    /// — the caller decodes snapshots from storage and must get a typed
+    /// failure, never the `degrade_link` asserts. On success the
+    /// machine's own [`Machine::fault_snapshot`] compares equal to
+    /// `snap`, and every derived product (oracle, route cache, inverse
+    /// bandwidths) is rebuilt through the same `degrade_link` path an
+    /// uninterrupted run would have taken, so downstream cost metrics
+    /// are bit-identical.
+    pub fn apply_fault_snapshot(&mut self, snap: &FaultSnapshot) -> bool {
+        if !snap.is_valid_for(self) {
+            return false;
+        }
+        self.clear_faults();
+        for &(link, factor) in &snap.degraded {
+            if factor != 1.0 {
+                self.degrade_link(link, factor);
+            }
+        }
+        true
     }
 
     /// The failure factors when at least one link is hard-failed.
@@ -860,6 +952,62 @@ mod tests {
         assert!(m.dist_row(0).is_none());
         let analytic_hops: Vec<u32> = (0..128u32).map(|b| m.hops(0, b)).collect();
         assert_eq!(oracle_hops, analytic_hops);
+    }
+
+    #[test]
+    fn fault_snapshot_round_trips_bit_identical_and_rejects_corruption() {
+        let mut m = MachineConfig::small(&[4, 4], 2, 2).build();
+        m.degrade_link(3, 0.25);
+        m.degrade_link(9, 0.0);
+        let snap = m.fault_snapshot();
+
+        let mut bytes = Vec::new();
+        snap.encode_into(&mut bytes);
+        let (decoded, used) = FaultSnapshot::decode(&bytes).expect("round trip");
+        assert_eq!(used, bytes.len());
+        assert_eq!(decoded, snap);
+        for (&(la, fa), &(lb, fb)) in decoded.degraded.iter().zip(&snap.degraded) {
+            assert_eq!(la, lb);
+            assert_eq!(fa.to_bits(), fb.to_bits());
+        }
+
+        // Truncation and in-place corruption are decode failures, not
+        // panics: chop the buffer and flip a factor to a NaN pattern.
+        assert!(FaultSnapshot::decode(&bytes[..bytes.len() - 1]).is_none());
+        let mut bad = bytes.clone();
+        let factor_at = 4 + 4; // first record's factor bits
+        bad[factor_at..factor_at + 8].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(FaultSnapshot::decode(&bad).is_none());
+    }
+
+    #[test]
+    fn apply_fault_snapshot_reproduces_mask_and_rejects_foreign_links() {
+        let mut m = MachineConfig::small(&[4, 4], 2, 2).build();
+        m.degrade_link(2, 0.5);
+        m.degrade_link(11, 0.0);
+        let snap = m.fault_snapshot();
+        let dists: Vec<u32> = (0..m.num_nodes() as u32).map(|b| m.hops(0, b)).collect();
+
+        let mut fresh = MachineConfig::small(&[4, 4], 2, 2).build();
+        // Pre-existing faults must be replaced, not merged.
+        fresh.degrade_link(5, 0.75);
+        assert!(fresh.apply_fault_snapshot(&snap));
+        assert_eq!(fresh.fault_snapshot(), snap);
+        assert_eq!(fresh.link_factor(5), 1.0);
+        let redists: Vec<u32> = (0..fresh.num_nodes() as u32)
+            .map(|b| fresh.hops(0, b))
+            .collect();
+        assert_eq!(dists, redists);
+
+        // A snapshot naming a link this topology does not have must be
+        // refused without touching the machine.
+        let foreign = FaultSnapshot {
+            degraded: vec![(u32::MAX, 0.5)],
+            hard_failed: 0,
+        };
+        assert!(!foreign.is_valid_for(&fresh));
+        assert!(!fresh.apply_fault_snapshot(&foreign));
+        assert_eq!(fresh.fault_snapshot(), snap);
     }
 
     #[test]

@@ -44,7 +44,11 @@ fn main() {
     let alloc = Allocation::generate(&machine, &AllocSpec::sparse(96, 7));
 
     // 2. The service: two workers behind a 16-deep admission queue;
-    //    past depth 8 the ladder pre-sheds one rung.
+    //    past depth 8 the ladder pre-sheds one rung. Durability is on:
+    //    churn and job transitions are journaled (write-ahead) with
+    //    periodic checksummed snapshots — map requests never touch it.
+    let journal_dir = std::env::temp_dir().join("umpa-service-example");
+    let _ = std::fs::remove_dir_all(&journal_dir);
     let svc = MappingService::new(
         machine,
         alloc,
@@ -52,6 +56,7 @@ fn main() {
             workers: 2,
             queue_capacity: 16,
             pressure_depth: 8,
+            durability: Some(DurabilityConfig::new(&journal_dir)),
             ..ServiceConfig::default()
         },
     );
@@ -147,7 +152,6 @@ fn main() {
         );
         weighted_hops(&resident, m, &mapping)
     });
-    let drift = svc.drift();
     let snap = svc.shutdown();
 
     // 5. The report: admission, the ladder, repairs, and drift.
@@ -189,10 +193,17 @@ fn main() {
         "supervisor: {} drift checks, {} polishes, {} baseline adoptions",
         snap.drift_checks, snap.polishes, snap.baseline_adoptions
     );
-    if let Some(d) = drift {
+    println!(
+        "repair drift: {} repairs, {} tasks displaced total, ΔWH {:+.0} cumulative ({:+.0} last)",
+        snap.drift_repairs,
+        snap.drift_displaced_total,
+        snap.drift_wh_delta_total,
+        snap.drift_wh_last
+    );
+    if snap.journal_appends > 0 || snap.journal_errors > 0 {
         println!(
-            "repair drift: {} repairs, {} tasks displaced total",
-            d.repairs, d.displaced_total
+            "durability: {} frames ({} B), {} snapshots, {} journal errors",
+            snap.journal_appends, snap.journal_bytes, snap.snapshots_written, snap.journal_errors
         );
     }
     match live_wh {

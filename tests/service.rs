@@ -394,3 +394,42 @@ fn manual_clock_runs_are_deterministic() {
     assert_eq!(replies_a, replies_b, "served mappings must be seed-stable");
     assert_eq!(live_a, live_b, "live mapping must be seed-stable");
 }
+
+#[test]
+fn poisoned_state_lock_is_absorbed_and_service_keeps_serving() {
+    let (machine, alloc) = setup();
+    let cfg = ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    };
+    let service = MappingService::new(machine, alloc, cfg);
+    let wh_before = {
+        service.install_job(Arc::new(task_graph(96, 4)));
+        service.live_wh().expect("job installed")
+    };
+
+    // Panic a writer while it holds the state RwLock: the lock is now
+    // poisoned. Every lock site absorbs poison via `into_inner`, so
+    // the service must keep serving — reads, churn and mapped
+    // requests alike — instead of cascading the panic.
+    service.poison_state_lock();
+
+    assert_eq!(
+        service.live_wh().map(f64::to_bits),
+        Some(wh_before.to_bits()),
+        "reads must survive a poisoned lock"
+    );
+    let victim = service.with_state(|_, a| a.nodes()[0]);
+    let report = service.apply_churn(&[ChurnEvent::NodeFailed { node: victim }]);
+    assert_eq!(
+        report.applied_events, 1,
+        "churn must still mutate state after poisoning"
+    );
+    let reply = service
+        .submit_map(MapJob::new(Arc::new(task_graph(48, 9))))
+        .accepted()
+        .expect("queue empty, must admit")
+        .wait()
+        .expect("worker must still serve after poisoning");
+    assert!(!reply.mapping.is_empty());
+}
